@@ -1,0 +1,260 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design decisions DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports experiment-specific metrics alongside the
+// usual timing; cmd/benchtab prints the same rows as tables.
+package heisendump_test
+
+import (
+	"testing"
+
+	"heisendump"
+	"heisendump/internal/core"
+	"heisendump/internal/experiments"
+	"heisendump/internal/slicing"
+	"heisendump/internal/workloads"
+)
+
+// BenchmarkTable1CDClassification regenerates Table 1: control-
+// dependence classification over the three synthetic corpora.
+func BenchmarkTable1CDClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: one=%.2f%% aggr=%.2f%% nonaggr=%.2f%% loop=%.2f%% (n=%d)",
+					r.Benchmark, r.OneCD, r.AggrToOne, r.NotAggr, r.Loop, r.Total)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Workloads regenerates Table 2: the studied bugs.
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s id=%s %s steps=%d threads=%d", r.Name, r.BugID, r.Kind, r.Steps, r.Threads)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3DumpAnalysis regenerates Table 3: dump sizes,
+// compared variables, CSVs and index lengths per bug.
+func BenchmarkTable3DumpAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: dumps=%d/%dB vars=%d/%d shared=%d/%d len(idx)=%d align=%v",
+					r.Name, r.FailDumpBytes, r.PassDumpBytes, r.VarsCompared, r.Diffs,
+					r.SharedCompared, r.CSVs, r.IndexLen, r.AlignKind)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4ScheduleSearch regenerates Table 4: chess vs
+// chessX+dep vs chessX+temporal tries and times.
+func BenchmarkTable4ScheduleSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: chess=%d(found=%v) dep=%d temporal=%d",
+					r.Name, r.ChessTries, r.ChessFound, r.DepTries, r.TempTries)
+			}
+		}
+	}
+}
+
+// BenchmarkTable5InstructionCount regenerates Table 5: the
+// instruction-count alignment baseline.
+func BenchmarkTable5InstructionCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: instrs=%d shared=%d/%d tries=%d repro=%v",
+					r.Name, r.ThreadInstrs, r.SharedCompared, r.CSVs, r.Tries, r.Reproduced)
+			}
+		}
+	}
+}
+
+// BenchmarkTable6OtherCosts regenerates Table 6: one-time analysis
+// costs (dump capture, diff, slicing).
+func BenchmarkTable6OtherCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: dump=%v diff=%v slice=%v reverse=%v align=%v",
+					r.Name, r.DumpCapture, r.DumpDiff, r.Slicing, r.Reverse, r.Align)
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Overhead regenerates Fig. 10: loop-counter
+// instrumentation overhead across the workloads and splash kernels.
+func BenchmarkFig10Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sum float64
+			for _, r := range rows {
+				sum += r.Percent
+			}
+			b.Logf("average overhead %.2f%% over %d programs", sum/float64(len(rows)), len(rows))
+		}
+	}
+}
+
+// runSearch is a helper for the ablation benches: full pipeline on one
+// workload under the given configuration, reporting tries.
+func runSearch(b *testing.B, w *workloads.Workload, cfg core.Config) int {
+	b.Helper()
+	prog, err := w.Compile(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.NewPipeline(prog, w.Input, cfg)
+	rep, err := p.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep.Search.Tries
+}
+
+// BenchmarkAblationAlignment (DESIGN.md D1) compares execution-index
+// alignment against the instruction-count baseline on apache-1.
+func BenchmarkAblationAlignment(b *testing.B) {
+	w := workloads.Apache1
+	for i := 0; i < b.N; i++ {
+		ei := runSearch(b, w, core.Config{MaxTries: 2000})
+		ic := runSearch(b, w, core.Config{MaxTries: 2000, Alignment: core.AlignByInstructionCount})
+		if i == 0 {
+			b.Logf("apache-1 tries: execution-index=%d instruction-count=%d", ei, ic)
+		}
+	}
+}
+
+// BenchmarkAblationPriority (D2) compares temporal vs dependence
+// prioritization across the bug suite.
+func BenchmarkAblationPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var tTemp, tDep int
+		for _, w := range workloads.Bugs() {
+			tTemp += runSearch(b, w, core.Config{Heuristic: slicing.Temporal, MaxTries: 2000})
+			tDep += runSearch(b, w, core.Config{Heuristic: slicing.Dependence, MaxTries: 2000})
+		}
+		if i == 0 {
+			b.Logf("total tries: temporal=%d dependence=%d", tTemp, tDep)
+		}
+	}
+}
+
+// BenchmarkAblationThreadSelect (D3) disables the guided thread
+// selection while keeping combination weighting, isolating the value
+// of Algorithm 2's preempt() test. Implemented via the chess options:
+// plain CHESS = unweighted+unguided; this ablation = weighted only.
+func BenchmarkAblationThreadSelect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var full, noGuide int
+		for _, w := range workloads.Bugs() {
+			prog, err := w.Compile(true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := core.NewPipeline(prog, w.Input, core.Config{MaxTries: 2000})
+			fail, err := p.ProvokeFailure()
+			if err != nil {
+				b.Fatal(err)
+			}
+			an, err := p.Analyze(fail)
+			if err != nil {
+				b.Fatal(err)
+			}
+			full += p.Reproduce(fail, an).Tries
+
+			s := p.Searcher(fail, an)
+			s.Opts.Guided = false
+			noGuide += s.Search().Tries
+		}
+		if i == 0 {
+			b.Logf("total tries: guided=%d unguided=%d", full, noGuide)
+		}
+	}
+}
+
+// BenchmarkAblationPreemptionBound (D4) sweeps the preemption bound k.
+func BenchmarkAblationPreemptionBound(b *testing.B) {
+	w := workloads.Apache2 // needs two preemptions
+	for i := 0; i < b.N; i++ {
+		results := map[int]bool{}
+		for _, k := range []int{1, 2, 3} {
+			prog, err := w.Compile(true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := core.NewPipeline(prog, w.Input, core.Config{Bound: k, MaxTries: 3000})
+			rep, err := p.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[k] = rep.Search.Found
+		}
+		if i == 0 {
+			b.Logf("apache-2 found: k=1:%v k=2:%v k=3:%v", results[1], results[2], results[3])
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd times the full pipeline on fig1, the
+// library's hot path.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	w := heisendump.WorkloadByName("fig1")
+	prog, err := w.Compile(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{MaxTries: 500})
+		rep, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Search.Found {
+			b.Fatal("not reproduced")
+		}
+	}
+}

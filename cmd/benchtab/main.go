@@ -1,0 +1,90 @@
+// Command benchtab regenerates the paper's evaluation tables and
+// figures on the library's workloads.
+//
+// Usage:
+//
+//	benchtab                  # everything
+//	benchtab -table 4         # one table (1-6)
+//	benchtab -fig 10          # figure 10
+//	benchtab -plaincap 5000   # raise the plain-CHESS cutoff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heisendump/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-6); 0 = all")
+	fig := flag.Int("fig", 0, "regenerate one figure (10); 0 = per -table")
+	plainCap := flag.Int("plaincap", 2000, "plain-CHESS try cutoff (the 18-hour analogue)")
+	reps := flag.Int("reps", 3, "repetitions for overhead timing")
+	flag.Parse()
+
+	out := os.Stdout
+	all := *table == 0 && *fig == 0
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+
+	if all || *table == 1 {
+		rows, err := experiments.Table1()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable1(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 2 {
+		rows, err := experiments.Table2()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable2(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 3 {
+		rows, err := experiments.Table3()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable3(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 4 {
+		rows, err := experiments.Table4(*plainCap)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable4(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 5 {
+		rows, err := experiments.Table5(*plainCap)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable5(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 6 {
+		rows, err := experiments.Table6()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable6(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 10 {
+		rows, err := experiments.Fig10(*reps)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintFig10(out, rows)
+	}
+}

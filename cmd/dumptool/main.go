@@ -1,0 +1,118 @@
+// Command dumptool inspects and compares serialized core dumps.
+//
+// Usage:
+//
+//	dumptool -capture -w apache-1 -o fail.core   # provoke + save a dump
+//	dumptool -info fail.core                     # header, threads, frames
+//	dumptool -paths fail.core                    # reference-path traversal
+//	dumptool -diff fail.core pass.core           # value differences / CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"heisendump"
+	"heisendump/internal/coredump"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dumptool: ")
+
+	capture := flag.Bool("capture", false, "provoke a failure of -w and save its dump to -o")
+	wname := flag.String("w", "", "workload for -capture")
+	out := flag.String("o", "failure.core", "output path for -capture")
+	info := flag.String("info", "", "print a dump's header and stacks")
+	paths := flag.String("paths", "", "print a dump's reference-path traversal")
+	diff := flag.Bool("diff", false, "compare two dumps given as arguments")
+	flag.Parse()
+
+	switch {
+	case *capture:
+		w := heisendump.WorkloadByName(*wname)
+		if w == nil {
+			log.Fatalf("unknown workload %q", *wname)
+		}
+		prog, err := w.Compile(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{})
+		fail, err := p.ProvokeFailure()
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := fail.Dump.Encode(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes): %s\n", *out, fail.DumpBytes, fail.Signature.Reason)
+
+	case *info != "":
+		d := load(*info)
+		fmt.Printf("program:        %s\n", d.Program)
+		fmt.Printf("reason:         %s\n", d.Reason)
+		fmt.Printf("failing thread: %d at %v\n", d.FailingThread, d.PC)
+		fmt.Printf("total steps:    %d\n", d.TotalSteps)
+		fmt.Printf("threads:        %d\n", len(d.Threads))
+		for _, t := range d.Threads {
+			fmt.Printf("  thread %d: status=%d steps=%d\n", t.ID, t.Status, t.Steps)
+			for i := len(t.Frames) - 1; i >= 0; i-- {
+				fr := t.Frames[i]
+				fmt.Printf("    #%d %s pc=%d locals=%d\n", len(t.Frames)-1-i, fr.FuncName, fr.PC, len(fr.Locals))
+			}
+		}
+		fmt.Printf("globals: %d, arrays: %d, heap objects: %d\n",
+			len(d.Globals), len(d.Arrays), len(d.Heap))
+
+	case *paths != "":
+		d := load(*paths)
+		for _, loc := range d.Traverse() {
+			tag := "local "
+			if loc.Shared {
+				tag = "shared"
+			}
+			fmt.Printf("[%s] %-32s = %v\n", tag, loc.Path, loc.Value)
+		}
+
+	case *diff:
+		if flag.NArg() != 2 {
+			log.Fatal("-diff needs two dump paths")
+		}
+		a, b := load(flag.Arg(0)), load(flag.Arg(1))
+		res := coredump.Compare(a, b)
+		fmt.Printf("%d locations compared (%d shared), %d differ, %d CSVs\n",
+			res.VarsCompared, res.SharedCompared, len(res.Diffs), len(res.CSVs()))
+		for _, dv := range res.Diffs {
+			tag := "local"
+			if dv.Shared {
+				tag = "CSV  "
+			}
+			fmt.Printf("[%s] %-32s %v -> %v\n", tag, dv.Path, dv.A, dv.B)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string) *coredump.Dump {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	d, err := coredump.Decode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,134 @@
+// Command reprod runs the full reproduction pipeline on a workload or
+// a program source file.
+//
+// Usage:
+//
+//	reprod -w apache-1                       # built-in workload
+//	reprod -src prog.hd                      # your own program
+//	reprod -w mysql-3 -heuristic dep         # dependence-distance priorities
+//	reprod -w mysql-3 -plain                 # undirected CHESS baseline
+//	reprod -w mysql-3 -align instcount       # Table 5 alignment baseline
+//	reprod -list                             # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"heisendump"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reprod: ")
+
+	wname := flag.String("w", "", "built-in workload name (see -list)")
+	srcPath := flag.String("src", "", "path to a program source file")
+	heuristic := flag.String("heuristic", "temporal", `CSV prioritization: "temporal" or "dep"`)
+	align := flag.String("align", "index", `aligned-point method: "index" or "instcount"`)
+	plain := flag.Bool("plain", false, "use undirected CHESS (no weighting, no guidance)")
+	bound := flag.Int("k", 2, "preemption bound")
+	maxTries := flag.Int("maxtries", 5000, "schedule-search cutoff")
+	list := flag.Bool("list", false, "list built-in workloads")
+	verbose := flag.Bool("v", false, "print the failure index, CSVs and candidates")
+	flag.Parse()
+
+	if *list {
+		for _, n := range heisendump.WorkloadNames() {
+			w := heisendump.WorkloadByName(n)
+			fmt.Printf("%-14s %-5s %s\n", n, w.Kind, w.Description)
+		}
+		return
+	}
+
+	var prog *heisendump.Program
+	var input *heisendump.Input
+	var err error
+	switch {
+	case *wname != "":
+		w := heisendump.WorkloadByName(*wname)
+		if w == nil {
+			log.Fatalf("unknown workload %q (try -list)", *wname)
+		}
+		prog, err = w.Compile(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		input = w.Input
+	case *srcPath != "":
+		src, err := os.ReadFile(*srcPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err = heisendump.CompileSource(string(src), true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		input = &heisendump.Input{}
+	default:
+		log.Fatal("need -w <workload> or -src <file> (or -list)")
+	}
+
+	cfg := heisendump.Config{
+		Bound:      *bound,
+		MaxTries:   *maxTries,
+		PlainChess: *plain,
+	}
+	if *heuristic == "dep" {
+		cfg.Heuristic = heisendump.Dependence
+	}
+	if *align == "instcount" {
+		cfg.Alignment = heisendump.AlignByInstructionCount
+	}
+
+	p := heisendump.NewPipeline(prog, input, cfg)
+
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure: %s\n", fail.Signature.Reason)
+	fmt.Printf("  at %s, thread %d\n", prog.FormatPC(fail.Dump.PC), fail.Dump.FailingThread)
+	fmt.Printf("  calling context: %s\n", fail.Dump.CallingContext())
+	fmt.Printf("  dump: %d bytes (stress seed %d, %d attempts)\n",
+		fail.DumpBytes, fail.Seed, fail.Attempts)
+
+	an, err := p.Analyze(fail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if an.FailureIndex != nil {
+		fmt.Printf("failure index: len %d\n", an.IndexLen)
+		if *verbose {
+			fmt.Printf("  %s\n", an.FailureIndex.Format(prog))
+		}
+	}
+	fmt.Printf("aligned point: %v after %d steps at %s\n",
+		an.AlignKind, an.AlignSteps, prog.FormatPC(an.AlignPC))
+	fmt.Printf("dump diff: %d compared (%d shared), %d differ, %d CSVs\n",
+		an.Diff.VarsCompared, an.Diff.SharedCompared, len(an.Diff.Diffs), len(an.CSVs))
+	if *verbose {
+		for _, c := range an.CSVs {
+			fmt.Printf("  CSV %-20s failing=%v passing=%v\n", c.Path, c.A, c.B)
+		}
+		fmt.Printf("preemption candidates: %d\n", len(an.Candidates))
+	}
+
+	res := p.Reproduce(fail, an)
+	if !res.Found {
+		fmt.Printf("NOT reproduced within %d tries (%v)\n", res.Tries, res.Elapsed)
+		os.Exit(2)
+	}
+	fmt.Printf("reproduced: %d tries, %v, %d interpreter steps\n",
+		res.Tries, res.Elapsed, res.StepsExecuted)
+	for _, ap := range res.Schedule {
+		lock := ""
+		if ap.Candidate.Lock != "" {
+			lock = fmt.Sprintf(" lock %q", ap.Candidate.Lock)
+		}
+		fmt.Printf("  preempt thread %d at %v (sync #%d%s) -> thread %d\n",
+			ap.Candidate.Thread, ap.Candidate.Kind, ap.Candidate.Seq, lock, ap.SwitchTo)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: reproduce the paper's Fig. 1 Heisenbug end to end.
+//
+// The program provokes the failure under random multicore-style
+// interleavings, captures a core dump, reverse engineers the failure
+// index, aligns a deterministic re-execution, diffs the dumps to find
+// the critical shared variables, and searches for a failure-inducing
+// schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heisendump"
+)
+
+func main() {
+	w := heisendump.WorkloadByName("fig1")
+	prog, err := w.Compile(true) // loop-counter instrumentation on
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{
+		Heuristic: heisendump.Temporal,
+		MaxTries:  1000,
+	})
+
+	fmt.Println("== production phase: provoke the Heisenbug ==")
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash: %s\n", fail.Signature.Reason)
+	fmt.Printf("calling context: %s\n", fail.Dump.CallingContext())
+	fmt.Printf("core dump: %d bytes (seed %d, %d stress attempts)\n\n",
+		fail.DumpBytes, fail.Seed, fail.Attempts)
+
+	fmt.Println("== debugging phase: analyze the dump ==")
+	an, err := p.Analyze(fail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure index (len %d): %s\n", an.IndexLen, an.FailureIndex.Format(prog))
+	fmt.Printf("aligned point: %v after %d steps at %s\n",
+		an.AlignKind, an.AlignSteps, prog.FormatPC(an.AlignPC))
+	fmt.Printf("dump diff: %d vars compared, %d differ; CSVs:\n",
+		an.Diff.VarsCompared, len(an.Diff.Diffs))
+	for _, c := range an.CSVs {
+		fmt.Printf("  %-12s failing=%v passing=%v\n", c.Path, c.A, c.B)
+	}
+
+	fmt.Println("\n== reproduction phase: search for the schedule ==")
+	res := p.Reproduce(fail, an)
+	if !res.Found {
+		log.Fatalf("not reproduced in %d tries", res.Tries)
+	}
+	fmt.Printf("reproduced after %d tries (%v)\n", res.Tries, res.Elapsed)
+	for _, ap := range res.Schedule {
+		fmt.Printf("  preempt thread %d at %v (sync #%d) -> run thread %d\n",
+			ap.Candidate.Thread, ap.Candidate.Kind, ap.Candidate.Seq, ap.SwitchTo)
+	}
+}

@@ -1,0 +1,177 @@
+// Package heisendump reproduces concurrency Heisenbugs from multicore
+// core dumps, implementing Weeratunge, Zhang & Jagannathan, "Analyzing
+// Multicore Dumps to Facilitate Concurrency Bug Reproduction"
+// (ASPLOS 2010).
+//
+// Given a failure core dump from a concurrent run — no logging, no
+// hardware support, only negligible loop-counter instrumentation — the
+// pipeline:
+//
+//  1. reverse engineers the failure point's execution index from the
+//     dump (program counter, calling context, live loop counters and
+//     static control dependences),
+//  2. re-executes the program deterministically on one core and uses
+//     the index to find the aligned point — the exact or closest
+//     counterpart of the failure point,
+//  3. captures a core dump there and diffs it against the failure dump
+//     by reference-path traversal, yielding the critical shared
+//     variables (CSVs) whose values the schedule difference changed,
+//  4. prioritizes CSV accesses by temporal or dependence (dynamic
+//     slicing) distance, and
+//  5. searches for a failure-inducing schedule with a CHESS-style
+//     preemption search whose combinations are weighted by CSV-access
+//     priority and whose thread choices are guided by future CSV sets.
+//
+// Subject programs are written in a small C-like concurrent language
+// (package lang) and executed by a deterministic interpreter whose
+// scheduling the library fully controls — the substrate standing in
+// for the paper's pthreads/multicore environment.
+//
+// # Quick start
+//
+//	w := heisendump.WorkloadByName("fig1")
+//	prog, _ := w.Compile(true) // with loop-counter instrumentation
+//	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{})
+//	rep, err := p.Run()
+//	// rep.Search.Found, rep.Search.Schedule: the failure-inducing schedule
+//
+// See the examples/ directory for complete programs.
+package heisendump
+
+import (
+	"heisendump/internal/chess"
+	"heisendump/internal/core"
+	"heisendump/internal/coredump"
+	"heisendump/internal/ctrldep"
+	"heisendump/internal/index"
+	"heisendump/internal/instrument"
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/slicing"
+	"heisendump/internal/workloads"
+)
+
+// Pipeline is the end-to-end reproduction pipeline.
+type Pipeline = core.Pipeline
+
+// Config tunes a reproduction run.
+type Config = core.Config
+
+// Report is a completed reproduction: failure, analysis, search.
+type Report = core.Report
+
+// FailureReport describes the provoked failure and its core dump.
+type FailureReport = core.FailureReport
+
+// AnalysisReport carries aligned point, dump diff, CSVs and costs.
+type AnalysisReport = core.AnalysisReport
+
+// AlignmentMethod selects execution-index or instruction-count
+// alignment.
+type AlignmentMethod = core.AlignmentMethod
+
+// Alignment methods.
+const (
+	AlignByIndex            = core.AlignByIndex
+	AlignByInstructionCount = core.AlignByInstructionCount
+)
+
+// Heuristic selects the CSV-access prioritization strategy.
+type Heuristic = slicing.Heuristic
+
+// Prioritization heuristics.
+const (
+	Temporal   = slicing.Temporal
+	Dependence = slicing.Dependence
+)
+
+// Workload is a subject program with its failure-inducing input.
+type Workload = workloads.Workload
+
+// Program is a compiled subject program.
+type Program = ir.Program
+
+// Input is a program's initial shared state.
+type Input = interp.Input
+
+// Dump is a core dump.
+type Dump = coredump.Dump
+
+// Index is an execution index.
+type Index = index.Index
+
+// SearchResult is the schedule-search outcome.
+type SearchResult = chess.Result
+
+// Overhead is an instrumentation-overhead measurement.
+type Overhead = instrument.Overhead
+
+// NewPipeline builds a reproduction pipeline for a compiled program
+// and its input.
+func NewPipeline(prog *Program, input *Input, cfg Config) *Pipeline {
+	return core.NewPipeline(prog, input, cfg)
+}
+
+// Parse parses a subject program in the mini language.
+func Parse(src string) (*lang.Program, error) { return lang.Parse(src) }
+
+// Compile lowers a parsed program, optionally adding loop-counter
+// instrumentation (required for index reverse engineering of while
+// loops; costs ~1-2% at run time).
+func Compile(p *lang.Program, instrumentLoops bool) (*Program, error) {
+	return ir.Compile(p, ir.Options{InstrumentLoops: instrumentLoops})
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src string, instrumentLoops bool) (*Program, error) {
+	p, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(p, instrumentLoops)
+}
+
+// WorkloadByName returns a registered workload ("fig1", "apache-1",
+// "mysql-3", "splash-fft", ...) or nil.
+func WorkloadByName(name string) *Workload { return workloads.ByName(name) }
+
+// WorkloadNames lists the registered workloads.
+func WorkloadNames() []string { return workloads.Names() }
+
+// Bugs returns the seven Table 2 bug workloads in the paper's order.
+func Bugs() []*Workload { return workloads.Bugs() }
+
+// SplashKernels returns the Fig. 10 overhead-measurement kernels.
+func SplashKernels() []*Workload { return workloads.SplashKernels() }
+
+// MeasureOverhead measures the loop-counter instrumentation overhead
+// of a workload on a single deterministic core (Fig. 10).
+func MeasureOverhead(w *Workload, reps int) (*Overhead, error) {
+	prog, err := lang.Parse(w.Source)
+	if err != nil {
+		return nil, err
+	}
+	return instrument.Measure(w.Name, prog, w.Input, reps)
+}
+
+// ReverseIndex reverse engineers the failure index from a core dump
+// (Algorithm 1).
+func ReverseIndex(prog *Program, dump *Dump) (*Index, error) {
+	return index.Reverse(prog, ctrldep.AnalyzeProgram(prog), dump)
+}
+
+// CompareDumps diffs two core dumps by reference-path traversal; the
+// shared differences are the critical shared variables.
+func CompareDumps(failing, passing *Dump) *coredump.DiffResult {
+	return coredump.Compare(failing, passing)
+}
+
+// AnonymizeDump tokenizes a dump's values while preserving equality
+// (the paper's §7 privacy mitigation): dumps anonymized with the same
+// salt still yield the same critical shared variables under
+// CompareDumps, and the failure index stays recoverable because loop
+// counters are preserved.
+func AnonymizeDump(d *Dump, prog *Program, salt uint64) *Dump {
+	return d.Anonymize(salt, coredump.KeepLoopCounters(prog))
+}

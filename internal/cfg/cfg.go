@@ -1,0 +1,93 @@
+// Package cfg builds intraprocedural control-flow graphs over compiled
+// functions. Node i is instruction i; node len(Instrs) is a virtual
+// exit that every return reaches, giving the post-dominator analysis a
+// single sink.
+package cfg
+
+import "heisendump/internal/ir"
+
+// Graph is the control-flow graph of one function.
+type Graph struct {
+	// Fn is the function the graph describes.
+	Fn *ir.Func
+	// Succs[i] are the successor nodes of instruction i.
+	Succs [][]int
+	// Preds[i] are the predecessor nodes of instruction i.
+	Preds [][]int
+	// Exit is the virtual exit node id (== len(Fn.Instrs)).
+	Exit int
+}
+
+// Build constructs the CFG of f.
+func Build(f *ir.Func) *Graph {
+	n := len(f.Instrs)
+	g := &Graph{
+		Fn:    f,
+		Succs: make([][]int, n+1),
+		Preds: make([][]int, n+1),
+		Exit:  n,
+	}
+	addEdge := func(u, v int) {
+		g.Succs[u] = append(g.Succs[u], v)
+		g.Preds[v] = append(g.Preds[v], u)
+	}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		switch in.Op {
+		case ir.OpBranch:
+			addEdge(i, in.True)
+			if in.False != in.True {
+				addEdge(i, in.False)
+			}
+		case ir.OpJump:
+			addEdge(i, in.True)
+		case ir.OpReturn:
+			addEdge(i, g.Exit)
+		default:
+			addEdge(i, i+1)
+		}
+	}
+	return g
+}
+
+// NumNodes returns the node count including the virtual exit.
+func (g *Graph) NumNodes() int { return g.Exit + 1 }
+
+// ReachableFromEntry returns the set of nodes reachable from
+// instruction 0 (the function entry).
+func (g *Graph) ReachableFromEntry() []bool {
+	seen := make([]bool, g.NumNodes())
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Succs[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachesExit returns the set of nodes from which the virtual exit is
+// reachable. Nodes outside this set (e.g. bodies of `while(true)` loops
+// with no break) have no post-dominators.
+func (g *Graph) ReachesExit() []bool {
+	seen := make([]bool, g.NumNodes())
+	stack := []int{g.Exit}
+	seen[g.Exit] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Preds[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,163 @@
+// Package chess implements the schedule-search phase: the original
+// CHESS-style iterative context bounding (Musuvathi & Qadeer) and the
+// paper's enhanced algorithm (Algorithm 2) that weights preemption
+// combinations by critical-shared-variable access priorities and
+// guides thread selection by future CSV sets.
+package chess
+
+import (
+	"sort"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/slicing"
+	"heisendump/internal/trace"
+)
+
+// PointKind classifies preemption candidate points.
+type PointKind int
+
+const (
+	// ThreadStart is the beginning of a thread.
+	ThreadStart PointKind = iota
+	// BeforeAcquire preempts just before a lock acquisition, letting
+	// threads that need the lock run first.
+	BeforeAcquire
+	// AfterRelease preempts just after a lock release, letting waiting
+	// threads in.
+	AfterRelease
+)
+
+func (k PointKind) String() string {
+	switch k {
+	case ThreadStart:
+		return "start"
+	case BeforeAcquire:
+		return "before-acquire"
+	case AfterRelease:
+		return "after-release"
+	}
+	return "?"
+}
+
+// Candidate is one preemption candidate discovered from the passing
+// run, identified dynamically by (Thread, Kind, Seq) where Seq is the
+// thread's completed synchronization-operation count at the point.
+type Candidate struct {
+	ID     int
+	Thread int
+	Kind   PointKind
+	Seq    int
+	// Step is where the point occurred in the recorded passing run.
+	Step int64
+	// Lock is the lock involved, for reports.
+	Lock string
+
+	// Accesses annotates the candidate with the CSV accesses inside the
+	// schedule block it leads (same thread, up to the thread's next
+	// candidate), each carrying its heuristic priority.
+	Accesses []slicing.Access
+	// FutureCSVs is the set of CSVs this thread accesses at or after
+	// the point — the "CSV set" consulted when other threads decide
+	// whether switching to this thread can perturb a block.
+	FutureCSVs map[interp.VarID]bool
+}
+
+// MinPriority returns the best (smallest) priority among the
+// candidate's block accesses, or slicing.PriorityBottom when the block
+// touches no CSV.
+func (c *Candidate) MinPriority() int {
+	min := slicing.PriorityBottom
+	for _, a := range c.Accesses {
+		if a.Priority < min {
+			min = a.Priority
+		}
+	}
+	return min
+}
+
+// AccessVars returns the set of CSVs accessed in the candidate's
+// block.
+func (c *Candidate) AccessVars() map[interp.VarID]bool {
+	out := map[interp.VarID]bool{}
+	for _, a := range c.Accesses {
+		out[a.Var] = true
+	}
+	return out
+}
+
+// DiscoverCandidates scans a passing-run trace for preemption points:
+// thread starts, successful lock acquisitions (preempt before) and
+// lock releases (preempt after). Lock state is reconstructed from the
+// trace to tell successful acquisitions from blocked attempts.
+func DiscoverCandidates(prog *ir.Program, events []trace.Event) []Candidate {
+	var out []Candidate
+	lockHolder := map[string]int{}
+	completed := map[int]int{}
+	started := map[int]bool{}
+
+	for i := range events {
+		e := &events[i]
+		if !started[e.Thread] {
+			started[e.Thread] = true
+			out = append(out, Candidate{
+				ID: len(out), Thread: e.Thread, Kind: ThreadStart, Seq: 0, Step: e.Step,
+			})
+		}
+		in := prog.InstrAt(e.PC)
+		switch in.Op {
+		case ir.OpAcquire:
+			holder, held := lockHolder[in.Lock]
+			if held && holder != -1 {
+				continue // blocked attempt, not an acquisition
+			}
+			out = append(out, Candidate{
+				ID: len(out), Thread: e.Thread, Kind: BeforeAcquire,
+				Seq: completed[e.Thread], Step: e.Step, Lock: in.Lock,
+			})
+			lockHolder[in.Lock] = e.Thread
+			completed[e.Thread]++
+		case ir.OpRelease:
+			lockHolder[in.Lock] = -1
+			completed[e.Thread]++
+			out = append(out, Candidate{
+				ID: len(out), Thread: e.Thread, Kind: AfterRelease,
+				Seq: completed[e.Thread], Step: e.Step, Lock: in.Lock,
+			})
+		}
+	}
+	return out
+}
+
+// Annotate attaches CSV-access and future-CSV-set annotations to
+// candidates (Algorithm 2's two annotations). accesses are the
+// prioritized CSV accesses of the passing run; each candidate's block
+// spans its own thread's events up to that thread's next candidate.
+func Annotate(cands []Candidate, accesses []slicing.Access) {
+	// Next candidate step per thread, for block delimitation.
+	nextStep := make([]int64, len(cands))
+	for i := range cands {
+		nextStep[i] = int64(1) << 62
+		for j := range cands {
+			if cands[j].Thread == cands[i].Thread && cands[j].Step > cands[i].Step && cands[j].Step < nextStep[i] {
+				nextStep[i] = cands[j].Step
+			}
+		}
+	}
+	sort.SliceStable(accesses, func(i, j int) bool { return accesses[i].Step < accesses[j].Step })
+	for i := range cands {
+		c := &cands[i]
+		c.FutureCSVs = map[interp.VarID]bool{}
+		for _, a := range accesses {
+			if a.Thread != c.Thread {
+				continue
+			}
+			if a.Step >= c.Step {
+				c.FutureCSVs[a.Var] = true
+				if a.Step < nextStep[i] {
+					c.Accesses = append(c.Accesses, a)
+				}
+			}
+		}
+	}
+}

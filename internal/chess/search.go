@@ -1,0 +1,362 @@
+package chess
+
+import (
+	"sort"
+	"time"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+)
+
+// FailureSignature identifies the failure being reproduced: a test run
+// reproduces it when it crashes at the same PC for the same reason.
+type FailureSignature struct {
+	PC     ir.PC
+	Reason string
+}
+
+// Matches reports whether a crash matches the signature.
+func (s FailureSignature) Matches(c *interp.CrashInfo) bool {
+	return c != nil && c.PC == s.PC && c.Reason == s.Reason
+}
+
+// Options configures a search.
+type Options struct {
+	// Bound is the preemption bound k; the paper uses 2.
+	Bound int
+	// Weighted sorts combinations by CSV-access weight (the enhanced
+	// algorithm); unweighted search tries combinations in execution
+	// order (the original CHESS).
+	Weighted bool
+	// Guided restricts thread selection at a preemption to threads
+	// whose future CSV set overlaps the preempted block's accesses
+	// (Algorithm 2's preempt()); unguided selection tries every other
+	// runnable thread.
+	Guided bool
+	// MaxTries cuts the search off after this many test runs (the
+	// analogue of the paper's 18-hour cutoff). Zero means unlimited.
+	MaxTries int
+	// MaxStepsPerRun bounds each test run; zero derives a bound from
+	// the passing run length.
+	MaxStepsPerRun int64
+	// PassingSteps is the passing run's length, used to derive the
+	// per-run bound.
+	PassingSteps int64
+}
+
+// AppliedPreemption records one preemption of a successful schedule.
+type AppliedPreemption struct {
+	Candidate Candidate
+	// SwitchTo is the thread scheduled after the preemption.
+	SwitchTo int
+}
+
+// Result summarizes a search.
+type Result struct {
+	// Found is true when a failure-inducing schedule was constructed.
+	Found bool
+	// Schedule is the successful preemption set.
+	Schedule []AppliedPreemption
+	// Tries counts executed test runs.
+	Tries int
+	// Elapsed is the wall time spent executing test runs.
+	Elapsed time.Duration
+	// StepsExecuted totals interpreter steps across test runs.
+	StepsExecuted int64
+	// CombinationsGenerated counts the combinations enumerated.
+	CombinationsGenerated int
+}
+
+// Searcher drives the schedule search. NewMachine must build a fresh
+// machine on the same program and input for every test run.
+type Searcher struct {
+	NewMachine func() *interp.Machine
+	Candidates []Candidate
+	Target     FailureSignature
+	Opts       Options
+}
+
+// weightedCombo is one entry of Algorithm 2's worklist.
+type weightedCombo struct {
+	weight int
+	order  int
+	combo  []int // candidate indices
+}
+
+// Search runs Algorithm 2: generate all preemption combinations up to
+// the bound, order them (by weight for the enhanced algorithm, by
+// generation order for plain CHESS), and execute test runs — exploring
+// the eligible thread choices at each preemption — until the failure
+// reproduces or the work list is exhausted.
+func (s *Searcher) Search() *Result {
+	res := &Result{}
+	start := time.Now()
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	bound := s.Opts.Bound
+	if bound <= 0 {
+		bound = 2
+	}
+	maxRun := s.Opts.MaxStepsPerRun
+	if maxRun == 0 {
+		maxRun = s.Opts.PassingSteps*4 + 10000
+	}
+
+	// Size-major generation: all 1-subsets, then 2-subsets, ... so the
+	// unweighted (original CHESS) order is the linear search the paper
+	// describes.
+	var wl []weightedCombo
+	n := len(s.Candidates)
+	for size := 1; size <= bound; size++ {
+		var gsize func(startIdx int, cur []int)
+		gsize = func(startIdx int, cur []int) {
+			if len(cur) == size {
+				combo := append([]int(nil), cur...)
+				w := 0
+				for _, ci := range combo {
+					w += s.Candidates[ci].MinPriority()
+				}
+				wl = append(wl, weightedCombo{weight: w, order: len(wl), combo: combo})
+				return
+			}
+			for i := startIdx; i < n; i++ {
+				gsize(i+1, append(cur, i))
+			}
+		}
+		gsize(0, nil)
+	}
+
+	res.CombinationsGenerated = len(wl)
+	if s.Opts.Weighted {
+		sort.SliceStable(wl, func(i, j int) bool {
+			if wl[i].weight != wl[j].weight {
+				return wl[i].weight < wl[j].weight
+			}
+			return wl[i].order < wl[j].order
+		})
+	}
+
+	for _, wc := range wl {
+		if s.Opts.MaxTries > 0 && res.Tries >= s.Opts.MaxTries {
+			return res
+		}
+		if s.exploreCombo(wc.combo, maxRun, res) {
+			res.Found = true
+			return res
+		}
+	}
+	return res
+}
+
+// exploreCombo executes test runs for one combination, enumerating the
+// thread choices at each preemption with an odometer over the choice
+// counts observed at run time.
+func (s *Searcher) exploreCombo(combo []int, maxRun int64, res *Result) bool {
+	k := len(combo)
+	vec := make([]int, k)
+	for {
+		if s.Opts.MaxTries > 0 && res.Tries >= s.Opts.MaxTries {
+			return false
+		}
+		out := s.runOnce(combo, vec, maxRun)
+		res.Tries++
+		res.StepsExecuted += out.steps
+		if out.found {
+			res.Schedule = out.applied
+			return true
+		}
+		// Advance the odometer over observed choice counts. Positions
+		// whose preemption never fired count one notch.
+		pos := k - 1
+		for pos >= 0 {
+			limit := out.choiceCounts[pos]
+			if limit <= 0 {
+				limit = 1
+			}
+			if vec[pos]+1 < limit {
+				vec[pos]++
+				break
+			}
+			vec[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			return false
+		}
+	}
+}
+
+type runOutcome struct {
+	found        bool
+	steps        int64
+	choiceCounts []int
+	applied      []AppliedPreemption
+}
+
+// runOnce executes one test run: a cooperative deterministic schedule
+// with the combination's preemptions injected, switching at each fired
+// preemption to the thread selected by the choice vector.
+func (s *Searcher) runOnce(combo []int, vec []int, maxRun int64) runOutcome {
+	m := s.NewMachine()
+	out := runOutcome{choiceCounts: make([]int, len(combo))}
+
+	fired := make([]bool, len(combo))
+	completed := map[int]int{} // sync ops completed per thread
+	cur := 0                   // current thread id
+
+	pickLowest := func() int {
+		r := m.Runnable()
+		if len(r) == 0 {
+			return -1
+		}
+		return r[0]
+	}
+
+	// eligibleChoices lists the threads that may be scheduled at a
+	// fired preemption, per the guided or exhaustive policy.
+	eligibleChoices := func(c *Candidate) []int {
+		var choices []int
+		blockVars := c.AccessVars()
+		for _, t := range m.Threads {
+			if t.ID == c.Thread {
+				continue
+			}
+			if t.Status == interp.Done {
+				continue
+			}
+			if t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1 {
+				// Still blocked; switching to it cannot run it.
+				continue
+			}
+			if s.Opts.Guided {
+				// Algorithm 2 preempt(): switch to T only when T's
+				// future CSV set overlaps the preempted block's
+				// accesses.
+				overlap := false
+				for v := range s.futureCSVsOf(t.ID, completed[t.ID]) {
+					if blockVars[v] {
+						overlap = true
+						break
+					}
+				}
+				if !overlap {
+					continue
+				}
+			}
+			choices = append(choices, t.ID)
+		}
+		return choices
+	}
+
+	// firePreemption handles a matched candidate: consult the choice
+	// vector and switch threads. Returns true when a switch happened.
+	firePreemption := func(ci int) bool {
+		c := &s.Candidates[combo[ci]]
+		choices := eligibleChoices(c)
+		out.choiceCounts[ci] = len(choices)
+		if len(choices) == 0 {
+			return false
+		}
+		pick := vec[ci]
+		if pick >= len(choices) {
+			pick = len(choices) - 1
+		}
+		fired[ci] = true
+		out.applied = append(out.applied, AppliedPreemption{Candidate: *c, SwitchTo: choices[pick]})
+		cur = choices[pick]
+		return true
+	}
+
+	matchCandidate := func(tid int, kind PointKind, seq int) int {
+		for i, cidx := range combo {
+			if fired[i] {
+				continue
+			}
+			c := &s.Candidates[cidx]
+			if c.Thread == tid && c.Kind == kind && c.Seq == seq {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for !m.Crashed() && !m.Done() && m.TotalSteps < maxRun {
+		t := m.Threads[cur]
+		if t.Status == interp.Done || (t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1) {
+			next := pickLowest()
+			if next < 0 {
+				break // deadlock
+			}
+			cur = next
+			continue
+		}
+
+		// Preemption points that fire before the next instruction.
+		pc := t.PC()
+		if pc.I >= 0 {
+			in := m.Prog.InstrAt(pc)
+			if t.Steps == 0 {
+				if ci := matchCandidate(cur, ThreadStart, 0); ci >= 0 {
+					if firePreemption(ci) {
+						continue
+					}
+				}
+			}
+			if in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1 {
+				if ci := matchCandidate(cur, BeforeAcquire, completed[cur]); ci >= 0 {
+					if firePreemption(ci) {
+						continue
+					}
+				}
+			}
+		}
+
+		wasAcquire, wasRelease := false, false
+		if pc.I >= 0 {
+			in := m.Prog.InstrAt(pc)
+			wasAcquire = in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1
+			wasRelease = in.Op == ir.OpRelease
+		}
+		ok, err := m.Step(cur)
+		if err != nil || !ok {
+			if t.Status == interp.Blocked {
+				continue // re-dispatch
+			}
+			break
+		}
+		if wasAcquire || wasRelease {
+			completed[cur]++
+		}
+		if wasRelease {
+			if ci := matchCandidate(cur, AfterRelease, completed[cur]); ci >= 0 {
+				if firePreemption(ci) {
+					continue
+				}
+			}
+		}
+	}
+
+	out.steps = m.TotalSteps
+	out.found = m.Crashed() && s.Target.Matches(m.Crash)
+	return out
+}
+
+// futureCSVsOf approximates thread tid's future CSV set at its current
+// sync ordinal using the passing-run annotations: the future set of
+// the thread's candidate at or after that ordinal.
+func (s *Searcher) futureCSVsOf(tid, ordinal int) map[interp.VarID]bool {
+	var best *Candidate
+	for i := range s.Candidates {
+		c := &s.Candidates[i]
+		if c.Thread != tid || c.Seq < ordinal {
+			continue
+		}
+		if best == nil || c.Seq < best.Seq || (c.Seq == best.Seq && c.Step < best.Step) {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.FutureCSVs
+}

@@ -1,0 +1,337 @@
+// Package core wires the full reproduction pipeline together — the
+// paper's primary contribution:
+//
+//	failure core dump
+//	  → reverse-engineered failure index        (Algorithm 1)
+//	  → aligned point in a deterministic re-run  (Fig. 7)
+//	  → aligned-point core dump & comparison     (§4)
+//	  → prioritized CSV accesses                 (temporal / dependence)
+//	  → enhanced CHESS schedule search           (Algorithm 2)
+//	  → failure-inducing schedule
+//
+// It also implements the instruction-count alignment baseline the
+// paper evaluates in Table 5.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"heisendump/internal/chess"
+	"heisendump/internal/coredump"
+	"heisendump/internal/ctrldep"
+	"heisendump/internal/index"
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/sched"
+	"heisendump/internal/slicing"
+	"heisendump/internal/trace"
+)
+
+// AlignmentMethod selects how the aligned point is located.
+type AlignmentMethod int
+
+const (
+	// AlignByIndex uses execution-index alignment (the paper's
+	// technique).
+	AlignByIndex AlignmentMethod = iota
+	// AlignByInstructionCount uses thread-local instruction counts
+	// (the Table 5 baseline).
+	AlignByInstructionCount
+)
+
+func (m AlignmentMethod) String() string {
+	if m == AlignByInstructionCount {
+		return "instruction-count"
+	}
+	return "execution-index"
+}
+
+// Config tunes a reproduction.
+type Config struct {
+	// Heuristic prioritizes CSV accesses; the default is Temporal.
+	Heuristic slicing.Heuristic
+	// Alignment selects the aligned-point method.
+	Alignment AlignmentMethod
+	// Bound is the preemption bound (default 2).
+	Bound int
+	// PlainChess disables both the weighting and the guided thread
+	// selection, yielding the original CHESS baseline.
+	PlainChess bool
+	// MaxTries cuts off the schedule search (0 = unlimited), the
+	// analogue of the paper's 18-hour cutoff.
+	MaxTries int
+	// MaxStressAttempts bounds the failure-provocation phase.
+	MaxStressAttempts int
+	// TraceWindow bounds the retained passing-run trace (0 =
+	// unlimited), mirroring the paper's 20M-instruction window.
+	TraceWindow int
+	// StepLimit bounds each execution (0 = a generous default).
+	StepLimit int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bound == 0 {
+		c.Bound = 2
+	}
+	if c.MaxStressAttempts == 0 {
+		c.MaxStressAttempts = 20000
+	}
+	if c.StepLimit == 0 {
+		c.StepLimit = 2_000_000
+	}
+	return c
+}
+
+// Pipeline reproduces failures of one program + input.
+type Pipeline struct {
+	Prog  *ir.Program
+	Input *interp.Input
+	PDeps *ctrldep.ProgramDeps
+	Cfg   Config
+}
+
+// NewPipeline builds a pipeline, running the static analyses once.
+func NewPipeline(prog *ir.Program, input *interp.Input, cfg Config) *Pipeline {
+	return &Pipeline{
+		Prog:  prog,
+		Input: input,
+		PDeps: ctrldep.AnalyzeProgram(prog),
+		Cfg:   cfg.withDefaults(),
+	}
+}
+
+// NewMachine builds a fresh machine on the pipeline's program/input.
+func (p *Pipeline) NewMachine() *interp.Machine {
+	m := interp.New(p.Prog, p.Input)
+	m.MaxSteps = p.Cfg.StepLimit
+	return m
+}
+
+// FailureReport describes the provoked failure (production phase).
+type FailureReport struct {
+	// Dump is the failure core dump.
+	Dump *coredump.Dump
+	// DumpBytes is its serialized size.
+	DumpBytes int
+	// Seed is the interleaving seed that provoked it.
+	Seed int64
+	// Attempts is the number of stress iterations used.
+	Attempts int
+	// Signature identifies the failure for the search phase.
+	Signature chess.FailureSignature
+}
+
+// ProvokeFailure stress-tests the program under random interleavings
+// until it crashes, then captures the failure core dump. This phase
+// stands in for the production run; it is not part of the technique's
+// cost.
+func (p *Pipeline) ProvokeFailure() (*FailureReport, error) {
+	m, st := sched.Stress(p.NewMachine, p.Cfg.MaxStressAttempts)
+	if m == nil {
+		return nil, fmt.Errorf("core: no failure provoked in %d attempts", p.Cfg.MaxStressAttempts)
+	}
+	dump, err := coredump.CaptureCrash(m)
+	if err != nil {
+		return nil, err
+	}
+	size, err := dump.Size()
+	if err != nil {
+		return nil, err
+	}
+	return &FailureReport{
+		Dump:      dump,
+		DumpBytes: size,
+		Seed:      st.Seed,
+		Attempts:  st.Attempts,
+		Signature: chess.FailureSignature{PC: m.Crash.PC, Reason: m.Crash.Reason},
+	}, nil
+}
+
+// AnalysisReport carries the debugging-phase artifacts and costs.
+type AnalysisReport struct {
+	// FailureIndex is the reverse-engineered index (nil under the
+	// instruction-count baseline).
+	FailureIndex *index.Index
+	// IndexLen is its region-path length (Table 3's len(index)).
+	IndexLen int
+	// AlignKind reports exact/closest alignment.
+	AlignKind index.AlignKind
+	// AlignSteps is the passing-run step count at the aligned point.
+	AlignSteps int64
+	// AlignPC is the aligned instruction.
+	AlignPC ir.PC
+	// AlignedDump is the dump captured at the aligned point.
+	AlignedDump *coredump.Dump
+	// AlignedDumpBytes is its serialized size.
+	AlignedDumpBytes int
+	// Diff is the dump comparison.
+	Diff *coredump.DiffResult
+	// CSVs are the critical shared variables.
+	CSVs []coredump.ValueDiff
+	// Accesses are the prioritized CSV accesses.
+	Accesses []slicing.Access
+	// Candidates are the annotated preemption candidates.
+	Candidates []chess.Candidate
+	// PassingSteps is the passing run's length.
+	PassingSteps int64
+	// ThreadSteps is the failing thread's instruction count in the
+	// failing run (Table 5's instrs column).
+	ThreadSteps int64
+
+	// Costs (Table 6).
+	ReverseTime time.Duration
+	AlignTime   time.Duration
+	DumpTime    time.Duration
+	DiffTime    time.Duration
+	SliceTime   time.Duration
+}
+
+// Analyze performs the debugging-phase analysis: reverse engineer the
+// failure index, re-execute deterministically to find the aligned
+// point, capture and compare dumps, and prioritize CSV accesses.
+func (p *Pipeline) Analyze(fail *FailureReport) (*AnalysisReport, error) {
+	rep := &AnalysisReport{}
+	if t := fail.Dump.Thread(fail.Dump.FailingThread); t != nil {
+		rep.ThreadSteps = t.Steps
+	}
+
+	// Phase 1: locate the aligned point in a deterministic re-run,
+	// recording the trace.
+	rec := trace.NewRecorder()
+	if p.Cfg.TraceWindow > 0 {
+		rec = trace.NewWindowed(p.Cfg.TraceWindow)
+	}
+
+	start := time.Now()
+	var aligned interface {
+		kind() index.AlignKind
+		steps() int64
+		pc() ir.PC
+	}
+	switch p.Cfg.Alignment {
+	case AlignByIndex:
+		t0 := time.Now()
+		fidx, err := index.Reverse(p.Prog, p.PDeps, fail.Dump)
+		if err != nil {
+			return nil, fmt.Errorf("core: reverse engineering failure index: %w", err)
+		}
+		rep.ReverseTime = time.Since(t0)
+		rep.FailureIndex = fidx
+		rep.IndexLen = fidx.Len()
+
+		al := index.NewAligner(p.Prog, p.PDeps, fidx)
+		m := p.NewMachine()
+		m.Hooks = trace.Multi{al, rec}
+		res := sched.Run(m, sched.NewCooperative())
+		rep.PassingSteps = res.Steps
+		aligned = indexAlignment{al}
+	case AlignByInstructionCount:
+		al := NewStepCountAligner(fail.Dump.FailingThread, rep.ThreadSteps, fail.Dump.PC)
+		m := p.NewMachine()
+		m.Hooks = trace.Multi{al, rec}
+		res := sched.Run(m, sched.NewCooperative())
+		rep.PassingSteps = res.Steps
+		aligned = al
+	default:
+		return nil, fmt.Errorf("core: unknown alignment method %v", p.Cfg.Alignment)
+	}
+	rep.AlignTime = time.Since(start)
+
+	rep.AlignKind = aligned.kind()
+	rep.AlignSteps = aligned.steps()
+	rep.AlignPC = aligned.pc()
+	if rep.AlignKind == index.AlignNone {
+		return nil, fmt.Errorf("core: no aligned point found in passing run")
+	}
+
+	// Phase 2: replay deterministically to the aligned point and
+	// capture the dump there.
+	t0 := time.Now()
+	m2 := p.NewMachine()
+	sched.BoundedRun(m2, sched.NewCooperative(), rep.AlignSteps)
+	rep.AlignedDump = coredump.Capture(m2, fail.Dump.FailingThread, rep.AlignPC, "aligned point")
+	var err error
+	rep.AlignedDumpBytes, err = rep.AlignedDump.Size()
+	if err != nil {
+		return nil, err
+	}
+	rep.DumpTime = time.Since(t0)
+
+	// Phase 3: compare dumps; shared differences are the CSVs.
+	t0 = time.Now()
+	rep.Diff = coredump.Compare(fail.Dump, rep.AlignedDump)
+	rep.CSVs = rep.Diff.CSVs()
+	rep.DiffTime = time.Since(t0)
+
+	// Phase 4: prioritize CSV accesses.
+	csvVars := make([]interp.VarID, 0, len(rep.CSVs))
+	for _, c := range rep.CSVs {
+		csvVars = append(csvVars, c.BVar)
+	}
+	criterionStep := rep.AlignSteps
+	if rep.AlignKind == index.AlignClosest && criterionStep > 0 {
+		criterionStep-- // the divergent branch itself
+	}
+	t0 = time.Now()
+	var sl *slicing.Slice
+	if p.Cfg.Heuristic == slicing.Dependence {
+		sl = slicing.Compute(p.Prog, p.PDeps, rec.Events, criterionStep, nil)
+	}
+	rep.Accesses = slicing.CollectAccesses(rec.Events, csvVars, criterionStep, p.Cfg.Heuristic, sl)
+	rep.SliceTime = time.Since(t0)
+
+	// Phase 5: discover and annotate preemption candidates.
+	cands := chess.DiscoverCandidates(p.Prog, rec.Events)
+	chess.Annotate(cands, rep.Accesses)
+	rep.Candidates = cands
+	return rep, nil
+}
+
+type indexAlignment struct{ al *index.Aligner }
+
+func (a indexAlignment) kind() index.AlignKind { return a.al.Kind }
+func (a indexAlignment) steps() int64          { return a.al.AlignSteps }
+func (a indexAlignment) pc() ir.PC             { return a.al.AlignPC }
+
+// Searcher builds the schedule searcher for a completed analysis;
+// callers may tweak its Opts before Search (ablation studies do).
+func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Searcher {
+	return &chess.Searcher{
+		NewMachine: p.NewMachine,
+		Candidates: an.Candidates,
+		Target:     fail.Signature,
+		Opts: chess.Options{
+			Bound:        p.Cfg.Bound,
+			Weighted:     !p.Cfg.PlainChess,
+			Guided:       !p.Cfg.PlainChess,
+			MaxTries:     p.Cfg.MaxTries,
+			PassingSteps: an.PassingSteps,
+		},
+	}
+}
+
+// Reproduce runs the schedule search guided by the analysis.
+func (p *Pipeline) Reproduce(fail *FailureReport, an *AnalysisReport) *chess.Result {
+	return p.Searcher(fail, an).Search()
+}
+
+// Report is the complete outcome of a reproduction.
+type Report struct {
+	Failure  *FailureReport
+	Analysis *AnalysisReport
+	Search   *chess.Result
+}
+
+// Run executes the full pipeline: provoke, analyze, reproduce.
+func (p *Pipeline) Run() (*Report, error) {
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		return nil, err
+	}
+	an, err := p.Analyze(fail)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Failure: fail, Analysis: an, Search: p.Reproduce(fail, an)}, nil
+}

@@ -1,0 +1,124 @@
+package coredump
+
+import (
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+)
+
+// Anonymize returns a copy of the dump with every primitive value
+// replaced by an opaque token that preserves only equality: two
+// locations hold the same token in the anonymized dumps exactly when
+// they held the same value in the originals (given the same salt).
+//
+// This implements the paper's §7 privacy mitigation: the comparison
+// phase only needs to know *which* shared variables carry different
+// values across the failure and aligned dumps — never the values
+// themselves — so a vendor can request anonymized dumps and still run
+// the full reproduction pipeline. Both dumps must be anonymized with
+// the same salt (chosen by the user and kept off the vendor's
+// premises).
+//
+// keepLocal exempts locals from tokenization; index reverse
+// engineering needs the loop counters as real numbers, so pass
+// KeepLoopCounters(prog) (loop iteration counts reveal little). The
+// run's Output log is dropped entirely.
+func (d *Dump) Anonymize(salt uint64, keepLocal func(funcIdx int, name string) bool) *Dump {
+	if keepLocal == nil {
+		keepLocal = func(int, string) bool { return false }
+	}
+	out := &Dump{
+		Program:       d.Program,
+		Reason:        d.Reason,
+		FailingThread: d.FailingThread,
+		PC:            d.PC,
+		Globals:       make(map[string]interp.Value, len(d.Globals)),
+		Arrays:        make(map[string][]int64, len(d.Arrays)),
+		Heap:          make(map[interp.ObjID]map[string]interp.Value, len(d.Heap)),
+		Locks:         make(map[string]int, len(d.Locks)),
+		TotalSteps:    d.TotalSteps,
+	}
+	for k, v := range d.Globals {
+		out.Globals[k] = anonValue(v, salt)
+	}
+	for k, arr := range d.Arrays {
+		anon := make([]int64, len(arr))
+		for i, v := range arr {
+			anon[i] = int64(mix(uint64(v), salt))
+		}
+		out.Arrays[k] = anon
+	}
+	for id, fields := range d.Heap {
+		af := make(map[string]interp.Value, len(fields))
+		for f, v := range fields {
+			af[f] = anonValue(v, salt)
+		}
+		out.Heap[id] = af
+	}
+	for k, v := range d.Locks {
+		out.Locks[k] = v
+	}
+	for _, t := range d.Threads {
+		at := ThreadDump{ID: t.ID, Status: t.Status, WaitLock: t.WaitLock, Steps: t.Steps}
+		for _, fr := range t.Frames {
+			afr := FrameDump{
+				Func: fr.Func, FuncName: fr.FuncName, PC: fr.PC,
+				CallSite: fr.CallSite, FrameID: fr.FrameID,
+				Locals: make(map[string]interp.Value, len(fr.Locals)),
+			}
+			for k, v := range fr.Locals {
+				if keepLocal(fr.Func, k) {
+					afr.Locals[k] = v
+					continue
+				}
+				afr.Locals[k] = anonValue(v, salt)
+			}
+			at.Frames = append(at.Frames, afr)
+		}
+		out.Threads = append(out.Threads, at)
+	}
+	return out
+}
+
+// KeepLoopCounters returns the keepLocal predicate that preserves loop
+// iteration bookkeeping (counter and start-value locals) so the
+// failure index stays recoverable from an anonymized dump.
+func KeepLoopCounters(prog *ir.Program) func(funcIdx int, name string) bool {
+	keep := make(map[int]map[string]bool, len(prog.Funcs))
+	for fi, f := range prog.Funcs {
+		set := map[string]bool{}
+		for _, l := range f.Loops {
+			if l.CounterVar != "" {
+				set[l.CounterVar] = true
+			}
+			if l.FromVar != "" {
+				set[l.FromVar] = true
+			}
+		}
+		keep[fi] = set
+	}
+	return func(funcIdx int, name string) bool {
+		set, ok := keep[funcIdx]
+		return ok && set[name]
+	}
+}
+
+// anonValue tokenizes one value. Pointers are kept: the traversal
+// needs the heap structure, and null-ness must survive. Everything
+// else becomes a salted token of kind KInt (equality preserved; the
+// original kind is deliberately obscured along with the value).
+func anonValue(v interp.Value, salt uint64) interp.Value {
+	if v.Kind == interp.KPtr {
+		return v
+	}
+	return interp.Value{Kind: interp.KInt, Num: int64(mix(uint64(v.Num), salt))}
+}
+
+// mix is a splitmix64-style 64-bit finalizer keyed by the salt:
+// deterministic and injective for a fixed salt, so value equality is
+// preserved exactly.
+func mix(v, salt uint64) uint64 {
+	z := v + salt + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,426 @@
+// Package coredump captures, serializes, traverses and compares core
+// dumps — complete snapshots of a machine's state: per-thread call
+// stacks with locals (including the loop counters the reverse
+// engineering needs), globals, arrays and the heap.
+//
+// Comparison follows the paper's §4: memory is traversed from the
+// globals and the failing thread's stack in the style of Boehm's
+// garbage collector, naming every reachable primitive location by its
+// reference path; locations with identical reference paths in two dumps
+// are compared, and shared locations with differing values are the
+// critical shared variables (CSVs).
+package coredump
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+)
+
+// FrameDump is one activation record snapshot.
+type FrameDump struct {
+	// Func is the frame's function index in the program.
+	Func int
+	// FuncName is recorded for human-readable reports.
+	FuncName string
+	// PC is the frame's next-instruction index (for the top frame of
+	// the failing thread, the faulting instruction).
+	PC int
+	// CallSite is the caller's call instruction; F == -1 for the bottom
+	// frame.
+	CallSite ir.PC
+	// Locals snapshots the frame's local variables.
+	Locals map[string]interp.Value
+	// FrameID is the run-unique activation id.
+	FrameID int64
+}
+
+// ThreadDump is one thread snapshot.
+type ThreadDump struct {
+	ID       int
+	Status   interp.ThreadStatus
+	WaitLock string
+	Frames   []FrameDump
+	// Steps is the thread-local instruction count at capture time,
+	// standing in for the hardware instruction counters the paper's
+	// Table 5 baseline reads.
+	Steps int64
+}
+
+// Dump is a complete core dump.
+type Dump struct {
+	// Program names the dumped program.
+	Program string
+	// Reason describes why the dump was taken ("null pointer
+	// dereference", "aligned point", ...).
+	Reason string
+	// FailingThread is the faulting (or aligned) thread id.
+	FailingThread int
+	// PC is the failure (or aligned) program counter.
+	PC ir.PC
+	// Threads snapshots every thread.
+	Threads []ThreadDump
+	// Globals, Arrays and Heap snapshot shared memory. Heap objects map
+	// field names to values.
+	Globals map[string]interp.Value
+	Arrays  map[string][]int64
+	Heap    map[interp.ObjID]map[string]interp.Value
+	// Locks maps each lock to its holder thread, -1 when free.
+	Locks map[string]int
+	// Output is the run's output log at capture time.
+	Output []int64
+	// TotalSteps is the machine-wide instruction count.
+	TotalSteps int64
+}
+
+// Capture snapshots m. The failing thread and PC identify the point
+// the dump describes: for a crash, pass the crash thread and PC; for
+// an aligned-point dump, the aligned thread and PC.
+func Capture(m *interp.Machine, failingThread int, pc ir.PC, reason string) *Dump {
+	d := &Dump{
+		Program:       m.Prog.Name,
+		Reason:        reason,
+		FailingThread: failingThread,
+		PC:            pc,
+		Globals:       make(map[string]interp.Value, len(m.Globals)),
+		Arrays:        make(map[string][]int64, len(m.Arrays)),
+		Heap:          make(map[interp.ObjID]map[string]interp.Value, len(m.Heap)),
+		Locks:         make(map[string]int, len(m.Locks)),
+		Output:        append([]int64(nil), m.Output...),
+		TotalSteps:    m.TotalSteps,
+	}
+	for k, v := range m.Globals {
+		d.Globals[k] = v
+	}
+	for k, v := range m.Arrays {
+		d.Arrays[k] = append([]int64(nil), v...)
+	}
+	for id, obj := range m.Heap {
+		fields := make(map[string]interp.Value, len(obj.Fields))
+		for f, v := range obj.Fields {
+			fields[f] = v
+		}
+		d.Heap[id] = fields
+	}
+	for k, v := range m.Locks {
+		d.Locks[k] = v
+	}
+	for _, t := range m.Threads {
+		td := ThreadDump{ID: t.ID, Status: t.Status, WaitLock: t.WaitLock, Steps: t.Steps}
+		for _, fr := range t.Frames {
+			fd := FrameDump{
+				Func:     fr.FuncIdx,
+				FuncName: m.Prog.Funcs[fr.FuncIdx].Name,
+				PC:       fr.PC,
+				CallSite: fr.CallSite,
+				Locals:   make(map[string]interp.Value, len(fr.Locals)),
+				FrameID:  fr.ID,
+			}
+			for k, v := range fr.Locals {
+				fd.Locals[k] = v
+			}
+			td.Frames = append(td.Frames, fd)
+		}
+		d.Threads = append(d.Threads, td)
+	}
+	return d
+}
+
+// CaptureCrash snapshots a crashed machine at its failure point.
+func CaptureCrash(m *interp.Machine) (*Dump, error) {
+	if m.Crash == nil {
+		return nil, fmt.Errorf("coredump: machine has not crashed")
+	}
+	return Capture(m, m.Crash.ThreadID, m.Crash.PC, m.Crash.Reason), nil
+}
+
+// Thread returns the snapshot of thread id, or nil.
+func (d *Dump) Thread(id int) *ThreadDump {
+	for i := range d.Threads {
+		if d.Threads[i].ID == id {
+			return &d.Threads[i]
+		}
+	}
+	return nil
+}
+
+// FailingFrames returns the failing thread's frames, bottom first.
+func (d *Dump) FailingFrames() []FrameDump {
+	t := d.Thread(d.FailingThread)
+	if t == nil {
+		return nil
+	}
+	return t.Frames
+}
+
+// CallingContext renders the failing thread's calling context as
+// "main → T1 → F" style text.
+func (d *Dump) CallingContext() string {
+	var buf bytes.Buffer
+	for i, fr := range d.FailingFrames() {
+		if i > 0 {
+			buf.WriteString(" -> ")
+		}
+		buf.WriteString(fr.FuncName)
+	}
+	return buf.String()
+}
+
+// Encode writes the dump in gob format.
+func (d *Dump) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Decode reads a dump written by Encode.
+func Decode(r io.Reader) (*Dump, error) {
+	var d Dump
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Size returns the dump's serialized size in bytes, the quantity the
+// paper's Table 3 reports per bug.
+func (d *Dump) Size() (int, error) {
+	var n countingWriter
+	if err := d.Encode(&n); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// Location is one primitive storage location found during traversal.
+type Location struct {
+	// Path is the reference path from a root, e.g. "x", "a[3]",
+	// "cache->head->size" or "local:T1.p->val".
+	Path string
+	// Value is the primitive value at the location.
+	Value interp.Value
+	// Shared is true for globals, array elements and heap fields;
+	// false for the failing thread's stack locals.
+	Shared bool
+	// Var identifies the runtime location in this dump's terms (object
+	// ids are dump-specific; paths are the cross-dump identity).
+	Var interp.VarID
+}
+
+// Traverse enumerates every primitive location reachable from the
+// dump's roots: global scalars, global arrays, and the failing
+// thread's stack locals, following pointer fields through the heap.
+// Each heap object is visited once, via the lexicographically first
+// root path that reaches it, making paths canonical across dumps that
+// allocated in different orders.
+func (d *Dump) Traverse() []Location {
+	var out []Location
+	visited := map[interp.ObjID]bool{}
+
+	// Deterministic root order: globals sorted, then arrays sorted,
+	// then the failing thread's frames bottom-up with sorted locals.
+	globalNames := sortedKeys(d.Globals)
+	type ptrRoot struct {
+		path string
+		obj  interp.ObjID
+	}
+	var queue []ptrRoot
+
+	for _, name := range globalNames {
+		v := d.Globals[name]
+		if v.Kind == interp.KPtr {
+			if v.Obj() != 0 {
+				queue = append(queue, ptrRoot{path: name, obj: v.Obj()})
+			}
+			// The pointer itself is compared as a primitive too: null
+			// versus non-null is a salient difference. Its value is
+			// normalized to 0/1 so object ids don't leak into the
+			// comparison.
+			out = append(out, Location{
+				Path:   name,
+				Value:  normalizePtr(v),
+				Shared: true,
+				Var:    interp.VarID{Kind: interp.VGlobal, Name: name},
+			})
+			continue
+		}
+		out = append(out, Location{
+			Path:   name,
+			Value:  v,
+			Shared: true,
+			Var:    interp.VarID{Kind: interp.VGlobal, Name: name},
+		})
+	}
+	for _, name := range sortedKeys(d.Arrays) {
+		arr := d.Arrays[name]
+		for i, v := range arr {
+			out = append(out, Location{
+				Path:   fmt.Sprintf("%s[%d]", name, i),
+				Value:  interp.IntVal(v),
+				Shared: true,
+				Var:    interp.VarID{Kind: interp.VArrayElem, Name: name, Idx: int64(i)},
+			})
+		}
+	}
+	for _, fr := range d.FailingFrames() {
+		prefix := fmt.Sprintf("local:%s.", fr.FuncName)
+		for _, name := range sortedKeys(fr.Locals) {
+			v := fr.Locals[name]
+			path := prefix + name
+			if v.Kind == interp.KPtr {
+				if v.Obj() != 0 {
+					queue = append(queue, ptrRoot{path: path, obj: v.Obj()})
+				}
+				out = append(out, Location{
+					Path:   path,
+					Value:  normalizePtr(v),
+					Shared: false,
+					Var:    interp.VarID{Kind: interp.VLocal, Name: name, FrameID: fr.FrameID},
+				})
+				continue
+			}
+			out = append(out, Location{
+				Path:   path,
+				Value:  v,
+				Shared: false,
+				Var:    interp.VarID{Kind: interp.VLocal, Name: name, FrameID: fr.FrameID},
+			})
+		}
+	}
+
+	// Breadth-first heap traversal. The queue is processed in insertion
+	// order; roots were enqueued deterministically, so first-visit paths
+	// are canonical.
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		if visited[r.obj] {
+			continue
+		}
+		visited[r.obj] = true
+		fields, ok := d.Heap[r.obj]
+		if !ok {
+			continue
+		}
+		names := sortedKeys(fields)
+		for _, f := range names {
+			v := fields[f]
+			path := r.path + "->" + f
+			if v.Kind == interp.KPtr {
+				if v.Obj() != 0 {
+					queue = append(queue, ptrRoot{path: path, obj: v.Obj()})
+				}
+				out = append(out, Location{
+					Path:   path,
+					Value:  normalizePtr(v),
+					Shared: true,
+					Var:    interp.VarID{Kind: interp.VField, Name: f, Obj: r.obj},
+				})
+				continue
+			}
+			out = append(out, Location{
+				Path:   path,
+				Value:  v,
+				Shared: true,
+				Var:    interp.VarID{Kind: interp.VField, Name: f, Obj: r.obj},
+			})
+		}
+	}
+	return out
+}
+
+// normalizePtr collapses pointer values to null/non-null so dumps from
+// runs with different allocation orders compare meaningfully.
+func normalizePtr(v interp.Value) interp.Value {
+	if v.Num != 0 {
+		return interp.Value{Kind: interp.KPtr, Num: 1}
+	}
+	return interp.Value{Kind: interp.KPtr, Num: 0}
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ValueDiff is one location whose value differs between two dumps.
+type ValueDiff struct {
+	Path string
+	// A and B are the values in the failing and passing dumps.
+	A, B interp.Value
+	// Shared marks shared locations; shared diffs are the CSVs.
+	Shared bool
+	// AVar and BVar identify the location in each dump's runtime terms.
+	AVar, BVar interp.VarID
+}
+
+// DiffResult is the outcome of comparing two dumps.
+type DiffResult struct {
+	// VarsCompared counts locations present in both dumps (the paper's
+	// "vars" column).
+	VarsCompared int
+	// SharedCompared counts shared locations present in both dumps.
+	SharedCompared int
+	// Diffs lists all differing locations (the "diffs" column).
+	Diffs []ValueDiff
+}
+
+// CSVs returns the critical shared variables: shared locations whose
+// values differ.
+func (r *DiffResult) CSVs() []ValueDiff {
+	var out []ValueDiff
+	for _, d := range r.Diffs {
+		if d.Shared {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare traverses both dumps and compares primitives at identical
+// reference paths, per the paper's §4. a is conventionally the failure
+// dump and b the aligned-point (passing run) dump.
+func Compare(a, b *Dump) *DiffResult {
+	la := a.Traverse()
+	lb := b.Traverse()
+	mb := make(map[string]Location, len(lb))
+	for _, loc := range lb {
+		mb[loc.Path] = loc
+	}
+	res := &DiffResult{}
+	for _, locA := range la {
+		locB, ok := mb[locA.Path]
+		if !ok {
+			continue
+		}
+		res.VarsCompared++
+		if locA.Shared && locB.Shared {
+			res.SharedCompared++
+		}
+		if locA.Value != locB.Value {
+			res.Diffs = append(res.Diffs, ValueDiff{
+				Path:   locA.Path,
+				A:      locA.Value,
+				B:      locB.Value,
+				Shared: locA.Shared && locB.Shared,
+				AVar:   locA.Var,
+				BVar:   locB.Var,
+			})
+		}
+	}
+	return res
+}

@@ -1,0 +1,350 @@
+// Package ctrldep computes static control dependences over compiled
+// functions (Ferrante, Ottenstein and Warren's construction on the
+// post-dominator tree) and classifies every instruction into the
+// paper's Table 1 taxonomy: single control dependence, multiple
+// dependences aggregatable to one complex predicate, non-aggregatable
+// multiple dependences, and loop predicates.
+//
+// These results drive failure-index reverse engineering (Algorithm 1):
+// a statement's static control dependences name the predicate regions
+// it can nest in at run time.
+package ctrldep
+
+import (
+	"sort"
+
+	"heisendump/internal/cfg"
+	"heisendump/internal/ir"
+	"heisendump/internal/postdom"
+)
+
+// Dep is one control dependence: instruction depends on branch Pred
+// taking outcome Taken.
+type Dep struct {
+	Pred  int
+	Taken bool
+}
+
+// Class is the Table 1 category of a statement.
+type Class int
+
+const (
+	// ClassNone marks instructions with no intraprocedural control
+	// dependence; they nest directly in the method body.
+	ClassNone Class = iota
+	// ClassOne marks instructions with a single control dependence.
+	ClassOne
+	// ClassAggregatable marks instructions whose multiple control
+	// dependences all stem from one source conditional (short-circuit
+	// lowering) and aggregate to one complex predicate.
+	ClassAggregatable
+	// ClassNonAggregatable marks instructions with multiple control
+	// dependences from distinct predicates (typically goto-induced).
+	ClassNonAggregatable
+	// ClassLoop marks loop-head predicates themselves.
+	ClassLoop
+)
+
+var classNames = [...]string{"none", "one CD", "aggr. to one", "not aggr.", "loop"}
+
+// String returns the Table 1 column name of the class.
+func (c Class) String() string { return classNames[c] }
+
+// FuncDeps holds the control-dependence results for one function.
+type FuncDeps struct {
+	Fn *ir.Func
+	G  *cfg.Graph
+	PD *postdom.Tree
+	// Deps[i] are the static control dependences of instruction i,
+	// sorted by (Pred, Taken) for determinism.
+	Deps [][]Dep
+	// trans[i] is the transitive control-dependence closure of i.
+	trans []map[Dep]bool
+}
+
+// Analyze computes control dependences for f.
+func Analyze(f *ir.Func) *FuncDeps {
+	g := cfg.Build(f)
+	pd := postdom.Compute(g)
+	n := len(f.Instrs)
+	fd := &FuncDeps{Fn: f, G: g, PD: pd, Deps: make([][]Dep, n)}
+
+	// Ferrante et al.: for branch u with successor v on outcome b, every
+	// node on the post-dominator tree path from v up to (exclusive)
+	// ipdom(u) is control dependent on (u, b).
+	for u := range f.Instrs {
+		in := &f.Instrs[u]
+		if in.Op != ir.OpBranch || in.True == in.False {
+			continue
+		}
+		stop := pd.Ipdom(u)
+		mark := func(v int, taken bool) {
+			// Note v may equal u itself: a loop head is control
+			// dependent on itself taking the loop branch, matching the
+			// paper's model in which each loop-predicate execution is
+			// dictated by the previous one.
+			for v != -1 && v != stop && v != g.Exit {
+				fd.Deps[v] = append(fd.Deps[v], Dep{Pred: u, Taken: taken})
+				v = pd.Ipdom(v)
+			}
+		}
+		mark(in.True, true)
+		mark(in.False, false)
+	}
+	for i := range fd.Deps {
+		sort.Slice(fd.Deps[i], func(a, b int) bool {
+			da, db := fd.Deps[i][a], fd.Deps[i][b]
+			if da.Pred != db.Pred {
+				return da.Pred < db.Pred
+			}
+			return !da.Taken && db.Taken
+		})
+	}
+	fd.trans = make([]map[Dep]bool, n)
+	return fd
+}
+
+// DepsOf returns the static control dependences of instruction i,
+// excluding any self-dependence (a loop head on itself).
+func (fd *FuncDeps) DepsOf(i int) []Dep {
+	var out []Dep
+	for _, d := range fd.Deps[i] {
+		if d.Pred != i {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Transitive returns the transitive control-dependence closure of
+// instruction i (all (pred, taken) pairs reachable through chains of
+// control dependences).
+func (fd *FuncDeps) Transitive(i int) map[Dep]bool {
+	if fd.trans[i] != nil {
+		return fd.trans[i]
+	}
+	closure := map[Dep]bool{}
+	fd.trans[i] = closure // break cycles through loops
+	for _, d := range fd.DepsOf(i) {
+		if !closure[d] {
+			closure[d] = true
+			for dd := range fd.Transitive(d.Pred) {
+				closure[dd] = true
+			}
+		}
+	}
+	return closure
+}
+
+// DependsOn reports whether instruction i is transitively control
+// dependent on branch pred taking outcome taken.
+func (fd *FuncDeps) DependsOn(i, pred int, taken bool) bool {
+	return fd.Transitive(i)[Dep{Pred: pred, Taken: taken}]
+}
+
+// Classify places instruction i into the Table 1 taxonomy.
+func (fd *FuncDeps) Classify(i int) Class {
+	if fd.Fn.Instrs[i].IsLoopHead() {
+		return ClassLoop
+	}
+	deps := fd.DepsOf(i)
+	switch {
+	case len(deps) == 0:
+		return ClassNone
+	case len(deps) == 1:
+		return ClassOne
+	}
+	if fd.Aggregatable(deps) {
+		return ClassAggregatable
+	}
+	return ClassNonAggregatable
+}
+
+// Aggregatable reports whether a multi-dependence set collapses to one
+// complex predicate: all predicates belong to the same lowering group
+// and agree on the decided outcome of that group.
+func (fd *FuncDeps) Aggregatable(deps []Dep) bool {
+	if len(deps) < 2 {
+		return true
+	}
+	group := fd.Fn.Instrs[deps[0].Pred].PredGroup
+	if group < 0 {
+		return false
+	}
+	out, ok := fd.GroupOutcome(deps[0])
+	if !ok {
+		return false
+	}
+	for _, d := range deps[1:] {
+		if fd.Fn.Instrs[d.Pred].PredGroup != group {
+			return false
+		}
+		o, ok := fd.GroupOutcome(d)
+		if !ok || o != out {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupOutcome maps one branch-with-outcome to the decided outcome of
+// its predicate group, when that edge decides the group. The second
+// result is false when the edge merely continues the short-circuit
+// chain.
+func (fd *FuncDeps) GroupOutcome(d Dep) (bool, bool) {
+	in := &fd.Fn.Instrs[d.Pred]
+	gi, ok := fd.Fn.Groups[in.PredGroup]
+	if !ok {
+		return false, false
+	}
+	target := in.False
+	if d.Taken {
+		target = in.True
+	}
+	// An edge to another branch of the same group leaves the outcome
+	// undecided.
+	if target < len(fd.Fn.Instrs) {
+		ti := &fd.Fn.Instrs[target]
+		if ti.Op == ir.OpBranch && ti.PredGroup == in.PredGroup && target != d.Pred {
+			return false, false
+		}
+	}
+	switch target {
+	case gi.Then:
+		return true, true
+	case gi.Else:
+		return false, true
+	}
+	return false, false
+}
+
+// CommonAncestor finds the closest common single control-dependence
+// ancestor of a non-aggregatable dependence set (Algorithm 1, line 21):
+// the deepest (pred, taken) pair on which every member of the set
+// transitively depends. The second result is false when no common
+// ancestor exists, in which case the statement effectively nests
+// directly in the method body.
+func (fd *FuncDeps) CommonAncestor(deps []Dep) (Dep, bool) {
+	if len(deps) == 0 {
+		return Dep{}, false
+	}
+	// Candidate ancestors: transitive closure of the first member.
+	common := map[Dep]bool{}
+	for d := range fd.Transitive(deps[0].Pred) {
+		common[d] = true
+	}
+	// A member can itself be the ancestor of the others only if all
+	// depend on it, which the intersection below captures via closures
+	// of the rest; seed with the first member too.
+	common[deps[0]] = true
+	for _, d := range deps[1:] {
+		next := map[Dep]bool{}
+		tc := fd.Transitive(d.Pred)
+		for cand := range common {
+			if cand == d || tc[cand] {
+				next[cand] = true
+			}
+		}
+		common = next
+	}
+	if len(common) == 0 {
+		return Dep{}, false
+	}
+	// Deepest = the candidate transitively dependent on the most other
+	// candidates; ties broken by higher instruction index then outcome,
+	// for determinism.
+	var best Dep
+	bestDepth := -1
+	first := true
+	for cand := range common {
+		depth := 0
+		tc := fd.Transitive(cand.Pred)
+		for other := range common {
+			if other != cand && tc[other] {
+				depth++
+			}
+		}
+		if first || depth > bestDepth ||
+			(depth == bestDepth && (cand.Pred > best.Pred ||
+				(cand.Pred == best.Pred && cand.Taken && !best.Taken))) {
+			best, bestDepth, first = cand, depth, false
+		}
+	}
+	return best, true
+}
+
+// Stats tallies the Table 1 distribution for one function.
+type Stats struct {
+	One, Aggregatable, NonAggregatable, Loop, None, Total int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.One += other.One
+	s.Aggregatable += other.Aggregatable
+	s.NonAggregatable += other.NonAggregatable
+	s.Loop += other.Loop
+	s.None += other.None
+	s.Total += other.Total
+}
+
+// Percent returns the percentage share of part among classified
+// statements (Total excluding ClassNone, matching the paper's focus on
+// statements nesting in predicate regions) — pass the counts you need.
+func Percent(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// FuncStats classifies every instruction of f. Synthetic
+// instrumentation instructions are skipped: they do not correspond to
+// source statements.
+func FuncStats(fd *FuncDeps) Stats {
+	var s Stats
+	for i := range fd.Fn.Instrs {
+		if fd.Fn.Instrs[i].Synth {
+			continue
+		}
+		s.Total++
+		switch fd.Classify(i) {
+		case ClassNone:
+			s.None++
+		case ClassOne:
+			s.One++
+		case ClassAggregatable:
+			s.Aggregatable++
+		case ClassNonAggregatable:
+			s.NonAggregatable++
+		case ClassLoop:
+			s.Loop++
+		}
+	}
+	return s
+}
+
+// ProgramDeps computes and caches control dependences for every
+// function of a program.
+type ProgramDeps struct {
+	Prog  *ir.Program
+	Funcs []*FuncDeps
+}
+
+// AnalyzeProgram analyzes every function in p.
+func AnalyzeProgram(p *ir.Program) *ProgramDeps {
+	pd := &ProgramDeps{Prog: p, Funcs: make([]*FuncDeps, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		pd.Funcs[i] = Analyze(f)
+	}
+	return pd
+}
+
+// ProgramStats tallies Table 1 classes over the whole program.
+func (pd *ProgramDeps) ProgramStats() Stats {
+	var s Stats
+	for _, fd := range pd.Funcs {
+		s.Add(FuncStats(fd))
+	}
+	return s
+}

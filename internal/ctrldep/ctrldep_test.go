@@ -1,0 +1,357 @@
+package ctrldep_test
+
+import (
+	"testing"
+
+	"heisendump/internal/cfg"
+	"heisendump/internal/ctrldep"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/postdom"
+	"heisendump/internal/workloads"
+)
+
+func analyze(t testing.TB, src, fn string) (*ir.Program, *ctrldep.FuncDeps) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := ir.Compile(prog, ir.Options{InstrumentLoops: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return cp, ctrldep.Analyze(cp.Funcs[cp.FuncIndex(fn)])
+}
+
+// bruteForceCD checks Ferrante's definition directly: x is control
+// dependent on (y, b) iff x post-dominates every node on some path
+// from y's b-successor to x (excluding y) but not y itself.
+func bruteForceCD(g *cfg.Graph, pd *postdom.Tree, x, y int, taken bool) bool {
+	in := &g.Fn.Instrs[y]
+	if in.Op != ir.OpBranch || in.True == in.False {
+		return false
+	}
+	start := in.False
+	if taken {
+		start = in.True
+	}
+	if pd.PostDominates(x, y) && x != y {
+		return false
+	}
+	// Walk the post-dominator chain from the successor: x is control
+	// dependent iff it post-dominates the successor.
+	return pd.PostDominates(x, start)
+}
+
+// TestControlDepsMatchDefinition validates the computed dependences
+// against the definition across all workload functions.
+func TestControlDepsMatchDefinition(t *testing.T) {
+	subjects := append(workloads.Bugs(), workloads.SplashKernels()...)
+	for _, w := range subjects {
+		cp, err := w.Compile(true)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, f := range cp.Funcs {
+			fd := ctrldep.Analyze(f)
+			g := fd.G
+			pd := fd.PD
+			for x := 0; x < len(f.Instrs); x++ {
+				have := map[ctrldep.Dep]bool{}
+				for _, d := range fd.Deps[x] {
+					have[d] = true
+				}
+				for y := 0; y < len(f.Instrs); y++ {
+					for _, taken := range []bool{true, false} {
+						want := bruteForceCD(g, pd, x, y, taken)
+						got := have[ctrldep.Dep{Pred: y, Taken: taken}]
+						if got != want {
+							t.Fatalf("%s/%s: CD(%d on %d,%v) = %v, definition says %v",
+								w.Name, f.Name, x, y, taken, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClassifyOneCD: the Fig. 5(a) shape.
+func TestClassifyOneCD(t *testing.T) {
+	cp, fd := analyze(t, `
+program one;
+global int p;
+global int s;
+func main() {
+    if (p > 0) {
+        s = 1;
+    } else {
+        s = 2;
+    }
+    s = 3;
+}
+`, "main")
+	f := cp.Funcs[cp.FuncIndex("main")]
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Op != ir.OpAssign {
+			continue
+		}
+		cls := fd.Classify(i)
+		deps := fd.DepsOf(i)
+		switch len(deps) {
+		case 0:
+			if cls != ctrldep.ClassNone {
+				t.Fatalf("instr %d: class %v, want none", i, cls)
+			}
+		case 1:
+			if cls != ctrldep.ClassOne {
+				t.Fatalf("instr %d: class %v, want one", i, cls)
+			}
+		}
+	}
+}
+
+// TestClassifyAggregatable: Fig. 5(b) — `if (p1 || p2)` bodies.
+func TestClassifyAggregatable(t *testing.T) {
+	cp, fd := analyze(t, `
+program agg;
+global int p1;
+global int p2;
+global int s;
+func main() {
+    if (p1 > 0 || p2 > 0) {
+        s = 1;
+    } else {
+        s = 2;
+    }
+}
+`, "main")
+	f := cp.Funcs[cp.FuncIndex("main")]
+	sawAgg := false
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == ir.OpAssign && fd.Classify(i) == ctrldep.ClassAggregatable {
+			sawAgg = true
+			if !fd.Aggregatable(fd.DepsOf(i)) {
+				t.Fatalf("instr %d classified aggregatable but Aggregatable() = false", i)
+			}
+		}
+	}
+	if !sawAgg {
+		t.Fatal("no aggregatable statement found in || body")
+	}
+}
+
+// TestClassifyNonAggregatable: the Fig. 6 goto shape.
+func TestClassifyNonAggregatable(t *testing.T) {
+	cp, fd := analyze(t, `
+program fig6;
+global int p1;
+global int p2;
+global int p3;
+global int s;
+func main() {
+    if (p1 > 0) {
+        if (p2 > 0) {
+            goto l;
+        }
+        s = 1;
+        if (p3 > 0) {
+            s = 2;
+        } else {
+l:
+            s = 3;
+            s = 4;
+        }
+    }
+}
+`, "main")
+	f := cp.Funcs[cp.FuncIndex("main")]
+	sawNonAgg := false
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == ir.OpAssign && fd.Classify(i) == ctrldep.ClassNonAggregatable {
+			sawNonAgg = true
+			// The common ancestor must exist: everything nests in p1T.
+			qb, ok := fd.CommonAncestor(fd.DepsOf(i))
+			if !ok {
+				t.Fatalf("instr %d: no common ancestor", i)
+			}
+			if !qb.Taken {
+				t.Fatalf("instr %d: ancestor %+v should be a taken branch", i, qb)
+			}
+		}
+	}
+	if !sawNonAgg {
+		t.Fatal("no non-aggregatable statement found at goto landing")
+	}
+}
+
+// TestClassifyLoop: loop heads classify as loop predicates.
+func TestClassifyLoop(t *testing.T) {
+	cp, fd := analyze(t, `
+program lp;
+global int s;
+func main() {
+    var int i;
+    for i = 1 .. 3 {
+        s = s + i;
+    }
+}
+`, "main")
+	f := cp.Funcs[cp.FuncIndex("main")]
+	loops := 0
+	for i := range f.Instrs {
+		if fd.Classify(i) == ctrldep.ClassLoop {
+			loops++
+			if !f.Instrs[i].IsLoopHead() {
+				t.Fatalf("instr %d classified loop but not a loop head", i)
+			}
+		}
+	}
+	if loops != 1 {
+		t.Fatalf("%d loop predicates, want 1", loops)
+	}
+}
+
+// TestLoopBodyDependsOnHead: statements in a loop body are control
+// dependent on the loop head taking the loop branch.
+func TestLoopBodyDependsOnHead(t *testing.T) {
+	cp, fd := analyze(t, `
+program lb;
+global int s;
+func main() {
+    var int i;
+    for i = 1 .. 3 {
+        s = s + i;
+    }
+    s = 99;
+}
+`, "main")
+	f := cp.Funcs[cp.FuncIndex("main")]
+	var head int = -1
+	for i := range f.Instrs {
+		if f.Instrs[i].IsLoopHead() {
+			head = i
+		}
+	}
+	if head < 0 {
+		t.Fatal("no loop head")
+	}
+	foundBody := false
+	for i := range f.Instrs {
+		for _, d := range fd.DepsOf(i) {
+			if d.Pred == head && d.Taken {
+				foundBody = true
+			}
+		}
+	}
+	if !foundBody {
+		t.Fatal("no statement control dependent on the loop head")
+	}
+}
+
+// TestTransitiveClosure: transitivity through nested ifs.
+func TestTransitiveClosure(t *testing.T) {
+	cp, fd := analyze(t, `
+program tc;
+global int a;
+global int b;
+global int s;
+func main() {
+    if (a > 0) {
+        if (b > 0) {
+            s = 1;
+        }
+    }
+}
+`, "main")
+	f := cp.Funcs[cp.FuncIndex("main")]
+	// Find the innermost assignment.
+	var inner = -1
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == ir.OpAssign {
+			inner = i
+		}
+	}
+	if inner < 0 {
+		t.Fatal("no assignment")
+	}
+	// It must transitively depend on both predicates' true branches.
+	n := 0
+	for d := range fd.Transitive(inner) {
+		if d.Taken {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("transitive closure has %d taken deps, want 2", n)
+	}
+	// DependsOn must agree.
+	branches := 0
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == ir.OpBranch {
+			if !fd.DependsOn(inner, i, true) {
+				t.Fatalf("inner not transitively dependent on branch %d", i)
+			}
+			branches++
+		}
+	}
+	if branches != 2 {
+		t.Fatalf("%d branches, want 2", branches)
+	}
+}
+
+// TestProgramStatsConsistency: class counts sum to the total.
+func TestProgramStatsConsistency(t *testing.T) {
+	for _, spec := range workloads.CorpusSpecs() {
+		prog, err := workloads.GenerateCorpus(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := ir.Compile(prog, ir.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ctrldep.AnalyzeProgram(cp).ProgramStats()
+		if st.One+st.Aggregatable+st.NonAggregatable+st.Loop+st.None != st.Total {
+			t.Fatalf("%s: class counts %+v do not sum to total", spec.Name, st)
+		}
+		if st.Aggregatable == 0 || st.NonAggregatable == 0 || st.Loop == 0 {
+			t.Fatalf("%s: corpus missing a class: %+v", spec.Name, st)
+		}
+	}
+}
+
+// TestTable1ShapeMatchesPaper: the corpus distributions stay within
+// the broad bands of the paper's Table 1.
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	for _, spec := range workloads.CorpusSpecs() {
+		prog, err := workloads.GenerateCorpus(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := ir.Compile(prog, ir.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ctrldep.AnalyzeProgram(cp).ProgramStats()
+		tot := float64(st.Total)
+		one := 100 * float64(st.One+st.None) / tot
+		aggr := 100 * float64(st.Aggregatable) / tot
+		nonaggr := 100 * float64(st.NonAggregatable) / tot
+		loop := 100 * float64(st.Loop) / tot
+		if one < 80 || one > 95 {
+			t.Errorf("%s: one-CD share %.1f%% outside [80,95]", spec.Name, one)
+		}
+		if aggr < 1 || aggr > 8 {
+			t.Errorf("%s: aggregatable share %.1f%% outside [1,8]", spec.Name, aggr)
+		}
+		if nonaggr < 1 || nonaggr > 7 {
+			t.Errorf("%s: non-aggregatable share %.1f%% outside [1,7]", spec.Name, nonaggr)
+		}
+		if loop < 2 || loop > 9 {
+			t.Errorf("%s: loop share %.1f%% outside [2,9]", spec.Name, loop)
+		}
+	}
+}

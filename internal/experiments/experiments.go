@@ -1,0 +1,424 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6) on the library's workloads. Each experiment
+// returns structured rows and can render itself as text; cmd/benchtab
+// prints them and the top-level benchmarks time them.
+//
+// Absolute numbers differ from the paper — the substrate is a
+// deterministic interpreter, not a Core 2 Duo running mysql under
+// Valgrind — but each table's shape (who wins, by what magnitude,
+// where the technique fails) is the reproduction target; see
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"heisendump/internal/core"
+	"heisendump/internal/ctrldep"
+	"heisendump/internal/index"
+	"heisendump/internal/instrument"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/slicing"
+	"heisendump/internal/workloads"
+)
+
+// Table1Row is one corpus's control-dependence distribution.
+type Table1Row struct {
+	Benchmark string
+	OneCD     float64 // single (or no) intraprocedural control dependence
+	AggrToOne float64
+	NotAggr   float64
+	Loop      float64
+	Total     int
+}
+
+// Table1 computes the control-dependence distribution over the three
+// synthetic corpora.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range workloads.CorpusSpecs() {
+		prog, err := workloads.GenerateCorpus(spec)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := ir.Compile(prog, ir.Options{})
+		if err != nil {
+			return nil, err
+		}
+		st := ctrldep.AnalyzeProgram(cp).ProgramStats()
+		tot := float64(st.Total)
+		rows = append(rows, Table1Row{
+			Benchmark: spec.Name,
+			OneCD:     100 * float64(st.One+st.None) / tot,
+			AggrToOne: 100 * float64(st.Aggregatable) / tot,
+			NotAggr:   100 * float64(st.NonAggregatable) / tot,
+			Loop:      100 * float64(st.Loop) / tot,
+			Total:     st.Total,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1. Distribution of control dependences.")
+	fmt.Fprintf(w, "%-18s %8s %10s %10s %8s %8s\n", "benchmark", "one CD", "aggr.to 1", "not aggr.", "loop", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %7.2f%% %9.2f%% %9.2f%% %7.2f%% %8d\n",
+			r.Benchmark, r.OneCD, r.AggrToOne, r.NotAggr, r.Loop, r.Total)
+	}
+}
+
+// Table2Row describes one studied bug.
+type Table2Row struct {
+	Name        string
+	BugID       string
+	Kind        string
+	Steps       int64 // deterministic execution length (the paper reports seconds)
+	Threads     int
+	Description string
+}
+
+// Table2 describes the studied bugs.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range workloads.Bugs() {
+		prog, err := w.Compile(true)
+		if err != nil {
+			return nil, err
+		}
+		p := core.NewPipeline(prog, w.Input, core.Config{})
+		m := p.NewMachine()
+		steps := runToCompletion(m)
+		rows = append(rows, Table2Row{
+			Name: w.Name, BugID: w.BugID, Kind: w.Kind,
+			Steps: steps, Threads: w.Threads, Description: w.Description,
+		})
+	}
+	return rows, nil
+}
+
+func runToCompletion(m interface {
+	Runnable() []int
+	Step(int) (bool, error)
+	Crashed() bool
+	Done() bool
+}) int64 {
+	var steps int64
+	for !m.Crashed() && !m.Done() {
+		r := m.Runnable()
+		if len(r) == 0 {
+			break
+		}
+		ok, err := m.Step(r[0])
+		if !ok || err != nil {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// PrintTable2 renders Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2. Concurrency bugs studied.")
+	fmt.Fprintf(w, "%-10s %-7s %-5s %10s %8s  %s\n", "bug", "id", "type", "exec steps", "threads", "description")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-7s %-5s %10d %8d  %s\n",
+			r.Name, r.BugID, r.Kind, r.Steps, r.Threads, r.Description)
+	}
+}
+
+// Table3Row is one bug's core dump analysis.
+type Table3Row struct {
+	Name           string
+	FailDumpBytes  int
+	PassDumpBytes  int
+	VarsCompared   int
+	Diffs          int
+	SharedCompared int
+	CSVs           int
+	IndexLen       int
+	AlignKind      index.AlignKind
+	StressAttempts int
+}
+
+// Table3 runs the analysis phase on every bug.
+func Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, w := range workloads.Bugs() {
+		_, an, fail, err := analyzeBug(w, core.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		rows = append(rows, Table3Row{
+			Name:           w.Name,
+			FailDumpBytes:  fail.DumpBytes,
+			PassDumpBytes:  an.AlignedDumpBytes,
+			VarsCompared:   an.Diff.VarsCompared,
+			Diffs:          len(an.Diff.Diffs),
+			SharedCompared: an.Diff.SharedCompared,
+			CSVs:           len(an.CSVs),
+			IndexLen:       an.IndexLen,
+			AlignKind:      an.AlignKind,
+			StressAttempts: fail.Attempts,
+		})
+	}
+	return rows, nil
+}
+
+func analyzeBug(w *workloads.Workload, cfg core.Config) (*core.Pipeline, *core.AnalysisReport, *core.FailureReport, error) {
+	prog, err := w.Compile(true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p := core.NewPipeline(prog, w.Input, cfg)
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	an, err := p.Analyze(fail)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, an, fail, nil
+}
+
+// PrintTable3 renders Table 3.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3. Core dump analysis.")
+	fmt.Fprintf(w, "%-10s %16s %12s %12s %10s %8s\n",
+		"bug", "dump bytes(F+P)", "vars/diffs", "shared/CSV", "len(index)", "align")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %7d/%-8d %6d/%-5d %6d/%-5d %10d %8v\n",
+			r.Name, r.FailDumpBytes, r.PassDumpBytes,
+			r.VarsCompared, r.Diffs, r.SharedCompared, r.CSVs, r.IndexLen, r.AlignKind)
+	}
+}
+
+// Table4Row compares the search algorithms on one bug.
+type Table4Row struct {
+	Name string
+	// Chess* are the plain-CHESS results (Found false means the cutoff
+	// hit, the analogue of the paper's 18-hour timeouts).
+	ChessTries int
+	ChessTime  time.Duration
+	ChessFound bool
+
+	DepTries int
+	DepTime  time.Duration
+	DepFound bool
+
+	TempTries int
+	TempTime  time.Duration
+	TempFound bool
+}
+
+// Table4 runs the three search configurations on every bug. plainCap
+// bounds plain CHESS (0 means 2000).
+func Table4(plainCap int) ([]Table4Row, error) {
+	if plainCap == 0 {
+		plainCap = 2000
+	}
+	var rows []Table4Row
+	for _, w := range workloads.Bugs() {
+		row := Table4Row{Name: w.Name}
+		run := func(cfg core.Config) (int, time.Duration, bool, error) {
+			p, an, fail, err := analyzeBug(w, cfg)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			res := p.Reproduce(fail, an)
+			return res.Tries, res.Elapsed, res.Found, nil
+		}
+		var err error
+		row.ChessTries, row.ChessTime, row.ChessFound, err = run(core.Config{PlainChess: true, MaxTries: plainCap})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		row.DepTries, row.DepTime, row.DepFound, err = run(core.Config{Heuristic: slicing.Dependence, MaxTries: plainCap * 2})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		row.TempTries, row.TempTime, row.TempFound, err = run(core.Config{Heuristic: slicing.Temporal, MaxTries: plainCap * 2})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable4 renders Table 4.
+func PrintTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintln(w, "Table 4. Failure-inducing schedule production.")
+	fmt.Fprintf(w, "%-10s | %18s | %18s | %18s\n", "bug", "chess", "chessX+dep", "chessX+temporal")
+	fmt.Fprintf(w, "%-10s | %7s %10s | %7s %10s | %7s %10s\n",
+		"", "tries", "time", "tries", "time", "tries", "time")
+	for _, r := range rows {
+		mark := func(tries int, found bool) string {
+			if found {
+				return fmt.Sprintf("%d", tries)
+			}
+			return fmt.Sprintf("%d*", tries)
+		}
+		fmt.Fprintf(w, "%-10s | %7s %10s | %7s %10s | %7s %10s\n",
+			r.Name,
+			mark(r.ChessTries, r.ChessFound), r.ChessTime.Round(time.Millisecond),
+			mark(r.DepTries, r.DepFound), r.DepTime.Round(time.Millisecond),
+			mark(r.TempTries, r.TempFound), r.TempTime.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w, "* cut off before the failure was reproduced")
+}
+
+// Table5Row is the instruction-count-alignment baseline on one bug.
+type Table5Row struct {
+	Name           string
+	ThreadInstrs   int64
+	VarsCompared   int
+	Diffs          int
+	SharedCompared int
+	CSVs           int
+	Tries          int
+	Time           time.Duration
+	Reproduced     bool
+}
+
+// Table5 runs the chessX+temporal search with instruction-count
+// alignment instead of execution-index alignment.
+func Table5(cap int) ([]Table5Row, error) {
+	if cap == 0 {
+		cap = 2000
+	}
+	var rows []Table5Row
+	for _, w := range workloads.Bugs() {
+		p, an, fail, err := analyzeBug(w, core.Config{
+			Alignment: core.AlignByInstructionCount,
+			Heuristic: slicing.Temporal,
+			MaxTries:  cap,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		res := p.Reproduce(fail, an)
+		rows = append(rows, Table5Row{
+			Name:           w.Name,
+			ThreadInstrs:   an.ThreadSteps,
+			VarsCompared:   an.Diff.VarsCompared,
+			Diffs:          len(an.Diff.Diffs),
+			SharedCompared: an.Diff.SharedCompared,
+			CSVs:           len(an.CSVs),
+			Tries:          res.Tries,
+			Time:           res.Elapsed,
+			Reproduced:     res.Found,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable5 renders Table 5.
+func PrintTable5(w io.Writer, rows []Table5Row) {
+	fmt.Fprintln(w, "Table 5. ChessX+Temporal using instruction counts.")
+	fmt.Fprintf(w, "%-10s %8s %12s %12s %8s %10s %6s\n",
+		"bug", "instrs", "vars/diffs", "shared/CSV", "tries", "time", "repro")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %6d/%-5d %6d/%-5d %8d %10s %6v\n",
+			r.Name, r.ThreadInstrs, r.VarsCompared, r.Diffs,
+			r.SharedCompared, r.CSVs, r.Tries, r.Time.Round(time.Millisecond), r.Reproduced)
+	}
+}
+
+// Table6Row is one bug's analysis cost breakdown.
+type Table6Row struct {
+	Name        string
+	DumpCapture time.Duration // dump generation + serialization
+	DumpDiff    time.Duration
+	Slicing     time.Duration
+	Reverse     time.Duration
+	Align       time.Duration
+}
+
+// Table6 measures the one-time analysis costs per bug.
+func Table6() ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, w := range workloads.Bugs() {
+		_, an, _, err := analyzeBug(w, core.Config{Heuristic: slicing.Dependence})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		rows = append(rows, Table6Row{
+			Name:        w.Name,
+			DumpCapture: an.DumpTime,
+			DumpDiff:    an.DiffTime,
+			Slicing:     an.SliceTime,
+			Reverse:     an.ReverseTime,
+			Align:       an.AlignTime,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable6 renders Table 6.
+func PrintTable6(w io.Writer, rows []Table6Row) {
+	fmt.Fprintln(w, "Table 6. Other cost (one-time analysis costs).")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n",
+		"bug", "dump", "diff", "slicing", "reverse-idx", "align")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n",
+			r.Name, r.DumpCapture, r.DumpDiff, r.Slicing, r.Reverse, r.Align)
+	}
+}
+
+// Fig10Row is one program's instrumentation overhead.
+type Fig10Row struct {
+	Name    string
+	Ratio   float64 // instrumented/base step ratio
+	Percent float64
+	While   int
+	Counted int
+}
+
+// Fig10 measures loop-counter instrumentation overhead on the bug
+// workloads and the splash kernels.
+func Fig10(reps int) ([]Fig10Row, error) {
+	subjects := append(append([]*workloads.Workload{}, workloads.Bugs()...), workloads.SplashKernels()...)
+	var rows []Fig10Row
+	for _, w := range subjects {
+		prog, err := lang.Parse(w.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		o, err := instrument.Measure(w.Name, prog, w.Input, reps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{
+			Name:    w.Name,
+			Ratio:   o.StepRatio(),
+			Percent: o.Percent(),
+			While:   o.WhileLoops,
+			Counted: o.CountedLoops,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig10 renders Fig. 10 as a text bar chart.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Fig. 10. Runtime overhead of loop-counter instrumentation.")
+	fmt.Fprintf(w, "%-14s %8s %9s %7s %8s  %s\n", "program", "ratio", "overhead", "while", "counted", "")
+	var sum float64
+	for _, r := range rows {
+		bar := ""
+		for i := 0; i < int(r.Percent*4+0.5); i++ {
+			bar += "#"
+		}
+		fmt.Fprintf(w, "%-14s %8.4f %8.2f%% %7d %8d  %s\n",
+			r.Name, r.Ratio, r.Percent, r.While, r.Counted, bar)
+		sum += r.Percent
+	}
+	fmt.Fprintf(w, "average overhead: %.2f%%\n", sum/float64(len(rows)))
+}

@@ -1,0 +1,202 @@
+package index
+
+import (
+	"heisendump/internal/ctrldep"
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+)
+
+// AlignKind classifies an alignment result.
+type AlignKind int
+
+const (
+	// AlignNone means no alignment was reached before the run ended.
+	AlignNone AlignKind = iota
+	// AlignExact means the failure point itself was reached (Fig. 7
+	// rule 7).
+	AlignExact
+	// AlignClosest means the runs diverged at a predicate and the
+	// divergence point is the closest alignment (Fig. 7 rule 6,
+	// conditions 2 and 3).
+	AlignClosest
+)
+
+func (k AlignKind) String() string {
+	switch k {
+	case AlignExact:
+		return "exact"
+	case AlignClosest:
+		return "closest"
+	}
+	return "none"
+}
+
+// Aligner consumes a reverse-engineered failure index and, hooked into
+// a re-execution, locates the aligned point per the paper's Fig. 7
+// instrumentation rules:
+//
+//	(5) entering a procedure matching the head entry removes it,
+//	(6) a predicate matching the head entry's predicate removes it
+//	    when the outcome matches; when the outcome differs — or the
+//	    head entry is transitively control dependent on the branch not
+//	    taken — the run has diverged and the current point is the
+//	    CLOSEST alignment,
+//	(7) once every region entry is matched, executing the failure PC
+//	    is the EXACT alignment.
+//
+// The aligner counts machine steps so the pipeline can re-execute
+// deterministically to the aligned point and capture a dump there:
+// AlignSteps is the number of completed steps after which the dump
+// matches the aligned point (for an exact alignment, the state just
+// before the failure instruction executes).
+type Aligner struct {
+	prog   *ir.Program
+	pdeps  *ctrldep.ProgramDeps
+	target *Index
+
+	pos       int
+	stepsSeen int64
+
+	// Kind reports the alignment found so far.
+	Kind AlignKind
+	// AlignSteps is the completed-step count at the aligned point.
+	AlignSteps int64
+	// AlignPC is the aligned instruction (the failure PC for exact
+	// alignments, the divergent predicate for closest alignments).
+	AlignPC ir.PC
+	// MatchedEntries counts how many index entries matched before the
+	// alignment (or the end of the run).
+	MatchedEntries int
+	// LastMatchSteps records the completed-step count at the last
+	// entry match, the fallback alignment when a run ends unmatched.
+	LastMatchSteps int64
+	// LastMatchPC records the instruction at the last entry match.
+	LastMatchPC ir.PC
+}
+
+// NewAligner builds an aligner for the given reverse-engineered index.
+func NewAligner(prog *ir.Program, pdeps *ctrldep.ProgramDeps, target *Index) *Aligner {
+	return &Aligner{prog: prog, pdeps: pdeps, target: target}
+}
+
+var _ interp.Hooks = (*Aligner)(nil)
+
+// Done reports whether an alignment has been found.
+func (a *Aligner) Done() bool { return a.Kind != AlignNone }
+
+func (a *Aligner) head() (Entry, bool) {
+	if a.pos < len(a.target.Entries) {
+		return a.target.Entries[a.pos], true
+	}
+	return Entry{}, false
+}
+
+func (a *Aligner) match(pc ir.PC) {
+	a.pos++
+	a.MatchedEntries = a.pos
+	a.LastMatchSteps = a.stepsSeen
+	a.LastMatchPC = pc
+}
+
+// BeforeInstr implements rule 7 and counts steps.
+func (a *Aligner) BeforeInstr(t *interp.Thread, pc ir.PC, in *ir.Instr) {
+	if a.Done() {
+		a.stepsSeen++
+		return
+	}
+	if t.ID == a.target.Thread && a.pos == len(a.target.Entries) && pc == a.target.Leaf {
+		a.Kind = AlignExact
+		a.AlignSteps = a.stepsSeen // state before this instruction
+		a.AlignPC = pc
+	}
+	a.stepsSeen++
+}
+
+// OnBranch implements rule 6, in the canonical (aggregated) predicate
+// space: branches of multi-branch groups match through their group's
+// decided outcome.
+func (a *Aligner) OnBranch(t *interp.Thread, pc ir.PC, taken bool) {
+	if a.Done() || t.ID != a.target.Thread {
+		return
+	}
+	h, ok := a.head()
+	if !ok {
+		return
+	}
+	fn := a.prog.Funcs[pc.F]
+	in := &fn.Instrs[pc.I]
+	fd := a.pdeps.Funcs[pc.F]
+
+	// Resolve the event in canonical space.
+	var (
+		agg     bool
+		group   int
+		outcome bool
+		decided = true
+	)
+	if in.PredGroup >= 0 && groupSize(fn, in.PredGroup) >= 2 {
+		agg = true
+		group = in.PredGroup
+		outcome, decided = fd.GroupOutcome(ctrldep.Dep{Pred: pc.I, Taken: taken})
+		if !decided {
+			return // chain continues; no region decision yet
+		}
+	} else {
+		outcome = taken
+	}
+
+	// Rule 6, condition 1: matching region entered.
+	switch {
+	case !agg && h.Kind == KBranch && h.Func == pc.F && h.PC == pc.I && h.Taken == outcome:
+		a.match(pc)
+		return
+	case agg && h.Kind == KAgg && h.Func == pc.F && h.Group == group && h.Taken == outcome:
+		a.match(pc)
+		return
+	}
+
+	// Rule 6, condition 2: same predicate, opposite outcome.
+	oppositeSamePred := (!agg && h.Kind == KBranch && h.Func == pc.F && h.PC == pc.I && h.Taken != outcome) ||
+		(agg && h.Kind == KAgg && h.Func == pc.F && h.Group == group && h.Taken != outcome)
+
+	// Rule 6, condition 3: the head entry is transitively control
+	// dependent on the branch not taken, so it can no longer execute.
+	dependsOnOpposite := false
+	if !oppositeSamePred && h.Func == pc.F {
+		headPred := -1
+		switch h.Kind {
+		case KBranch:
+			headPred = h.PC
+		case KAgg:
+			headPred = groupHead(fn, h.Group)
+		}
+		if headPred >= 0 {
+			dependsOnOpposite = fd.DependsOn(headPred, pc.I, !taken)
+		}
+	}
+
+	if oppositeSamePred || dependsOnOpposite {
+		a.Kind = AlignClosest
+		a.AlignSteps = a.stepsSeen // the branch has executed
+		a.AlignPC = pc
+	}
+}
+
+// OnEnterFunc implements rule 5.
+func (a *Aligner) OnEnterFunc(t *interp.Thread, fidx int) {
+	if a.Done() || t.ID != a.target.Thread {
+		return
+	}
+	if h, ok := a.head(); ok && h.Kind == KFunc && h.Func == fidx {
+		a.match(ir.PC{F: fidx, I: 0})
+	}
+}
+
+// OnExitFunc is a no-op: the Fig. 7 rules only consume entries.
+func (a *Aligner) OnExitFunc(t *interp.Thread, fidx int) {}
+
+// OnRead is a no-op.
+func (a *Aligner) OnRead(t *interp.Thread, v interp.VarID) {}
+
+// OnWrite is a no-op.
+func (a *Aligner) OnWrite(t *interp.Thread, v interp.VarID) {}

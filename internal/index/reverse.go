@@ -1,0 +1,216 @@
+package index
+
+import (
+	"fmt"
+
+	"heisendump/internal/coredump"
+	"heisendump/internal/ctrldep"
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+)
+
+// Reverse reverse engineers the failure point's execution index from a
+// core dump (the paper's Algorithm 1). Starting from the failure PC it
+// recovers, per stack frame, the chain of nesting regions:
+//
+//   - no static control dependence: the point nests directly in the
+//     method body; the enclosing call site is read from the dumped
+//     calling context,
+//   - a loop-predicate dependence: the live loop's iteration count is
+//     read from the dumped frame (the loop variable of counted loops,
+//     the instrumentation counter of while loops) and that many
+//     loop-head entries are prepended,
+//   - one dependence, or several aggregatable to one complex
+//     predicate: a single region entry is prepended,
+//   - several non-aggregatable dependences (goto-induced): the closest
+//     common single-dependence ancestor approximates the region.
+//
+// Only the failing thread's index is recovered: schedule differences
+// must have induced the failure through value differences in that
+// thread (§3.2).
+func Reverse(prog *ir.Program, pdeps *ctrldep.ProgramDeps, dump *coredump.Dump) (*Index, error) {
+	frames := dump.FailingFrames()
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("index: dump has no frames for failing thread %d", dump.FailingThread)
+	}
+	var entries []Entry
+	pcIdx := dump.PC.I
+	for i := len(frames) - 1; i >= 0; i-- {
+		fr := frames[i]
+		fe, err := frameEntries(prog, pdeps, fr.Func, pcIdx, fr.Locals, i == len(frames)-1)
+		if err != nil {
+			return nil, fmt.Errorf("index: frame %s: %w", fr.FuncName, err)
+		}
+		entries = append(fe, entries...)
+		if i > 0 {
+			cs := fr.CallSite
+			if cs.F != frames[i-1].Func {
+				return nil, fmt.Errorf("index: call-site function mismatch in dump (frame %d)", i)
+			}
+			pcIdx = cs.I
+		}
+	}
+	return &Index{Thread: dump.FailingThread, Entries: entries, Leaf: dump.PC}, nil
+}
+
+// frameEntries recovers the region path of one frame, from the frame's
+// function entry down to the instruction at startPC.
+func frameEntries(prog *ir.Program, pdeps *ctrldep.ProgramDeps, fidx, startPC int,
+	locals map[string]interp.Value, topFrame bool) ([]Entry, error) {
+
+	fn := prog.Funcs[fidx]
+	fd := pdeps.Funcs[fidx]
+	if startPC < 0 || startPC >= len(fn.Instrs) {
+		return nil, fmt.Errorf("pc %d out of range", startPC)
+	}
+	var entries []Entry
+	prepend := func(e Entry) { entries = append([]Entry{e}, entries...) }
+
+	pc := startPC
+
+	// A failure at a loop head itself contributes its completed
+	// iterations before the enclosing regions are walked.
+	if in := &fn.Instrs[pc]; in.IsLoopHead() && topFrame {
+		loop := fn.LoopByHead(pc)
+		count, err := loopCount(fn, loop, locals, true)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < count; k++ {
+			prepend(Entry{Kind: KBranch, Func: fidx, PC: pc, Taken: true})
+		}
+	}
+
+	// advance prepends the region entry denoted by dependence d and
+	// moves the walk to the region's predicate (for aggregated groups,
+	// the head branch of the chain, whose own dependences are the
+	// group's outer nesting).
+	advance := func(d ctrldep.Dep) error {
+		g := fn.Instrs[d.Pred].PredGroup
+		if g >= 0 && groupSize(fn, g) >= 2 {
+			if outcome, decided := fd.GroupOutcome(d); decided {
+				prepend(Entry{Kind: KAgg, Func: fidx, Group: g, Taken: outcome})
+				pc = groupHead(fn, g)
+				return nil
+			}
+		}
+		prepend(Entry{Kind: KBranch, Func: fidx, PC: d.Pred, Taken: d.Taken})
+		// Landing on a loop head's exit branch (a break-induced
+		// dependence on the loop condition turning false) still nests
+		// under the loop's completed iterations.
+		if in := &fn.Instrs[d.Pred]; in.IsLoopHead() && !d.Taken {
+			loop := fn.LoopByHead(d.Pred)
+			count, err := loopCount(fn, loop, locals, true)
+			if err != nil {
+				return err
+			}
+			for k := 0; k < count; k++ {
+				prepend(Entry{Kind: KBranch, Func: fidx, PC: d.Pred, Taken: true})
+			}
+		}
+		pc = d.Pred
+		return nil
+	}
+
+	for guard := 0; ; guard++ {
+		if guard > len(fn.Instrs)*4 {
+			return nil, fmt.Errorf("region walk did not terminate at pc %d", pc)
+		}
+		deps := fd.DepsOf(pc)
+		if len(deps) == 0 {
+			break // directly nesting in the method body
+		}
+		if ld, ok := loopDep(fn, deps); ok {
+			loop := fn.LoopByHead(ld.Pred)
+			count, err := loopCount(fn, loop, locals, false)
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < count; k++ {
+				prepend(Entry{Kind: KBranch, Func: fidx, PC: ld.Pred, Taken: true})
+			}
+			pc = ld.Pred
+			continue
+		}
+		if len(deps) == 1 || fd.Aggregatable(deps) {
+			if err := advance(deps[0]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		qb, ok := fd.CommonAncestor(deps)
+		if !ok {
+			break // no common region; nests in the method body
+		}
+		if err := advance(qb); err != nil {
+			return nil, err
+		}
+	}
+
+	prepend(Entry{Kind: KFunc, Func: fidx})
+	return entries, nil
+}
+
+// loopDep finds a loop-head dependence with the loop branch taken.
+func loopDep(fn *ir.Func, deps []ctrldep.Dep) (ctrldep.Dep, bool) {
+	for _, d := range deps {
+		if fn.Instrs[d.Pred].IsLoopHead() && d.Taken {
+			return d, true
+		}
+	}
+	return ctrldep.Dep{}, false
+}
+
+// groupHead returns the first branch instruction of a predicate group:
+// the only member not control dependent on other members, whose own
+// dependences are the group's outer nesting.
+func groupHead(fn *ir.Func, group int) int {
+	for i := range fn.Instrs {
+		if fn.Instrs[i].Op == ir.OpBranch && fn.Instrs[i].PredGroup == group {
+			return i
+		}
+	}
+	return -1
+}
+
+// loopCount recovers the loop's current iteration number from a dumped
+// frame's locals. atHead is true when the observed point is the loop
+// head itself (the count then excludes the iteration being tested).
+//
+// Counted loops read their loop variable relative to its recorded start
+// value; instrumented while loops read the synthetic counter. An
+// uninstrumented while loop is unrecoverable — the very situation the
+// production-run instrumentation exists to prevent.
+func loopCount(fn *ir.Func, loop *ir.Loop, locals map[string]interp.Value, atHead bool) (int, error) {
+	if loop == nil {
+		return 0, fmt.Errorf("no loop metadata for loop head")
+	}
+	if loop.Counted {
+		cur, ok := locals[loop.CounterVar]
+		if !ok {
+			return 0, fmt.Errorf("loop variable %q not in frame", loop.CounterVar)
+		}
+		from, ok := locals[loop.FromVar]
+		if !ok {
+			return 0, fmt.Errorf("loop start %q not in frame", loop.FromVar)
+		}
+		n := int(cur.Num - from.Num)
+		if !atHead {
+			n++
+		}
+		if n < 0 {
+			n = 0
+		}
+		return n, nil
+	}
+	if loop.CounterVar == "" {
+		return 0, fmt.Errorf("while loop at line %d has no counter: program compiled without loop instrumentation", loop.Line)
+	}
+	c, ok := locals[loop.CounterVar]
+	if !ok {
+		// The counter local exists but was never written: the loop has
+		// not been entered, so the count is zero.
+		return 0, nil
+	}
+	return int(c.Num), nil
+}

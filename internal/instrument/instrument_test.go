@@ -1,0 +1,146 @@
+package instrument_test
+
+import (
+	"testing"
+
+	"heisendump/internal/instrument"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/workloads"
+)
+
+func TestMeasureWhileLoopOverhead(t *testing.T) {
+	prog := lang.MustParse(`
+program wh;
+global int s;
+func main() {
+    var int i = 0;
+    while (i < 100) {
+        s = s + i;
+        i = i + 1;
+    }
+}
+`)
+	o, err := instrument.Measure("wh", prog, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.WhileLoops != 1 || o.CountedLoops != 0 {
+		t.Fatalf("loop counts: %+v", o)
+	}
+	// 100 increments + 1 reset on top of the base steps.
+	if o.InstrSteps-o.BaseSteps != 101 {
+		t.Fatalf("overhead steps = %d, want 101", o.InstrSteps-o.BaseSteps)
+	}
+	if o.StepRatio() <= 1.0 {
+		t.Fatalf("ratio %f not > 1", o.StepRatio())
+	}
+	if o.Percent() <= 0 {
+		t.Fatalf("percent %f", o.Percent())
+	}
+}
+
+func TestMeasureCountedLoopFree(t *testing.T) {
+	prog := lang.MustParse(`
+program fo;
+global int s;
+func main() {
+    var int i;
+    for i = 1 .. 100 {
+        s = s + i;
+    }
+}
+`)
+	o, err := instrument.Measure("fo", prog, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.WhileLoops != 0 || o.CountedLoops != 1 {
+		t.Fatalf("loop counts: %+v", o)
+	}
+	if o.BaseSteps != o.InstrSteps {
+		t.Fatalf("counted loops must be free: %d vs %d", o.BaseSteps, o.InstrSteps)
+	}
+	if o.StepRatio() != 1.0 {
+		t.Fatalf("ratio %f", o.StepRatio())
+	}
+	if o.TimeRatio() <= 0 {
+		t.Fatal("time ratio not positive")
+	}
+}
+
+func TestSyntheticInstrCount(t *testing.T) {
+	prog := lang.MustParse(`
+program sc;
+global int s;
+func main() {
+    var int i = 0;
+    var int j = 0;
+    while (i < 3) {
+        i = i + 1;
+    }
+    while (j < 3) {
+        j = j + 1;
+    }
+}
+`)
+	instr, err := ir.Compile(prog, ir.Options{InstrumentLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := instrument.SyntheticInstrCount(instr); n != 4 { // 2 loops x (reset+inc)
+		t.Fatalf("synthetic instructions: %d, want 4", n)
+	}
+	plain, err := ir.Compile(prog, ir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := instrument.SyntheticInstrCount(plain); n != 0 {
+		t.Fatalf("plain compile synthetic instructions: %d", n)
+	}
+}
+
+// TestFig10ShapeAllWorkloads: overhead stays within the paper's band
+// (0 to a few percent) on every measurement subject, and splash
+// kernels dominated by counted loops stay cheap.
+func TestFig10ShapeAllWorkloads(t *testing.T) {
+	subjects := append(append([]*workloads.Workload{}, workloads.Bugs()...), workloads.SplashKernels()...)
+	var sum float64
+	for _, w := range subjects {
+		prog, err := lang.Parse(w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		o, err := instrument.Measure(w.Name, prog, w.Input, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		pct := o.Percent()
+		if pct < 0 || pct > 6 {
+			t.Errorf("%s: overhead %.2f%% outside [0,6]", w.Name, pct)
+		}
+		if o.WhileLoops == 0 && pct != 0 {
+			t.Errorf("%s: no while loops but overhead %.2f%%", w.Name, pct)
+		}
+		sum += pct
+	}
+	avg := sum / float64(len(subjects))
+	if avg > 3 {
+		t.Errorf("average overhead %.2f%% too high vs paper's 1.6%%", avg)
+	}
+}
+
+// TestMeasureRejectsCrashingProgram: overhead measurement demands a
+// clean deterministic run.
+func TestMeasureRejectsCrashingProgram(t *testing.T) {
+	prog := lang.MustParse(`
+program bad;
+global int a[2];
+func main() {
+    a[5] = 1;
+}
+`)
+	if _, err := instrument.Measure("bad", prog, nil, 1); err == nil {
+		t.Fatal("expected error for crashing program")
+	}
+}

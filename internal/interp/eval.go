@@ -1,0 +1,253 @@
+package interp
+
+import (
+	"fmt"
+
+	"heisendump/internal/lang"
+)
+
+// eval evaluates an expression in thread t's current frame. Reads are
+// reported to the hooks; faults surface as crashError.
+func (m *Machine) eval(t *Thread, e lang.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return IntVal(e.Value), nil
+
+	case *lang.BoolLit:
+		return BoolVal(e.Value), nil
+
+	case *lang.NullLit:
+		return Null, nil
+
+	case *lang.VarRef:
+		return m.readVar(t, e.Name)
+
+	case *lang.IndexExpr:
+		idx, err := m.eval(t, e.Index)
+		if err != nil {
+			return Value{}, err
+		}
+		arr, ok := m.Arrays[e.Name]
+		if !ok {
+			return Value{}, crashError{fmt.Sprintf("no such array %q", e.Name)}
+		}
+		if idx.Num < 0 || idx.Num >= int64(len(arr)) {
+			return Value{}, crashError{fmt.Sprintf("index %d out of bounds for %s[%d]", idx.Num, e.Name, len(arr))}
+		}
+		if m.Hooks != nil {
+			m.Hooks.OnRead(t, VarID{Kind: VArrayElem, Name: e.Name, Idx: idx.Num})
+		}
+		return IntVal(arr[idx.Num]), nil
+
+	case *lang.FieldExpr:
+		obj, err := m.eval(t, e.Obj)
+		if err != nil {
+			return Value{}, err
+		}
+		if obj.Kind != KPtr || obj.Obj() == 0 {
+			return Value{}, crashError{"null pointer dereference"}
+		}
+		o, ok := m.Heap[obj.Obj()]
+		if !ok {
+			return Value{}, crashError{fmt.Sprintf("dangling pointer obj#%d", obj.Obj())}
+		}
+		v, ok := o.Fields[e.Field]
+		if !ok {
+			return Value{}, crashError{fmt.Sprintf("object has no field %q", e.Field)}
+		}
+		if m.Hooks != nil {
+			m.Hooks.OnRead(t, VarID{Kind: VField, Name: e.Field, Obj: obj.Obj()})
+		}
+		return v, nil
+
+	case *lang.NewExpr:
+		o := &Object{ID: m.nextObj, Fields: make(map[string]Value, len(e.Fields))}
+		m.nextObj++
+		for _, f := range e.Fields {
+			o.Fields[f] = IntVal(0)
+		}
+		m.Heap[o.ID] = o
+		return PtrVal(o.ID), nil
+
+	case *lang.UnaryExpr:
+		x, err := m.eval(t, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case "!":
+			return BoolVal(!x.Bool()), nil
+		case "-":
+			return IntVal(-x.Num), nil
+		}
+		return Value{}, fmt.Errorf("interp: unknown unary op %q", e.Op)
+
+	case *lang.BinaryExpr:
+		// Short-circuit logical operators.
+		switch e.Op {
+		case "&&":
+			x, err := m.eval(t, e.X)
+			if err != nil {
+				return Value{}, err
+			}
+			if !x.Bool() {
+				return BoolVal(false), nil
+			}
+			y, err := m.eval(t, e.Y)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(y.Bool()), nil
+		case "||":
+			x, err := m.eval(t, e.X)
+			if err != nil {
+				return Value{}, err
+			}
+			if x.Bool() {
+				return BoolVal(true), nil
+			}
+			y, err := m.eval(t, e.Y)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(y.Bool()), nil
+		}
+		x, err := m.eval(t, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := m.eval(t, e.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case "+":
+			return IntVal(x.Num + y.Num), nil
+		case "-":
+			return IntVal(x.Num - y.Num), nil
+		case "*":
+			return IntVal(x.Num * y.Num), nil
+		case "/":
+			if y.Num == 0 {
+				return Value{}, crashError{"division by zero"}
+			}
+			return IntVal(x.Num / y.Num), nil
+		case "%":
+			if y.Num == 0 {
+				return Value{}, crashError{"division by zero"}
+			}
+			return IntVal(x.Num % y.Num), nil
+		case "==":
+			// Comparison is by numeric payload: ints compare as ints,
+			// pointers by identity, and `p == null` works because null
+			// carries payload 0.
+			return BoolVal(x.Num == y.Num), nil
+		case "!=":
+			return BoolVal(x.Num != y.Num), nil
+		case "<":
+			return BoolVal(x.Num < y.Num), nil
+		case "<=":
+			return BoolVal(x.Num <= y.Num), nil
+		case ">":
+			return BoolVal(x.Num > y.Num), nil
+		case ">=":
+			return BoolVal(x.Num >= y.Num), nil
+		}
+		return Value{}, fmt.Errorf("interp: unknown binary op %q", e.Op)
+	}
+	return Value{}, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+// readVar resolves a scalar name, locals first, then globals.
+func (m *Machine) readVar(t *Thread, name string) (Value, error) {
+	fr := t.Top()
+	if v, ok := fr.Locals[name]; ok {
+		if m.Hooks != nil {
+			m.Hooks.OnRead(t, VarID{Kind: VLocal, Name: name, FrameID: fr.ID})
+		}
+		return v, nil
+	}
+	if isLocalName(m, fr.FuncIdx, name) {
+		// Declared local read before any assignment: zero value.
+		if m.Hooks != nil {
+			m.Hooks.OnRead(t, VarID{Kind: VLocal, Name: name, FrameID: fr.ID})
+		}
+		return IntVal(0), nil
+	}
+	if v, ok := m.Globals[name]; ok {
+		if m.Hooks != nil {
+			m.Hooks.OnRead(t, VarID{Kind: VGlobal, Name: name})
+		}
+		return v, nil
+	}
+	return Value{}, crashError{fmt.Sprintf("undefined variable %q", name)}
+}
+
+func isLocalName(m *Machine, fidx int, name string) bool {
+	for _, l := range m.Prog.Funcs[fidx].Locals {
+		if l == name {
+			return true
+		}
+	}
+	return false
+}
+
+// assign stores v into the lvalue. Writes are reported to the hooks.
+func (m *Machine) assign(t *Thread, lv lang.LValue, v Value) error {
+	switch lv := lv.(type) {
+	case *lang.VarLV:
+		fr := t.Top()
+		if _, ok := fr.Locals[lv.Name]; ok || isLocalName(m, fr.FuncIdx, lv.Name) {
+			fr.Locals[lv.Name] = v
+			if m.Hooks != nil {
+				m.Hooks.OnWrite(t, VarID{Kind: VLocal, Name: lv.Name, FrameID: fr.ID})
+			}
+			return nil
+		}
+		if _, ok := m.Globals[lv.Name]; ok {
+			m.Globals[lv.Name] = v
+			if m.Hooks != nil {
+				m.Hooks.OnWrite(t, VarID{Kind: VGlobal, Name: lv.Name})
+			}
+			return nil
+		}
+		return crashError{fmt.Sprintf("assignment to undefined variable %q", lv.Name)}
+
+	case *lang.IndexLV:
+		idx, err := m.eval(t, lv.Index)
+		if err != nil {
+			return err
+		}
+		arr, ok := m.Arrays[lv.Name]
+		if !ok {
+			return crashError{fmt.Sprintf("no such array %q", lv.Name)}
+		}
+		if idx.Num < 0 || idx.Num >= int64(len(arr)) {
+			return crashError{fmt.Sprintf("index %d out of bounds for %s[%d]", idx.Num, lv.Name, len(arr))}
+		}
+		arr[idx.Num] = v.Num
+		if m.Hooks != nil {
+			m.Hooks.OnWrite(t, VarID{Kind: VArrayElem, Name: lv.Name, Idx: idx.Num})
+		}
+		return nil
+
+	case *lang.FieldLV:
+		obj, err := m.eval(t, lv.Obj)
+		if err != nil {
+			return err
+		}
+		if obj.Kind != KPtr || obj.Obj() == 0 {
+			return crashError{"null pointer dereference"}
+		}
+		o, ok := m.Heap[obj.Obj()]
+		if !ok {
+			return crashError{fmt.Sprintf("dangling pointer obj#%d", obj.Obj())}
+		}
+		o.Fields[lv.Field] = v
+		if m.Hooks != nil {
+			m.Hooks.OnWrite(t, VarID{Kind: VField, Name: lv.Field, Obj: obj.Obj()})
+		}
+		return nil
+	}
+	return fmt.Errorf("interp: unknown lvalue %T", lv)
+}

@@ -1,0 +1,499 @@
+package interp
+
+import (
+	"fmt"
+
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+)
+
+// ThreadStatus enumerates thread lifecycle states.
+type ThreadStatus int
+
+const (
+	// Runnable threads can be stepped.
+	Runnable ThreadStatus = iota
+	// Blocked threads wait on a lock.
+	Blocked
+	// Done threads have returned from their entry function.
+	Done
+)
+
+// Frame is one activation record.
+type Frame struct {
+	// FuncIdx indexes Prog.Funcs.
+	FuncIdx int
+	// PC is the index of the next instruction to execute.
+	PC int
+	// Locals maps local names to values; parameters are bound at call.
+	Locals map[string]Value
+	// CallSite is the caller's call instruction; the bottom frame has
+	// CallSite.I == -1.
+	CallSite ir.PC
+	// ID uniquely identifies this activation across the whole run, so
+	// traces can distinguish locals of different calls.
+	ID int64
+}
+
+// Thread is one thread of control.
+type Thread struct {
+	// ID is the creation-order thread id; the main thread is 0.
+	ID int
+	// EntryFunc indexes the thread's entry function.
+	EntryFunc int
+	Frames    []*Frame
+	Status    ThreadStatus
+	// WaitLock is the lock the thread is blocked on, when Blocked.
+	WaitLock string
+	// Steps counts instructions this thread has executed — the
+	// "thread-local instruction count" used by the Table 5 baseline.
+	Steps int64
+}
+
+// Top returns the current activation record, or nil when done.
+func (t *Thread) Top() *Frame {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// PC returns the thread's current program counter.
+func (t *Thread) PC() ir.PC {
+	f := t.Top()
+	if f == nil {
+		return ir.PC{F: t.EntryFunc, I: -1}
+	}
+	return ir.PC{F: f.FuncIdx, I: f.PC}
+}
+
+// CrashInfo records a run-terminating fault.
+type CrashInfo struct {
+	// ThreadID is the faulting thread.
+	ThreadID int
+	// PC addresses the faulting instruction.
+	PC ir.PC
+	// Reason describes the fault, e.g. "null pointer dereference".
+	Reason string
+}
+
+// String formats the crash for reports.
+func (c *CrashInfo) String() string {
+	return fmt.Sprintf("thread %d crashed at %v: %s", c.ThreadID, c.PC, c.Reason)
+}
+
+// Hooks observe execution. All methods are called synchronously from
+// Step; implementations must not mutate the machine. A nil hook field
+// on the machine disables observation.
+type Hooks interface {
+	// BeforeInstr fires before each instruction executes (after the
+	// thread is chosen), including synthetic instrumentation.
+	BeforeInstr(t *Thread, pc ir.PC, in *ir.Instr)
+	// OnBranch fires when a branch resolves with the given outcome.
+	OnBranch(t *Thread, pc ir.PC, taken bool)
+	// OnEnterFunc fires when a frame is pushed (call, spawn entry).
+	OnEnterFunc(t *Thread, fidx int)
+	// OnExitFunc fires when a frame is popped.
+	OnExitFunc(t *Thread, fidx int)
+	// OnRead fires for each variable read during evaluation.
+	OnRead(t *Thread, v VarID)
+	// OnWrite fires for each variable written.
+	OnWrite(t *Thread, v VarID)
+}
+
+// VarKind discriminates runtime variable identities.
+type VarKind uint8
+
+const (
+	// VGlobal is a scalar global.
+	VGlobal VarKind = iota
+	// VArrayElem is an element of a global array.
+	VArrayElem
+	// VLocal is a function-local variable.
+	VLocal
+	// VField is a heap object field.
+	VField
+)
+
+// VarID names one runtime storage location.
+type VarID struct {
+	Kind VarKind
+	// Name is the global/local/field/array name.
+	Name string
+	// Idx is the element index for VArrayElem.
+	Idx int64
+	// Obj is the owning object for VField.
+	Obj ObjID
+	// FrameID is the owning activation for VLocal.
+	FrameID int64
+}
+
+// Shared reports whether the location is shared state: globals, array
+// elements and heap fields are shared; locals are thread-private.
+func (v VarID) Shared() bool { return v.Kind != VLocal }
+
+// String renders the variable identity for reports.
+func (v VarID) String() string {
+	switch v.Kind {
+	case VGlobal:
+		return v.Name
+	case VArrayElem:
+		return fmt.Sprintf("%s[%d]", v.Name, v.Idx)
+	case VLocal:
+		return fmt.Sprintf("%s#%d", v.Name, v.FrameID)
+	case VField:
+		return fmt.Sprintf("obj%d.%s", v.Obj, v.Name)
+	}
+	return "var?"
+}
+
+// Input provides the program's failure-inducing input: initial values
+// for global scalars and arrays, applied before the run starts. The
+// same Input drives the failing run and every re-execution.
+type Input struct {
+	Scalars map[string]int64
+	Arrays  map[string][]int64
+}
+
+// Machine executes one program instance.
+type Machine struct {
+	Prog *ir.Program
+
+	Globals map[string]Value
+	Arrays  map[string][]int64
+	Heap    map[ObjID]*Object
+	Locks   map[string]int // holder thread id, -1 when free
+	Threads []*Thread
+
+	// Output collects values emitted by output statements.
+	Output []int64
+
+	// Crash is non-nil once the run has faulted.
+	Crash *CrashInfo
+
+	// TotalSteps counts instructions across all threads.
+	TotalSteps int64
+
+	// Hooks, when non-nil, observe execution.
+	Hooks Hooks
+
+	nextObj   ObjID
+	nextFrame int64
+
+	// MaxSteps aborts runaway executions; ErrStepLimit is reported once
+	// exceeded. Zero means no limit.
+	MaxSteps int64
+}
+
+// ErrStepLimit is returned by Step when MaxSteps is exceeded.
+var ErrStepLimit = fmt.Errorf("interp: step limit exceeded")
+
+// ErrDeadlock is returned by schedulers when no thread can make
+// progress.
+var ErrDeadlock = fmt.Errorf("interp: deadlock")
+
+// New creates a machine with the main thread ready to run.
+func New(prog *ir.Program, in *Input) *Machine {
+	m := &Machine{
+		Prog:    prog,
+		Globals: map[string]Value{},
+		Arrays:  map[string][]int64{},
+		Heap:    map[ObjID]*Object{},
+		Locks:   map[string]int{},
+		nextObj: 1,
+	}
+	for _, g := range prog.Globals {
+		if g.ArraySize > 0 {
+			m.Arrays[g.Name] = make([]int64, g.ArraySize)
+		} else {
+			switch g.Type {
+			case lang.TypeBool:
+				m.Globals[g.Name] = BoolVal(g.Init != 0)
+			case lang.TypePtr:
+				m.Globals[g.Name] = Null
+			default:
+				m.Globals[g.Name] = IntVal(g.Init)
+			}
+		}
+	}
+	for _, l := range prog.Locks {
+		m.Locks[l] = -1
+	}
+	if in != nil {
+		for name, v := range in.Scalars {
+			if cur, ok := m.Globals[name]; ok {
+				cur.Num = v
+				m.Globals[name] = cur
+			}
+		}
+		for name, vals := range in.Arrays {
+			if arr, ok := m.Arrays[name]; ok {
+				copy(arr, vals)
+			}
+		}
+	}
+	mainIdx := prog.FuncIndex("main")
+	m.spawnThread(mainIdx, nil)
+	return m
+}
+
+// spawnThread creates a thread running function fidx with bound args.
+// The entry function's OnEnterFunc hook fires on the thread's first
+// step, not here: the main thread is spawned inside New, before the
+// caller has had a chance to attach hooks.
+func (m *Machine) spawnThread(fidx int, args []Value) *Thread {
+	t := &Thread{ID: len(m.Threads), EntryFunc: fidx, Status: Runnable}
+	t.Frames = append(t.Frames, m.newFrame(fidx, args, ir.PC{F: -1, I: -1}))
+	m.Threads = append(m.Threads, t)
+	return t
+}
+
+func (m *Machine) newFrame(fidx int, args []Value, callSite ir.PC) *Frame {
+	fn := m.Prog.Funcs[fidx]
+	fr := &Frame{FuncIdx: fidx, Locals: make(map[string]Value, len(fn.Locals)), CallSite: callSite}
+	m.nextFrame++
+	fr.ID = m.nextFrame
+	for i, p := range fn.Params {
+		if i < len(args) {
+			fr.Locals[p] = args[i]
+		}
+	}
+	return fr
+}
+
+// Runnable returns the ids of threads that can currently be stepped.
+// Threads blocked on a lock become runnable again when it frees.
+func (m *Machine) Runnable() []int {
+	var out []int
+	for _, t := range m.Threads {
+		if m.threadRunnable(t) {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+func (m *Machine) threadRunnable(t *Thread) bool {
+	switch t.Status {
+	case Runnable:
+		return true
+	case Blocked:
+		return m.Locks[t.WaitLock] == -1
+	}
+	return false
+}
+
+// Done reports whether every thread has finished.
+func (m *Machine) Done() bool {
+	for _, t := range m.Threads {
+		if t.Status != Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Crashed reports whether the run has faulted.
+func (m *Machine) Crashed() bool { return m.Crash != nil }
+
+// Halted reports whether no further steps are possible: crashed, all
+// done, or deadlocked.
+func (m *Machine) Halted() bool {
+	return m.Crashed() || m.Done() || len(m.Runnable()) == 0
+}
+
+// crash records a fault and stops the machine.
+func (m *Machine) crash(t *Thread, pc ir.PC, reason string) {
+	m.Crash = &CrashInfo{ThreadID: t.ID, PC: pc, Reason: reason}
+}
+
+// crashError carries a runtime fault out of expression evaluation.
+type crashError struct{ reason string }
+
+func (e crashError) Error() string { return e.reason }
+
+// Step executes one instruction of thread tid. It returns false when
+// the thread could not be stepped (blocked, done, or machine crashed).
+// Runtime faults crash the machine and return true: the faulting
+// instruction was the step.
+func (m *Machine) Step(tid int) (bool, error) {
+	if m.Crashed() {
+		return false, nil
+	}
+	if m.MaxSteps > 0 && m.TotalSteps >= m.MaxSteps {
+		return false, ErrStepLimit
+	}
+	t := m.Threads[tid]
+	if !m.threadRunnable(t) {
+		return false, nil
+	}
+	fr := t.Top()
+	fn := m.Prog.Funcs[fr.FuncIdx]
+	pc := ir.PC{F: fr.FuncIdx, I: fr.PC}
+	in := &fn.Instrs[fr.PC]
+
+	if m.Hooks != nil {
+		if t.Steps == 0 {
+			// The thread's entry-function region opens at its first step
+			// (see spawnThread).
+			m.Hooks.OnEnterFunc(t, t.EntryFunc)
+		}
+		m.Hooks.BeforeInstr(t, pc, in)
+	}
+	t.Steps++
+	m.TotalSteps++
+
+	fault := func(err error) (bool, error) {
+		if ce, ok := err.(crashError); ok {
+			m.crash(t, pc, ce.reason)
+			return true, nil
+		}
+		return false, err
+	}
+
+	switch in.Op {
+	case ir.OpAssign:
+		v, err := m.eval(t, in.RHS)
+		if err != nil {
+			return fault(err)
+		}
+		if err := m.assign(t, in.LHS, v); err != nil {
+			return fault(err)
+		}
+		fr.PC++
+
+	case ir.OpBranch:
+		v, err := m.eval(t, in.Cond)
+		if err != nil {
+			return fault(err)
+		}
+		taken := v.Bool()
+		if m.Hooks != nil {
+			m.Hooks.OnBranch(t, pc, taken)
+		}
+		if taken {
+			fr.PC = in.True
+		} else {
+			fr.PC = in.False
+		}
+
+	case ir.OpJump:
+		fr.PC = in.True
+
+	case ir.OpCall:
+		callee := m.Prog.FuncIndex(in.Callee)
+		if callee < 0 {
+			return fault(crashError{fmt.Sprintf("call to unknown function %q", in.Callee)})
+		}
+		args, err := m.evalArgs(t, in.Args)
+		if err != nil {
+			return fault(err)
+		}
+		fr.PC++ // resume after the call on return
+		t.Frames = append(t.Frames, m.newFrame(callee, args, pc))
+		if m.Hooks != nil {
+			m.Hooks.OnEnterFunc(t, callee)
+		}
+
+	case ir.OpReturn:
+		var ret Value
+		if in.RHS != nil {
+			v, err := m.eval(t, in.RHS)
+			if err != nil {
+				return fault(err)
+			}
+			ret = v
+		}
+		exited := fr.FuncIdx
+		t.Frames = t.Frames[:len(t.Frames)-1]
+		if m.Hooks != nil {
+			m.Hooks.OnExitFunc(t, exited)
+		}
+		if len(t.Frames) == 0 {
+			t.Status = Done
+			break
+		}
+		// Bind the call result when the call site requested one. The
+		// caller's PC was advanced past the call instruction when the
+		// callee frame was pushed, so the call sits at PC-1.
+		caller := t.Top()
+		callIn := &m.Prog.Funcs[caller.FuncIdx].Instrs[caller.PC-1]
+		if callIn.Op == ir.OpCall && callIn.LHS != nil {
+			if err := m.assign(t, callIn.LHS, ret); err != nil {
+				return fault(err)
+			}
+		}
+
+	case ir.OpAcquire:
+		holder := m.Locks[in.Lock]
+		switch holder {
+		case -1:
+			m.Locks[in.Lock] = t.ID
+			t.Status = Runnable
+			t.WaitLock = ""
+			fr.PC++
+		case t.ID:
+			return fault(crashError{fmt.Sprintf("recursive acquire of lock %q", in.Lock)})
+		default:
+			// The step observed the lock held; the thread blocks without
+			// advancing. The observation still counts as a step so
+			// spin-free progress accounting stays simple.
+			t.Status = Blocked
+			t.WaitLock = in.Lock
+		}
+
+	case ir.OpRelease:
+		if m.Locks[in.Lock] != t.ID {
+			return fault(crashError{fmt.Sprintf("release of lock %q not held by thread %d", in.Lock, t.ID)})
+		}
+		m.Locks[in.Lock] = -1
+		fr.PC++
+
+	case ir.OpSpawn:
+		callee := m.Prog.FuncIndex(in.Callee)
+		if callee < 0 {
+			return fault(crashError{fmt.Sprintf("spawn of unknown function %q", in.Callee)})
+		}
+		args, err := m.evalArgs(t, in.Args)
+		if err != nil {
+			return fault(err)
+		}
+		fr.PC++
+		m.spawnThread(callee, args)
+
+	case ir.OpAssert:
+		v, err := m.eval(t, in.Cond)
+		if err != nil {
+			return fault(err)
+		}
+		if !v.Bool() {
+			m.crash(t, pc, "assertion failed: "+in.Msg)
+			return true, nil
+		}
+		fr.PC++
+
+	case ir.OpOutput:
+		v, err := m.eval(t, in.RHS)
+		if err != nil {
+			return fault(err)
+		}
+		m.Output = append(m.Output, v.Num)
+		fr.PC++
+
+	default:
+		return false, fmt.Errorf("interp: unknown opcode %v at %v", in.Op, pc)
+	}
+	return true, nil
+}
+
+func (m *Machine) evalArgs(t *Thread, args []lang.Expr) ([]Value, error) {
+	out := make([]Value, 0, len(args))
+	for _, a := range args {
+		v, err := m.eval(t, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+// Package interp executes compiled programs one instruction at a time
+// under an externally supplied scheduler. It is the substrate standing
+// in for the paper's pthreads/C execution environment: threads, shared
+// globals, a heap, locks, and crash semantics (null dereference, array
+// bounds, division by zero, failed assertions) that produce core dumps.
+//
+// One instruction is one atomic step; all non-determinism lives in the
+// order threads are stepped, which is exactly the degree of freedom the
+// schedule-search phase explores.
+package interp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+const (
+	// KInt is a 64-bit integer.
+	KInt Kind = iota
+	// KBool is a boolean (Num is 0 or 1).
+	KBool
+	// KPtr is a heap pointer (Num is the object id; 0 is null).
+	KPtr
+)
+
+// Value is a runtime value. The representation is a compact tagged
+// word so values are comparable with == and cheap to snapshot into
+// core dumps.
+type Value struct {
+	Kind Kind
+	Num  int64
+}
+
+// IntVal makes an integer value.
+func IntVal(v int64) Value { return Value{Kind: KInt, Num: v} }
+
+// BoolVal makes a boolean value.
+func BoolVal(b bool) Value {
+	if b {
+		return Value{Kind: KBool, Num: 1}
+	}
+	return Value{Kind: KBool, Num: 0}
+}
+
+// PtrVal makes a pointer value.
+func PtrVal(obj ObjID) Value { return Value{Kind: KPtr, Num: int64(obj)} }
+
+// Null is the null pointer.
+var Null = Value{Kind: KPtr, Num: 0}
+
+// Bool reports the truthiness of a KBool value; integers are truthy
+// when non-zero, pointers when non-null, so conditions may use any
+// kind, mirroring C.
+func (v Value) Bool() bool { return v.Num != 0 }
+
+// Obj returns the object id of a pointer value.
+func (v Value) Obj() ObjID { return ObjID(v.Num) }
+
+// String renders the value for diagnostics and dump reports.
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.Num)
+	case KBool:
+		if v.Num != 0 {
+			return "true"
+		}
+		return "false"
+	case KPtr:
+		if v.Num == 0 {
+			return "null"
+		}
+		return fmt.Sprintf("obj#%d", v.Num)
+	}
+	return fmt.Sprintf("value(%d,%d)", v.Kind, v.Num)
+}
+
+// ObjID identifies a heap object; 0 is reserved for null.
+type ObjID int64
+
+// Object is a heap record with named fields.
+type Object struct {
+	ID     ObjID
+	Fields map[string]Value
+}
+
+// FieldNames returns the object's field names in sorted order, for
+// deterministic traversal and serialization.
+func (o *Object) FieldNames() []string {
+	names := make([]string, 0, len(o.Fields))
+	for f := range o.Fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone deep-copies the object.
+func (o *Object) Clone() *Object {
+	c := &Object{ID: o.ID, Fields: make(map[string]Value, len(o.Fields))}
+	for k, v := range o.Fields {
+		c.Fields[k] = v
+	}
+	return c
+}

@@ -1,0 +1,269 @@
+package lang
+
+import "fmt"
+
+// Check performs static validation of a program: entry point presence,
+// declaration-before-use of variables, resolution of function names,
+// lock names and goto labels, and duplicate-declaration detection.
+// Parse runs Check automatically; programs built directly from AST nodes
+// should call it before compilation.
+func Check(p *Program) error {
+	if p.Func("main") == nil {
+		return fmt.Errorf("lang: program %q has no main function", p.Name)
+	}
+	globals := map[string]*VarDecl{}
+	for _, g := range p.Globals {
+		if _, dup := globals[g.Name]; dup {
+			return fmt.Errorf("lang: duplicate global %q", g.Name)
+		}
+		globals[g.Name] = g
+	}
+	locks := map[string]bool{}
+	for _, l := range p.Locks {
+		if locks[l] {
+			return fmt.Errorf("lang: duplicate lock %q", l)
+		}
+		if _, clash := globals[l]; clash {
+			return fmt.Errorf("lang: lock %q clashes with a global", l)
+		}
+		locks[l] = true
+	}
+	funcs := map[string]*Func{}
+	for _, f := range p.Funcs {
+		if _, dup := funcs[f.Name]; dup {
+			return fmt.Errorf("lang: duplicate function %q", f.Name)
+		}
+		funcs[f.Name] = f
+	}
+	for _, f := range p.Funcs {
+		c := &checker{prog: p, fn: f, globals: globals, locks: locks, funcs: funcs,
+			locals: map[string]Type{}, labels: map[string]bool{}}
+		for _, prm := range f.Params {
+			if _, dup := c.locals[prm.Name]; dup {
+				return fmt.Errorf("lang: %s: duplicate parameter %q", f.Name, prm.Name)
+			}
+			c.locals[prm.Name] = prm.Type
+		}
+		collectLabels(f.Body, c.labels)
+		if err := c.checkBlock(f.Body, 0); err != nil {
+			return fmt.Errorf("lang: %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func collectLabels(b *Block, out map[string]bool) {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *LabelStmt:
+			out[s.Name] = true
+		case *IfStmt:
+			collectLabels(s.Then, out)
+			if s.Else != nil {
+				collectLabels(s.Else, out)
+			}
+		case *WhileStmt:
+			collectLabels(s.Body, out)
+		case *ForStmt:
+			collectLabels(s.Body, out)
+		}
+	}
+}
+
+type checker struct {
+	prog    *Program
+	fn      *Func
+	globals map[string]*VarDecl
+	locks   map[string]bool
+	funcs   map[string]*Func
+	locals  map[string]Type
+	labels  map[string]bool
+}
+
+func (c *checker) checkBlock(b *Block, loopDepth int) error {
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, loopDepth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, loopDepth int) error {
+	switch s := s.(type) {
+	case *VarStmt:
+		if _, dup := c.locals[s.Name]; dup {
+			return fmt.Errorf("line %d: duplicate local %q", s.Line(), s.Name)
+		}
+		if _, clash := c.globals[s.Name]; clash {
+			return fmt.Errorf("line %d: local %q shadows a global", s.Line(), s.Name)
+		}
+		c.locals[s.Name] = s.Type
+		if s.Init != nil {
+			return c.checkExpr(s.Init, s.Line())
+		}
+		return nil
+	case *AssignStmt:
+		if err := c.checkLValue(s.LHS, s.Line()); err != nil {
+			return err
+		}
+		return c.checkExpr(s.RHS, s.Line())
+	case *IfStmt:
+		if err := c.checkExpr(s.Cond, s.Line()); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then, loopDepth); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkBlock(s.Else, loopDepth)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(s.Cond, s.Line()); err != nil {
+			return err
+		}
+		return c.checkBlock(s.Body, loopDepth+1)
+	case *ForStmt:
+		if _, ok := c.varType(s.Var); !ok {
+			// The loop variable may be declared implicitly.
+			c.locals[s.Var] = TypeInt
+		}
+		if err := c.checkExpr(s.From, s.Line()); err != nil {
+			return err
+		}
+		if err := c.checkExpr(s.To, s.Line()); err != nil {
+			return err
+		}
+		return c.checkBlock(s.Body, loopDepth+1)
+	case *CallStmt:
+		callee, ok := c.funcs[s.Name]
+		if !ok {
+			return fmt.Errorf("line %d: call to undefined function %q", s.Line(), s.Name)
+		}
+		if len(s.Args) != len(callee.Params) {
+			return fmt.Errorf("line %d: call to %q with %d args, want %d",
+				s.Line(), s.Name, len(s.Args), len(callee.Params))
+		}
+		if s.Result != nil {
+			if err := c.checkLValue(s.Result, s.Line()); err != nil {
+				return err
+			}
+		}
+		for _, a := range s.Args {
+			if err := c.checkExpr(a, s.Line()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ReturnStmt:
+		if s.Value != nil {
+			return c.checkExpr(s.Value, s.Line())
+		}
+		return nil
+	case *AcquireStmt:
+		if !c.locks[s.Lock] {
+			return fmt.Errorf("line %d: acquire of undeclared lock %q", s.Line(), s.Lock)
+		}
+		return nil
+	case *ReleaseStmt:
+		if !c.locks[s.Lock] {
+			return fmt.Errorf("line %d: release of undeclared lock %q", s.Line(), s.Lock)
+		}
+		return nil
+	case *SpawnStmt:
+		callee, ok := c.funcs[s.Func]
+		if !ok {
+			return fmt.Errorf("line %d: spawn of undefined function %q", s.Line(), s.Func)
+		}
+		if len(s.Args) != len(callee.Params) {
+			return fmt.Errorf("line %d: spawn of %q with %d args, want %d",
+				s.Line(), s.Func, len(s.Args), len(callee.Params))
+		}
+		for _, a := range s.Args {
+			if err := c.checkExpr(a, s.Line()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AssertStmt:
+		return c.checkExpr(s.Cond, s.Line())
+	case *OutputStmt:
+		return c.checkExpr(s.Value, s.Line())
+	case *LabelStmt:
+		return nil
+	case *GotoStmt:
+		if !c.labels[s.Name] {
+			return fmt.Errorf("line %d: goto undefined label %q", s.Line(), s.Name)
+		}
+		return nil
+	case *BreakStmt:
+		if loopDepth == 0 {
+			return fmt.Errorf("line %d: break outside loop", s.Line())
+		}
+		return nil
+	case *ContinueStmt:
+		if loopDepth == 0 {
+			return fmt.Errorf("line %d: continue outside loop", s.Line())
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (c *checker) varType(name string) (Type, bool) {
+	if t, ok := c.locals[name]; ok {
+		return t, true
+	}
+	if g, ok := c.globals[name]; ok {
+		return g.Type, true
+	}
+	return 0, false
+}
+
+func (c *checker) checkLValue(lv LValue, line int) error {
+	switch lv := lv.(type) {
+	case *VarLV:
+		if _, ok := c.varType(lv.Name); !ok {
+			return fmt.Errorf("line %d: assignment to undeclared variable %q", line, lv.Name)
+		}
+		return nil
+	case *IndexLV:
+		g, ok := c.globals[lv.Name]
+		if !ok || g.ArraySize == 0 {
+			return fmt.Errorf("line %d: %q is not a global array", line, lv.Name)
+		}
+		return c.checkExpr(lv.Index, line)
+	case *FieldLV:
+		return c.checkExpr(lv.Obj, line)
+	}
+	return fmt.Errorf("line %d: unknown lvalue %T", line, lv)
+}
+
+func (c *checker) checkExpr(e Expr, line int) error {
+	switch e := e.(type) {
+	case *IntLit, *BoolLit, *NullLit, *NewExpr:
+		return nil
+	case *VarRef:
+		if _, ok := c.varType(e.Name); !ok {
+			return fmt.Errorf("line %d: use of undeclared variable %q", line, e.Name)
+		}
+		return nil
+	case *IndexExpr:
+		g, ok := c.globals[e.Name]
+		if !ok || g.ArraySize == 0 {
+			return fmt.Errorf("line %d: %q is not a global array", line, e.Name)
+		}
+		return c.checkExpr(e.Index, line)
+	case *FieldExpr:
+		return c.checkExpr(e.Obj, line)
+	case *UnaryExpr:
+		return c.checkExpr(e.X, line)
+	case *BinaryExpr:
+		if err := c.checkExpr(e.X, line); err != nil {
+			return err
+		}
+		return c.checkExpr(e.Y, line)
+	}
+	return fmt.Errorf("line %d: unknown expression %T", line, e)
+}

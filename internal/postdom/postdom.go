@@ -1,0 +1,152 @@
+// Package postdom computes immediate post-dominators of control-flow
+// graphs using the Cooper–Harvey–Kennedy iterative dominance algorithm
+// run on the reverse graph rooted at the virtual exit node.
+//
+// Post-dominance delimits the paper's predicate-branch regions: a region
+// opened by a predicate is closed at the predicate's immediate
+// post-dominator (execution-indexing rule 4).
+package postdom
+
+import "heisendump/internal/cfg"
+
+// Tree holds the post-dominator relation of one function's CFG.
+type Tree struct {
+	g *cfg.Graph
+	// ipdom[v] is the immediate post-dominator of node v, or -1 when v
+	// cannot reach the exit (and thus has no post-dominators).
+	ipdom []int
+	// depth[v] is the distance from the exit in the post-dominator
+	// tree; -1 when undefined.
+	depth []int
+}
+
+// Compute builds the post-dominator tree of g.
+func Compute(g *cfg.Graph) *Tree {
+	n := g.NumNodes()
+	t := &Tree{g: g, ipdom: make([]int, n), depth: make([]int, n)}
+	for i := range t.ipdom {
+		t.ipdom[i] = -1
+	}
+
+	// Reverse post-order of the *reverse* CFG from the exit.
+	order := make([]int, 0, n) // postorder of reverse graph
+	number := make([]int, n)   // node -> postorder number, -1 if unreached
+	for i := range number {
+		number[i] = -1
+	}
+	visited := make([]bool, n)
+	// Iterative DFS to avoid recursion limits on large functions.
+	type frame struct {
+		node int
+		next int
+	}
+	stack := []frame{{node: g.Exit}}
+	visited[g.Exit] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		preds := g.Preds[f.node]
+		if f.next < len(preds) {
+			v := preds[f.next]
+			f.next++
+			if !visited[v] {
+				visited[v] = true
+				stack = append(stack, frame{node: v})
+			}
+			continue
+		}
+		number[f.node] = len(order)
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+
+	t.ipdom[g.Exit] = g.Exit
+	changed := true
+	for changed {
+		changed = false
+		// Process in reverse post-order of the reverse graph (exit first).
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if v == g.Exit {
+				continue
+			}
+			newIdom := -1
+			for _, s := range g.Succs[v] { // preds in the reverse graph
+				if number[s] < 0 || t.ipdom[s] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = s
+				} else {
+					newIdom = t.intersect(number, newIdom, s)
+				}
+			}
+			if newIdom != -1 && t.ipdom[v] != newIdom {
+				t.ipdom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.ipdom[g.Exit] = -1 // the exit has no post-dominator
+
+	for i := range t.depth {
+		t.depth[i] = -2 // not computed
+	}
+	for v := range t.depth {
+		t.computeDepth(v)
+	}
+	return t
+}
+
+func (t *Tree) computeDepth(v int) int {
+	if t.depth[v] != -2 {
+		return t.depth[v]
+	}
+	if v == t.g.Exit {
+		t.depth[v] = 0
+		return 0
+	}
+	p := t.ipdom[v]
+	if p == -1 {
+		t.depth[v] = -1
+		return -1
+	}
+	t.depth[v] = -1 // cycle guard; proper trees have none
+	d := t.computeDepth(p)
+	if d >= 0 {
+		t.depth[v] = d + 1
+	}
+	return t.depth[v]
+}
+
+// intersect walks two nodes up the (partially built) dominator tree to
+// their common ancestor, comparing by postorder number.
+func (t *Tree) intersect(number []int, a, b int) int {
+	for a != b {
+		for number[a] < number[b] {
+			a = t.ipdom[a]
+		}
+		for number[b] < number[a] {
+			b = t.ipdom[b]
+		}
+	}
+	return a
+}
+
+// Ipdom returns the immediate post-dominator of v, or -1 when v has
+// none (it cannot reach the exit).
+func (t *Tree) Ipdom(v int) int { return t.ipdom[v] }
+
+// PostDominates reports whether a post-dominates b: every path from b
+// to the exit passes through a. A node post-dominates itself.
+func (t *Tree) PostDominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = t.ipdom[b]
+	}
+	return false
+}
+
+// Exit returns the virtual exit node id.
+func (t *Tree) Exit() int { return t.g.Exit }

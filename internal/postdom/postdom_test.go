@@ -1,0 +1,202 @@
+package postdom_test
+
+import (
+	"testing"
+
+	"heisendump/internal/cfg"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/postdom"
+	"heisendump/internal/workloads"
+)
+
+func buildFunc(t testing.TB, src, fn string) (*ir.Func, *cfg.Graph, *postdom.Tree) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := ir.Compile(prog, ir.Options{InstrumentLoops: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := cp.Funcs[cp.FuncIndex(fn)]
+	g := cfg.Build(f)
+	return f, g, postdom.Compute(g)
+}
+
+// bruteForcePostDominates checks the definition directly: a
+// post-dominates b iff removing a leaves no path from b to the exit.
+func bruteForcePostDominates(g *cfg.Graph, a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	seen[a] = true // block a
+	stack := []int{b}
+	if b == a {
+		return true
+	}
+	seen[b] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == g.Exit {
+			return false
+		}
+		for _, v := range g.Succs[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return true
+}
+
+// TestPostDominanceMatchesBruteForce validates the iterative algorithm
+// against the definition on every function of every workload.
+func TestPostDominanceMatchesBruteForce(t *testing.T) {
+	subjects := append(workloads.Bugs(), workloads.SplashKernels()...)
+	for _, w := range subjects {
+		cp, err := w.Compile(true)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, f := range cp.Funcs {
+			g := cfg.Build(f)
+			pd := postdom.Compute(g)
+			reach := g.ReachesExit()
+			for b := 0; b < len(f.Instrs); b++ {
+				if !reach[b] {
+					continue
+				}
+				for a := 0; a < len(f.Instrs); a++ {
+					got := pd.PostDominates(a, b)
+					want := bruteForcePostDominates(g, a, b)
+					if got != want {
+						t.Fatalf("%s/%s: PostDominates(%d,%d) = %v, brute force %v",
+							w.Name, f.Name, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIpdomIsImmediate: ipdom(v) strictly post-dominates v and no
+// other strict post-dominator of v sits between them.
+func TestIpdomIsImmediate(t *testing.T) {
+	w := workloads.ByName("apache-1")
+	cp, err := w.Compile(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range cp.Funcs {
+		g := cfg.Build(f)
+		pd := postdom.Compute(g)
+		reach := g.ReachesExit()
+		for v := 0; v < len(f.Instrs); v++ {
+			if !reach[v] {
+				continue
+			}
+			ip := pd.Ipdom(v)
+			if ip == -1 {
+				t.Fatalf("%s: node %d reaches exit but has no ipdom", f.Name, v)
+			}
+			if !bruteForcePostDominates(g, ip, v) {
+				t.Fatalf("%s: ipdom(%d)=%d does not post-dominate it", f.Name, v, ip)
+			}
+			// Any other strict post-dominator of v must post-dominate ip.
+			for o := 0; o <= len(f.Instrs); o++ {
+				if o == v || o == ip {
+					continue
+				}
+				if bruteForcePostDominates(g, o, v) && !bruteForcePostDominates(g, o, ip) {
+					t.Fatalf("%s: %d postdominates %d but not its ipdom %d", f.Name, o, v, ip)
+				}
+			}
+		}
+	}
+}
+
+// TestStraightLineIpdom: in straight-line code each instruction's
+// immediate post-dominator is its successor.
+func TestStraightLineIpdom(t *testing.T) {
+	_, g, pd := buildFunc(t, `
+program sl;
+global int x;
+func main() {
+    x = 1;
+    x = 2;
+    x = 3;
+}
+`, "main")
+	for v := 0; v+1 < g.Exit; v++ {
+		if pd.Ipdom(v) != v+1 {
+			t.Fatalf("ipdom(%d) = %d, want %d", v, pd.Ipdom(v), v+1)
+		}
+	}
+}
+
+// TestIfMerge: the ipdom of an if's predicate is the merge point.
+func TestIfMerge(t *testing.T) {
+	f, _, pd := buildFunc(t, `
+program ifm;
+global int x;
+func main() {
+    if (x > 0) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    x = 3;
+}
+`, "main")
+	// Find the branch and the merge (the x=3 assignment).
+	branch, merge := -1, -1
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == ir.OpBranch {
+			branch = i
+		}
+	}
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == ir.OpAssign && i > branch+2 {
+			merge = i
+		}
+	}
+	if branch < 0 || merge < 0 {
+		t.Fatal("did not find branch/merge")
+	}
+	if got := pd.Ipdom(branch); got != merge {
+		t.Fatalf("ipdom(branch %d) = %d, want merge %d", branch, got, merge)
+	}
+}
+
+// TestInfiniteLoopHasNoPostdominators: nodes that cannot reach the
+// exit report ipdom -1 rather than wrong answers. A goto self-loop is
+// used because `while (true)` keeps a structural exit edge.
+func TestInfiniteLoopHasNoPostdominators(t *testing.T) {
+	f, g, pd := buildFunc(t, `
+program inf;
+global int x;
+func main() {
+spin:
+    x = x + 1;
+    goto spin;
+}
+`, "main")
+	reach := g.ReachesExit()
+	sawUnreachable := false
+	for v := range f.Instrs {
+		if !reach[v] {
+			sawUnreachable = true
+			if pd.Ipdom(v) != -1 {
+				t.Fatalf("unreachable-to-exit node %d has ipdom %d", v, pd.Ipdom(v))
+			}
+		}
+	}
+	if !sawUnreachable {
+		t.Fatal("expected nodes that cannot reach the exit")
+	}
+}

@@ -1,0 +1,191 @@
+// Package sched provides the schedulers that drive machine execution:
+// a cooperative deterministic single-core scheduler (the paper's
+// re-execution environment), a seeded pseudo-random scheduler
+// simulating multicore interleaving (used to provoke failures during
+// stress testing), and a recording/replay facility.
+package sched
+
+import (
+	"math/rand"
+
+	"heisendump/internal/interp"
+)
+
+// Scheduler picks the next thread to step.
+type Scheduler interface {
+	// Next returns the id of the thread to step, chosen from the
+	// machine's runnable set, or -1 to stop the run.
+	Next(m *interp.Machine) int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Crashed is true when the run faulted; Crash carries the details.
+	Crashed bool
+	Crash   *interp.CrashInfo
+	// Deadlocked is true when unfinished threads remained but none was
+	// runnable.
+	Deadlocked bool
+	// Steps is the total instruction count of the run.
+	Steps int64
+	// Schedule records the thread stepped at each step.
+	Schedule []int
+	// Output is the run's output log.
+	Output []int64
+	// StepLimited is true when the run was cut off by the machine's
+	// step limit.
+	StepLimited bool
+}
+
+// Run drives m with s until the machine halts or the scheduler yields.
+// The returned Result records the full thread schedule, so the run can
+// be replayed with a Replayer.
+func Run(m *interp.Machine, s Scheduler) *Result {
+	res := &Result{}
+	for !m.Crashed() && !m.Done() {
+		tid := s.Next(m)
+		if tid < 0 {
+			break
+		}
+		ok, err := m.Step(tid)
+		if err == interp.ErrStepLimit {
+			res.StepLimited = true
+			break
+		}
+		if err != nil || !ok {
+			break
+		}
+		res.Schedule = append(res.Schedule, tid)
+	}
+	res.Steps = m.TotalSteps
+	res.Output = m.Output
+	if m.Crashed() {
+		res.Crashed = true
+		res.Crash = m.Crash
+	} else if !m.Done() && len(m.Runnable()) == 0 {
+		res.Deadlocked = true
+	}
+	return res
+}
+
+// Cooperative is the deterministic single-core scheduler: the current
+// thread keeps running until it blocks or finishes, at which point the
+// lowest-id runnable thread is chosen. Context switches therefore
+// happen only at synchronization operations and thread exits, which is
+// the execution model the preemption-search phase perturbs.
+type Cooperative struct {
+	current int
+	started bool
+}
+
+// NewCooperative returns a fresh deterministic scheduler.
+func NewCooperative() *Cooperative { return &Cooperative{} }
+
+// Next implements Scheduler.
+func (c *Cooperative) Next(m *interp.Machine) int {
+	runnable := m.Runnable()
+	if len(runnable) == 0 {
+		return -1
+	}
+	if c.started {
+		for _, tid := range runnable {
+			if tid == c.current {
+				return tid
+			}
+		}
+	}
+	c.started = true
+	c.current = runnable[0]
+	return c.current
+}
+
+// Random steps a uniformly random runnable thread each step, standing
+// in for the fine-grained interleaving of truly parallel cores. The
+// seed fully determines the interleaving.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a random scheduler with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (r *Random) Next(m *interp.Machine) int {
+	runnable := m.Runnable()
+	if len(runnable) == 0 {
+		return -1
+	}
+	return runnable[r.rng.Intn(len(runnable))]
+}
+
+// Replayer replays a recorded schedule, then stops.
+type Replayer struct {
+	schedule []int
+	pos      int
+}
+
+// NewReplayer returns a scheduler that replays schedule verbatim.
+func NewReplayer(schedule []int) *Replayer { return &Replayer{schedule: schedule} }
+
+// Next implements Scheduler.
+func (r *Replayer) Next(m *interp.Machine) int {
+	if r.pos >= len(r.schedule) {
+		return -1
+	}
+	tid := r.schedule[r.pos]
+	r.pos++
+	return tid
+}
+
+// BoundedRun runs m under s for at most maxSteps additional steps.
+// It is used to capture dumps at precise points of deterministic runs.
+func BoundedRun(m *interp.Machine, s Scheduler, maxSteps int64) *Result {
+	res := &Result{}
+	for !m.Crashed() && !m.Done() && int64(len(res.Schedule)) < maxSteps {
+		tid := s.Next(m)
+		if tid < 0 {
+			break
+		}
+		ok, err := m.Step(tid)
+		if err != nil || !ok {
+			break
+		}
+		res.Schedule = append(res.Schedule, tid)
+	}
+	res.Steps = m.TotalSteps
+	res.Output = m.Output
+	if m.Crashed() {
+		res.Crashed = true
+		res.Crash = m.Crash
+	} else if !m.Done() && len(m.Runnable()) == 0 {
+		res.Deadlocked = true
+	}
+	return res
+}
+
+// StressResult describes the outcome of a stress-testing campaign.
+type StressResult struct {
+	// Seed is the interleaving seed that provoked the failure.
+	Seed int64
+	// Result is the failing run.
+	Result *Result
+	// Attempts is the number of seeds tried, including the failing one.
+	Attempts int
+}
+
+// Stress repeatedly executes fresh machines under random scheduling
+// until one crashes or maxAttempts is exhausted. It models the paper's
+// stress testing used only to acquire a failure core dump, and returns
+// the machine in its crashed state for dump capture.
+func Stress(newMachine func() *interp.Machine, maxAttempts int) (*interp.Machine, *StressResult) {
+	for i := 0; i < maxAttempts; i++ {
+		m := newMachine()
+		res := Run(m, NewRandom(int64(i)))
+		if res.Crashed {
+			return m, &StressResult{Seed: int64(i), Result: res, Attempts: i + 1}
+		}
+	}
+	return nil, nil
+}

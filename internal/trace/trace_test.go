@@ -1,0 +1,130 @@
+package trace_test
+
+import (
+	"testing"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/sched"
+	"heisendump/internal/trace"
+)
+
+func run(t testing.TB, src string, hooks interp.Hooks) *interp.Machine {
+	t.Helper()
+	cp, err := ir.Compile(lang.MustParse(src), ir.Options{InstrumentLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(cp, nil)
+	m.Hooks = hooks
+	sched.Run(m, sched.NewCooperative())
+	return m
+}
+
+const traceSrc = `
+program tr;
+global int x;
+global int a[4];
+func main() {
+    var int i;
+    x = 1;
+    for i = 0 .. 3 {
+        a[i] = x + i;
+    }
+    if (x > 0) {
+        x = a[2];
+    }
+}
+`
+
+func TestRecorderCapturesEverything(t *testing.T) {
+	rec := trace.NewRecorder()
+	m := run(t, traceSrc, rec)
+	if int64(len(rec.Events)) != m.TotalSteps {
+		t.Fatalf("events %d != steps %d", len(rec.Events), m.TotalSteps)
+	}
+	// Steps are sequential from 0.
+	for i, e := range rec.Events {
+		if e.Step != int64(i) {
+			t.Fatalf("event %d has step %d", i, e.Step)
+		}
+	}
+	// Branch outcomes recorded.
+	branches, reads, writes := 0, 0, 0
+	for _, e := range rec.Events {
+		if e.IsBranch {
+			branches++
+		}
+		reads += len(e.Reads)
+		writes += len(e.Writes)
+	}
+	if branches == 0 || reads == 0 || writes == 0 {
+		t.Fatalf("branches=%d reads=%d writes=%d", branches, reads, writes)
+	}
+	// The write to a[2] appears with the right identity.
+	found := false
+	for _, e := range rec.Events {
+		for _, w := range e.Writes {
+			if w.Kind == interp.VArrayElem && w.Name == "a" && w.Idx == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("a[2] write not recorded")
+	}
+	if rec.EventAt(0) == nil || rec.EventAt(int64(len(rec.Events))) != nil {
+		t.Fatal("EventAt boundary behavior wrong")
+	}
+}
+
+// countingHooks counts every callback to verify fan-out.
+type countingHooks struct {
+	before, branch, enter, exit, read, write int
+}
+
+func (c *countingHooks) BeforeInstr(*interp.Thread, ir.PC, *ir.Instr) { c.before++ }
+func (c *countingHooks) OnBranch(*interp.Thread, ir.PC, bool)         { c.branch++ }
+func (c *countingHooks) OnEnterFunc(*interp.Thread, int)              { c.enter++ }
+func (c *countingHooks) OnExitFunc(*interp.Thread, int)               { c.exit++ }
+func (c *countingHooks) OnRead(*interp.Thread, interp.VarID)          { c.read++ }
+func (c *countingHooks) OnWrite(*interp.Thread, interp.VarID)         { c.write++ }
+
+func TestMultiFansOutIdentically(t *testing.T) {
+	a, b := &countingHooks{}, &countingHooks{}
+	run(t, traceSrc, trace.Multi{a, b})
+	if *a != *b {
+		t.Fatalf("fan-out divergence: %+v vs %+v", *a, *b)
+	}
+	if a.before == 0 || a.branch == 0 || a.enter == 0 || a.exit == 0 || a.read == 0 || a.write == 0 {
+		t.Fatalf("callbacks missing: %+v", *a)
+	}
+	if a.enter != a.exit {
+		t.Fatalf("enter %d != exit %d on a clean run", a.enter, a.exit)
+	}
+}
+
+func TestSynthEventsMarked(t *testing.T) {
+	rec := trace.NewRecorder()
+	run(t, `
+program sy;
+global int s;
+func main() {
+    var int i = 0;
+    while (i < 3) {
+        i = i + 1;
+        s = s + i;
+    }
+}
+`, rec)
+	synth := 0
+	for _, e := range rec.Events {
+		if e.Synth {
+			synth++
+		}
+	}
+	if synth != 4 { // reset + 3 increments
+		t.Fatalf("synthetic events: %d, want 4", synth)
+	}
+}

@@ -1,0 +1,232 @@
+package workloads
+
+import "heisendump/internal/interp"
+
+// Apache1 models apache bug 21285 (the paper's §6 case study): the
+// mod_mem_cache two-step insertion. Content is first cached with a
+// default size and later — outside the critical section — removed and
+// re-inserted with its proper size. Under the wrong interleaving an
+// object still in its first step is evicted by another request; its
+// later removal subtracts its size from current_size a second time,
+// wrapping the unsigned counter to a huge value, and the next
+// insertion's eviction loop pops the cache queue past empty and
+// dereferences null.
+var Apache1 = register(&Workload{
+	Name:        "apache-1",
+	BugID:       "21285",
+	Kind:        "atom",
+	Description: "mod_mem_cache two-step insert: eviction between steps wraps current_size and underflows the queue",
+	Threads:     7,
+	Source: `
+program apache1;
+
+// Request-mill filler: realistic lock-protected request processing
+// that inflates the synchronization-point count without touching the
+// bug. Undirected schedule search must wade through these points.
+global int pool;
+lock WK;
+
+// The cache: a queue of content objects (oldest first), the running
+// size total, and the configured capacity.
+global ptr qhead;
+global int cur_size;
+global int max_size = 15;
+global int work;
+global int served;
+lock CL;
+
+func main() {
+    spawn mill(12);
+    spawn mill(12);
+    spawn mill(12);
+    spawn req(2, 2);
+    spawn req(9, 2);
+    spawn req(16, 2);
+}
+
+// req handles one request: cache with default size, build the
+// response body (of size sz), then re-cache with the proper size.
+func req(int d, int sz) {
+    var ptr o;
+    var int j;
+    o = new(next, size);
+    o.size = 10;          // default size: the content length is unknown
+    create_entity(o);
+    for j = 1 .. d {      // build the body outside the lock
+        work = work + 1;
+    }
+    write_body(o, sz);
+    served = served + 1;
+}
+
+func create_entity(ptr o) {
+    acquire(CL);
+    cache_insert(o);
+    release(CL);
+}
+
+func write_body(ptr o, int sz) {
+    acquire(CL);
+    cache_remove(o);
+    o.size = sz;          // the proper size is now known
+    cache_insert(o);
+    release(CL);
+}
+
+func cache_insert(ptr o) {
+    var ptr ej;
+    while (cur_size + o.size > max_size) {
+        ej = pq_pop();
+        cur_size = cur_size - ej.size;   // crashes when the queue underflows
+    }
+    cur_size = cur_size + o.size;
+    pq_push(o);
+}
+
+func cache_remove(ptr o) {
+    pq_delete(o);
+    cur_size = cur_size - o.size;
+    if (cur_size < 0) {
+        cur_size = cur_size + 1000000;   // unsigned wrap-around
+    }
+}
+
+// pq_push appends o at the queue tail.
+func pq_push(ptr o) {
+    var ptr c;
+    o.next = null;
+    if (qhead == null) {
+        qhead = o;
+        return;
+    }
+    c = qhead;
+    while (c.next != null) {
+        c = c.next;
+    }
+    c.next = o;
+}
+
+// pq_pop removes and returns the oldest entry (null when empty).
+func pq_pop() {
+    var ptr h;
+    h = qhead;
+    if (h != null) {
+        qhead = h.next;
+    }
+    return h;
+}
+
+// pq_delete unlinks o when present.
+func pq_delete(ptr o) {
+    var ptr c;
+    if (qhead == null) {
+        return;
+    }
+    if (qhead == o) {
+        qhead = qhead.next;
+        return;
+    }
+    c = qhead;
+    while (c.next != null) {
+        if (c.next == o) {
+            c.next = c.next.next;
+            return;
+        }
+        c = c.next;
+    }
+}
+
+func mill(int k) {
+    var int i;
+    for i = 1 .. k {
+        acquire(WK);
+        pool = pool + 1;
+        release(WK);
+    }
+}
+`,
+	Input: &interp.Input{},
+})
+
+// Apache2 models apache bug 45605: a plain data race on a shared
+// buffer pointer. The worker checks the log buffer before using it;
+// the rotation thread nulls the pointer in between. The check and the
+// use are unsynchronized reads of shared state.
+var Apache2 = register(&Workload{
+	Name:        "apache-2",
+	BugID:       "45605",
+	Kind:        "race",
+	Description: "log-rotation race: buffer pointer nulled between the worker's check and use",
+	Threads:     5,
+	Source: `
+program apache2;
+
+// Request-mill filler: realistic lock-protected request processing
+// that inflates the synchronization-point count without touching the
+// bug. Undirected schedule search must wade through these points.
+global int pool;
+lock WK;
+
+global ptr logbuf;
+global int written;
+global int rotations;
+global int stats;
+global int work;
+lock LG;
+lock ST;
+
+func main() {
+    logbuf = new(len, cap);
+    logbuf.cap = 64;
+    spawn mill(12);
+    spawn mill(12);
+    spawn worker(6);
+    spawn rotate(2);
+}
+
+func worker(int n) {
+    var int i;
+    var int w;
+    for i = 1 .. n {
+        for w = 1 .. 2 {
+            work = work + 1;         // format the entry
+        }
+        if (logbuf != null) {
+            append_entry(i);
+        }
+    }
+}
+
+func append_entry(int v) {
+    acquire(ST);
+    stats = stats + 1;               // request accounting
+    release(ST);
+    logbuf.len = logbuf.len + 1;     // crashes when rotation nulled logbuf
+    written = written + v;
+}
+
+func rotate(int n) {
+    var int i;
+    var ptr fresh;
+    for i = 1 .. n {
+        fresh = new(len, cap);
+        fresh.cap = 64;
+        logbuf = null;               // swap the buffer out...
+        acquire(LG);
+        rotations = rotations + 1;   // ...archive the old entries...
+        release(LG);
+        logbuf = fresh;              // ...and swap the fresh one in
+    }
+}
+
+func mill(int k) {
+    var int i;
+    for i = 1 .. k {
+        acquire(WK);
+        pool = pool + 1;
+        release(WK);
+    }
+}
+`,
+	Input: &interp.Input{},
+})

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"heisendump/internal/lang"
+)
+
+// CorpusSpec describes a synthetic program corpus for the control-
+// dependence distribution study (the paper's Table 1). The corpora
+// stand in for the apache/mysql/postgresql source trees: large bodies
+// of code mixing plainly guarded statements, short-circuit
+// conditionals, goto-laced error handling and loops, in proportions
+// shaped after real C server code.
+type CorpusSpec struct {
+	Name  string
+	Seed  int64
+	Funcs int
+	// BlocksPerFunc controls function size.
+	BlocksPerFunc int
+	// GotoWeight tunes how goto-heavy the code base is (per-mille of
+	// pattern draws); apache uses more unstructured jumps than
+	// postgresql in the paper's numbers.
+	GotoWeight int
+	// OrWeight tunes short-circuit conditional frequency (per-mille).
+	OrWeight int
+	// LoopWeight tunes loop frequency (per-mille).
+	LoopWeight int
+}
+
+// CorpusSpecs returns the three Table 1 corpora.
+func CorpusSpecs() []CorpusSpec {
+	return []CorpusSpec{
+		{Name: "apache-like", Seed: 1, Funcs: 120, BlocksPerFunc: 14, GotoWeight: 120, OrWeight: 160, LoopWeight: 310},
+		{Name: "mysql-like", Seed: 2, Funcs: 160, BlocksPerFunc: 16, GotoWeight: 90, OrWeight: 95, LoopWeight: 220},
+		{Name: "postgresql-like", Seed: 3, Funcs: 140, BlocksPerFunc: 15, GotoWeight: 80, OrWeight: 110, LoopWeight: 360},
+	}
+}
+
+// GenerateCorpus builds one synthetic corpus program. The result is
+// only analyzed statically (control dependences, post-dominators); it
+// is never executed, though it is a valid runnable program.
+func GenerateCorpus(spec CorpusSpec) (*lang.Program, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s;\n\nglobal int sink;\n\n", sanitizeName(spec.Name))
+
+	sb.WriteString("func main() {\n")
+	for f := 0; f < spec.Funcs; f++ {
+		fmt.Fprintf(&sb, "    f%d(%d);\n", f, rng.Intn(9)+1)
+	}
+	sb.WriteString("}\n\n")
+
+	for f := 0; f < spec.Funcs; f++ {
+		writeCorpusFunc(&sb, rng, spec, f)
+	}
+	return lang.Parse(sb.String())
+}
+
+func sanitizeName(s string) string {
+	return strings.ReplaceAll(s, "-", "_")
+}
+
+func writeCorpusFunc(sb *strings.Builder, rng *rand.Rand, spec CorpusSpec, id int) {
+	fmt.Fprintf(sb, "func f%d(int a) {\n", id)
+	sb.WriteString("    var int x = 1;\n")
+	sb.WriteString("    var int y = 2;\n")
+	sb.WriteString("    var int b = 3;\n")
+	sb.WriteString("    var int c = 4;\n")
+	labelSeq := 0
+	for blk := 0; blk < spec.BlocksPerFunc; blk++ {
+		writeCorpusBlock(sb, rng, spec, id, blk, &labelSeq)
+	}
+	sb.WriteString("    sink = sink + x + y;\n")
+	sb.WriteString("}\n\n")
+}
+
+// writeCorpusBlock emits one statement pattern, drawn with the spec's
+// weights. Pattern classes (per Table 1's taxonomy):
+//
+//	guarded   — statements with a single control dependence
+//	nested    — chains of single dependences
+//	orcond    — `if (p1 || p2)` bodies: aggregatable multiple deps
+//	andelse   — `if (p1 && p2) else` bodies: aggregatable multiple deps
+//	gotoland  — Fig. 6-style label reachable by goto and fallthrough:
+//	            non-aggregatable multiple deps
+//	forloop / whileloop — loop predicates
+func writeCorpusBlock(sb *strings.Builder, rng *rand.Rand, spec CorpusSpec, fid, blk int, labelSeq *int) {
+	r := rng.Intn(1000)
+	k := rng.Intn(7) + 1
+	gw := spec.GotoWeight
+	ow := spec.OrWeight
+	lw := spec.LoopWeight
+	switch {
+	case r < gw: // gotoland: non-aggregatable
+		*labelSeq++
+		l := fmt.Sprintf("l%d_%d", fid, *labelSeq)
+		fmt.Fprintf(sb, `    if (a > %d) {
+        if (b > %d) {
+            goto %s;
+        }
+        x = x + %d;
+        if (c > %d) {
+            y = y + 1;
+        } else {
+%s:
+            y = y + %d;
+            x = x - 1;
+        }
+    }
+`, k, k+1, l, k, k+2, l, k)
+	case r < gw+ow: // orcond / andelse: aggregatable
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(sb, `    if (a > %d || b > %d) {
+        x = x + %d;
+        y = y - 1;
+    }
+`, k, k+3, k)
+		} else {
+			fmt.Fprintf(sb, `    if (a > %d && c > %d) {
+        x = x + 1;
+    } else {
+        y = y + %d;
+        x = x - 2;
+    }
+`, k, k+2, k)
+		}
+	case r < gw+ow+lw: // loops
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(sb, `    b = 0;
+    while (b < %d) {
+        x = x + b;
+        b = b + 1;
+    }
+`, k+2)
+		} else {
+			fmt.Fprintf(sb, `    for c = 1 .. %d {
+        y = y + c;
+    }
+`, k+3)
+		}
+	case r < gw+ow+lw+200: // nested single dependences
+		fmt.Fprintf(sb, `    if (a > %d) {
+        x = x + %d;
+        if (x > y) {
+            y = y + 1;
+            x = x - 1;
+        }
+        y = y - %d;
+    }
+`, k, k, k)
+	default: // guarded: single control dependence
+		fmt.Fprintf(sb, `    if (x > %d) {
+        x = x - %d;
+        y = y + %d;
+        sink = sink + 1;
+    }
+`, k, k, k)
+	}
+}

@@ -1,0 +1,388 @@
+package workloads
+
+import "heisendump/internal/interp"
+
+// MySQL1 models mysql bug 21587: a check-then-act atomicity violation
+// on a shared table pointer. The query thread verifies the table is
+// open in one critical section and dereferences it in a later one; the
+// admin thread's DROP TABLE lands in between.
+var MySQL1 = register(&Workload{
+	Name:        "mysql-1",
+	BugID:       "21587",
+	Kind:        "atom",
+	Description: "check-then-act on table pointer across critical sections; DROP TABLE lands between",
+	Threads:     5,
+	Source: `
+program mysql1;
+
+// Request-mill filler: realistic lock-protected request processing
+// that inflates the synchronization-point count without touching the
+// bug. Undirected schedule search must wade through these points.
+global int pool;
+lock WK;
+
+global ptr tbl;
+global int scanned;
+global int admin_work;
+global int queries;
+lock TL;
+
+func main() {
+    tbl = new(rows, refs);
+    tbl.rows = 12;
+    spawn mill(12);
+    spawn mill(12);
+    spawn query(3);
+    spawn admin(4);
+}
+
+func query(int n) {
+    var int i;
+    var int ok;
+    for i = 1 .. n {
+        ok = 0;
+        acquire(TL);
+        if (tbl != null) {
+            ok = 1;            // the table looked open...
+        }
+        release(TL);
+        queries = queries + 1; // bookkeeping between the sections
+        if (ok == 1) {
+            acquire(TL);
+            scan_rows();       // ...but may be gone by now
+            release(TL);
+        }
+    }
+}
+
+func scan_rows() {
+    var int r;
+    r = tbl.rows;              // crashes after a concurrent drop
+    scanned = scanned + r;
+}
+
+func admin(int d) {
+    var int j;
+    for j = 1 .. d {
+        admin_work = admin_work + 1;
+    }
+    acquire(TL);
+    tbl = null;                // DROP TABLE
+    release(TL);
+}
+
+func mill(int k) {
+    var int i;
+    for i = 1 .. k {
+        acquire(WK);
+        pool = pool + 1;
+        release(WK);
+    }
+}
+`,
+	Input: &interp.Input{},
+})
+
+// MySQL2 models mysql bug 12228: a two-step update whose invariant a
+// consistency checker asserts. The writer updates the row count and
+// the byte total in separate critical sections; the checker sees the
+// torn intermediate state.
+var MySQL2 = register(&Workload{
+	Name:        "mysql-2",
+	BugID:       "12228",
+	Kind:        "atom",
+	Description: "row count and byte total updated in separate critical sections; checker observes torn state",
+	Threads:     5,
+	Source: `
+program mysql2;
+
+// Request-mill filler: realistic lock-protected request processing
+// that inflates the synchronization-point count without touching the
+// bug. Undirected schedule search must wade through these points.
+global int pool;
+lock WK;
+
+global int rows;
+global int bytes;
+global int rowsize = 8;
+global int checks;
+global int inserts;
+lock ML;
+
+func main() {
+    spawn mill(12);
+    spawn mill(12);
+    spawn writer(4);
+    spawn checker(3);
+}
+
+func writer(int n) {
+    var int i;
+    for i = 1 .. n {
+        acquire(ML);
+        rows = rows + 1;
+        release(ML);
+        inserts = inserts + 1;   // unrelated bookkeeping in between
+        acquire(ML);
+        bytes = bytes + rowsize;
+        release(ML);
+    }
+}
+
+func checker(int n) {
+    var int i;
+    var int r;
+    var int b;
+    for i = 1 .. n {
+        checks = checks + 1;
+        acquire(ML);
+        r = rows;
+        b = bytes;
+        release(ML);
+        assert(b == r * rowsize, "torn row accounting");
+    }
+}
+
+func mill(int k) {
+    var int i;
+    for i = 1 .. k {
+        acquire(WK);
+        pool = pool + 1;
+        release(WK);
+    }
+}
+`,
+	Input: &interp.Input{},
+})
+
+// MySQL3 models mysql bug 12212: an unprotected race on the binlog
+// write position. A writer reserves a slot by bumping the shared
+// position, obtains a sequence number under the sequencer lock, and
+// only then writes the slot — re-reading the shared position, which a
+// concurrent writer may have bumped past the reserved slot.
+var MySQL3 = register(&Workload{
+	Name:        "mysql-3",
+	BugID:       "12212",
+	Kind:        "race",
+	Description: "race on binlog write position: slot reserved and written non-atomically, colliding with the peer's slot",
+	Threads:     5,
+	Source: `
+program mysql3;
+
+// Request-mill filler: realistic lock-protected request processing
+// that inflates the synchronization-point count without touching the
+// bug. Undirected schedule search must wade through these points.
+global int pool;
+lock WK;
+
+global int pos = -1;
+global int buf[8];
+global int seq;
+lock FL;
+
+func main() {
+    spawn mill(12);
+    spawn mill(12);
+    spawn logger(3, 10);
+    spawn logger(4, 20);
+}
+
+func logger(int n, int tag) {
+    var int i;
+    for i = 1 .. n {
+        pos = pos + 1;                     // reserve the next slot...
+        acquire(FL);
+        seq = seq + 1;                     // ...sequence the entry...
+        release(FL);
+        assert(buf[pos] == 0, "slot collision");
+        buf[pos] = tag + i;                // ...and write it, re-reading pos
+    }
+}
+
+func mill(int k) {
+    var int i;
+    for i = 1 .. k {
+        acquire(WK);
+        pool = pool + 1;
+        release(WK);
+    }
+}
+`,
+	Input: &interp.Input{},
+})
+
+// MySQL4 models mysql bug 12848: a cached length used after the cache
+// shrank. The reader snapshots the result-set length in one critical
+// section and walks the rows in another; a concurrent purge shrinks
+// the set in between and poisons the freed slots.
+var MySQL4 = register(&Workload{
+	Name:        "mysql-4",
+	BugID:       "12848",
+	Kind:        "atom",
+	Description: "stale result-set length: purge shrinks the set between snapshot and walk",
+	Threads:     5,
+	Source: `
+program mysql4;
+
+// Request-mill filler: realistic lock-protected request processing
+// that inflates the synchronization-point count without touching the
+// bug. Undirected schedule search must wade through these points.
+global int pool;
+lock WK;
+
+global int rowsv[8];
+global int nrows;
+global int walked;
+global int purges;
+global int prep;
+lock RL;
+
+func main() {
+    var int k;
+    for k = 0 .. 5 {
+        rowsv[k] = 100 + k;
+    }
+    nrows = 6;
+    spawn mill(12);
+    spawn mill(12);
+    spawn reader(2);
+    spawn purger(6);
+}
+
+func reader(int n) {
+    var int i;
+    var int len;
+    var int j;
+    var int v;
+    for i = 1 .. n {
+        acquire(RL);
+        len = nrows;             // snapshot the length...
+        release(RL);
+        walked = walked + 1;     // cursor bookkeeping
+        acquire(RL);
+        j = 0;
+        while (j < len) {        // ...then walk, trusting the snapshot
+            v = rowsv[j];
+            assert(v >= 0, "walked into purged row");
+            j = j + 1;
+        }
+        release(RL);
+    }
+}
+
+func purger(int d) {
+    var int j;
+    for j = 1 .. d {
+        prep = prep + 1;         // decide what to purge
+    }
+    acquire(RL);
+    nrows = 2;
+    for j = 2 .. 5 {
+        rowsv[j] = -1;           // poison freed slots
+    }
+    release(RL);
+    purges = purges + 1;
+}
+
+func mill(int k) {
+    var int i;
+    for i = 1 .. k {
+        acquire(WK);
+        pool = pool + 1;
+        release(WK);
+    }
+}
+`,
+	Input: &interp.Input{},
+})
+
+// MySQL5 models mysql bug 42419: commit/rollback racing on transaction
+// state. The committer checks the prepared flag and applies the undo
+// log in separate critical sections; rollback frees the undo log in
+// between.
+var MySQL5 = register(&Workload{
+	Name:        "mysql-5",
+	BugID:       "42419",
+	Kind:        "atom",
+	Description: "commit applies the undo log after rollback freed it",
+	Threads:     5,
+	Source: `
+program mysql5;
+
+// Request-mill filler: realistic lock-protected request processing
+// that inflates the synchronization-point count without touching the
+// bug. Undirected schedule search must wade through these points.
+global int pool;
+lock WK;
+
+global ptr undo;
+global int state;
+global int applied;
+global int rb_work;
+global int txns;
+lock XL;
+
+func main() {
+    spawn mill(12);
+    spawn mill(12);
+    spawn committer(3);
+    spawn rollbacker(8);
+}
+
+func committer(int n) {
+    var int i;
+    var int go_;
+    for i = 1 .. n {
+        prepare(i);
+        go_ = 0;
+        acquire(XL);
+        if (state == 1) {
+            go_ = 1;             // prepared: safe to apply...
+        }
+        release(XL);
+        txns = txns + 1;
+        if (go_ == 1) {
+            apply_undo();        // ...unless rollback won the race
+        }
+    }
+}
+
+func prepare(int i) {
+    acquire(XL);
+    undo = new(data, next);
+    undo.data = i;
+    state = 1;
+    release(XL);
+}
+
+func apply_undo() {
+    var int d;
+    d = undo.data;               // crashes after rollback freed the log
+    applied = applied + d;
+    acquire(XL);
+    state = 0;
+    release(XL);
+}
+
+func rollbacker(int d) {
+    var int j;
+    for j = 1 .. d {
+        rb_work = rb_work + 1;
+    }
+    acquire(XL);
+    state = 0;
+    undo = null;                 // free the undo log
+    release(XL);
+}
+
+func mill(int k) {
+    var int i;
+    for i = 1 .. k {
+        acquire(WK);
+        pool = pool + 1;
+        release(WK);
+    }
+}
+`,
+	Input: &interp.Input{},
+})

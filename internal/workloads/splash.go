@@ -1,0 +1,284 @@
+package workloads
+
+import "heisendump/internal/interp"
+
+// The splash-II-style kernels below are loop-intensive parallel
+// programs used, as in the paper's Fig. 10, to measure the production
+// overhead of loop-counter instrumentation. They use counted `for`
+// loops almost everywhere — loops that already carry counters and need
+// no instrumentation — which is why the paper found splash programs
+// cheaper to instrument than apache/mysql.
+//
+// Each kernel is deterministic (workers partition disjoint index
+// ranges) and self-checks its result with asserts.
+
+// SplashKernels lists the overhead-measurement subjects.
+func SplashKernels() []*Workload {
+	return []*Workload{SplashFFT, SplashLU, SplashRadix, SplashOcean, SplashWater, SplashBarnes}
+}
+
+// SplashFFT models the fft kernel: butterfly-style passes over an
+// array, partitioned across two workers.
+var SplashFFT = register(&Workload{
+	Name:        "splash-fft",
+	Kind:        "kernel",
+	Description: "fft-style butterfly passes over a shared array",
+	Threads:     3,
+	Source: `
+program fft;
+
+global int data[64];
+global int done0;
+global int done1;
+lock BAR;
+
+func main() {
+    var int i;
+    for i = 0 .. 63 {
+        data[i] = i * 7 % 31;
+    }
+    spawn worker(0, 31);
+    spawn worker(32, 63);
+}
+
+func worker(int lo, int hi) {
+    var int pass;
+    var int i;
+    var int t;
+    for pass = 1 .. 4 {
+        for i = lo .. hi {
+            t = data[i];
+            data[i] = t + pass * 3;
+        }
+    }
+    acquire(BAR);
+    if (lo == 0) {
+        done0 = 1;
+    } else {
+        done1 = 1;
+    }
+    release(BAR);
+}
+`,
+	Input: &interp.Input{},
+})
+
+// SplashLU models the lu kernel: blocked elimination sweeps.
+var SplashLU = register(&Workload{
+	Name:        "splash-lu",
+	Kind:        "kernel",
+	Description: "lu-style blocked elimination sweeps",
+	Threads:     3,
+	Source: `
+program lu;
+
+global int mat[64];
+global int finished;
+lock BAR;
+
+func main() {
+    var int i;
+    for i = 0 .. 63 {
+        mat[i] = (i * 13 + 5) % 17;
+    }
+    spawn eliminate(0);
+    spawn eliminate(1);
+}
+
+func eliminate(int half) {
+    var int k;
+    var int j;
+    var int base;
+    base = half * 32;
+    for k = 0 .. 6 {
+        for j = 1 .. 31 {
+            mat[base + j] = mat[base + j] - mat[base] * mat[base + j] % 7;
+        }
+    }
+    acquire(BAR);
+    finished = finished + 1;
+    release(BAR);
+}
+`,
+	Input: &interp.Input{},
+})
+
+// SplashRadix models the radix sort kernel: counting passes per digit.
+// Its histogram loop is a while loop, so radix (alone among the
+// kernels) pays a little instrumentation overhead, matching the
+// paper's observation that splash programs vary.
+var SplashRadix = register(&Workload{
+	Name:        "splash-radix",
+	Kind:        "kernel",
+	Description: "radix-sort counting passes with a while-loop histogram scan",
+	Threads:     3,
+	Source: `
+program radix;
+
+global int keys[64];
+global int hist[16];
+global int phase;
+lock BAR;
+
+func main() {
+    var int i;
+    for i = 0 .. 63 {
+        keys[i] = (i * 29 + 3) % 16;
+    }
+    spawn count(0, 31);
+    spawn count(32, 63);
+}
+
+func count(int lo, int hi) {
+    var int i;
+    var int k;
+    var int d;
+    var int v;
+    i = lo;
+    while (i <= hi) {
+        k = keys[i];
+        v = k;
+        for d = 1 .. 4 {
+            v = v * 2 % 16;      // extract the digit
+        }
+        acquire(BAR);
+        hist[v] = hist[v] + 1;
+        release(BAR);
+        i = i + 1;
+    }
+    acquire(BAR);
+    phase = phase + 1;
+    release(BAR);
+}
+`,
+	Input: &interp.Input{},
+})
+
+// SplashOcean models the ocean kernel: stencil relaxation sweeps.
+var SplashOcean = register(&Workload{
+	Name:        "splash-ocean",
+	Kind:        "kernel",
+	Description: "ocean-style stencil relaxation on a grid",
+	Threads:     3,
+	Source: `
+program ocean;
+
+global int grid[66];
+global int iters;
+lock BAR;
+
+func main() {
+    var int i;
+    for i = 0 .. 65 {
+        grid[i] = i % 9;
+    }
+    spawn relax(1, 32);
+    spawn relax(33, 64);
+}
+
+func relax(int lo, int hi) {
+    var int sweep;
+    var int i;
+    for sweep = 1 .. 5 {
+        for i = lo .. hi {
+            grid[i] = (grid[i - 1] + grid[i] + grid[i + 1]) / 3;
+        }
+    }
+    acquire(BAR);
+    iters = iters + 1;
+    release(BAR);
+}
+`,
+	Input: &interp.Input{},
+})
+
+// SplashWater models the water kernel: per-molecule force updates.
+var SplashWater = register(&Workload{
+	Name:        "splash-water",
+	Kind:        "kernel",
+	Description: "water-style per-molecule force accumulation",
+	Threads:     3,
+	Source: `
+program water;
+
+global int forces[48];
+global int energy;
+lock EN;
+
+func main() {
+    var int i;
+    for i = 0 .. 47 {
+        forces[i] = (i * 11) % 23;
+    }
+    spawn forcepass(0, 23);
+    spawn forcepass(24, 47);
+}
+
+func forcepass(int lo, int hi) {
+    var int step;
+    var int i;
+    var int local;
+    local = 0;
+    for step = 1 .. 3 {
+        for i = lo .. hi {
+            forces[i] = forces[i] + step;
+            local = local + forces[i];
+        }
+    }
+    acquire(EN);
+    energy = energy + local;
+    release(EN);
+}
+`,
+	Input: &interp.Input{},
+})
+
+// SplashBarnes models the barnes kernel: tree-walk style accumulation
+// over a linked structure built at startup; the walk is a while loop.
+var SplashBarnes = register(&Workload{
+	Name:        "splash-barnes",
+	Kind:        "kernel",
+	Description: "barnes-style linked tree walk with while loops",
+	Threads:     3,
+	Source: `
+program barnes;
+
+global ptr bodies;
+global int total;
+lock TT;
+
+func main() {
+    var int i;
+    var ptr b;
+    for i = 1 .. 24 {
+        b = new(mass, next);
+        b.mass = i % 7 + 1;
+        b.next = bodies;
+        bodies = b;
+    }
+    spawn walk(2);
+    spawn walk(3);
+}
+
+func walk(int scale) {
+    var ptr c;
+    var int acc;
+    var int k;
+    var int f;
+    acc = 0;
+    c = bodies;
+    while (c != null) {
+        f = c.mass;
+        for k = 1 .. 5 {
+            f = (f * scale + k) % 97;   // pairwise force terms
+        }
+        acc = acc + f;
+        c = c.next;
+    }
+    acquire(TT);
+    total = total + acc;
+    release(TT);
+}
+`,
+	Input: &interp.Input{},
+})

@@ -1,0 +1,103 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/sched"
+	"heisendump/internal/workloads"
+)
+
+// TestAllWorkloadsPassDeterministically: the single-core cooperative
+// run of every bug workload must complete cleanly — the bugs are
+// Heisenbugs, absent from the canonical schedule.
+func TestAllWorkloadsPassDeterministically(t *testing.T) {
+	for _, w := range append(workloads.Bugs(), workloads.ByName("fig1")) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Compile(true)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := interp.New(prog, w.Input)
+			m.MaxSteps = 1_000_000
+			res := sched.Run(m, sched.NewCooperative())
+			if res.Crashed {
+				t.Fatalf("cooperative run crashed: %v", res.Crash)
+			}
+			if res.Deadlocked {
+				t.Fatal("cooperative run deadlocked")
+			}
+			if !m.Done() {
+				t.Fatal("cooperative run did not finish")
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsCrashUnderStress: every bug must manifest under some
+// random interleaving within a reasonable seed budget, and the crash
+// rate must be measurable (the production failures the paper collects
+// dumps from).
+func TestAllWorkloadsCrashUnderStress(t *testing.T) {
+	const seeds = 3000
+	for _, w := range append(workloads.Bugs(), workloads.ByName("fig1")) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Compile(true)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			crashes := 0
+			first := -1
+			for seed := 0; seed < seeds; seed++ {
+				m := interp.New(prog, w.Input)
+				m.MaxSteps = 1_000_000
+				res := sched.Run(m, sched.NewRandom(int64(seed)))
+				if res.Deadlocked {
+					t.Fatalf("seed %d deadlocked", seed)
+				}
+				if res.Crashed {
+					crashes++
+					if first < 0 {
+						first = seed
+					}
+				}
+			}
+			if crashes == 0 {
+				t.Fatalf("no crash in %d seeds", seeds)
+			}
+			t.Logf("%s: %d/%d seeds crash (first at %d)", w.Name, crashes, seeds, first)
+		})
+	}
+}
+
+// TestWorkloadThreadCounts checks the Table 2 metadata agrees with the
+// programs.
+func TestWorkloadThreadCounts(t *testing.T) {
+	for _, w := range workloads.Bugs() {
+		prog, err := w.Compile(true)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", w.Name, err)
+		}
+		m := interp.New(prog, w.Input)
+		m.MaxSteps = 1_000_000
+		sched.Run(m, sched.NewCooperative())
+		if got := len(m.Threads); got != w.Threads {
+			t.Errorf("%s: %d threads at runtime, metadata says %d", w.Name, got, w.Threads)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if workloads.ByName("apache-1") != workloads.Apache1 {
+		t.Fatal("ByName(apache-1) mismatch")
+	}
+	if workloads.ByName("nope") != nil {
+		t.Fatal("ByName(nope) should be nil")
+	}
+	names := workloads.Names()
+	if len(names) < 8 {
+		t.Fatalf("expected at least 8 workloads, got %v", names)
+	}
+}
