@@ -9,12 +9,18 @@
 package heisendump_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"heisendump"
+	"heisendump/internal/chess"
 	"heisendump/internal/core"
 	"heisendump/internal/experiments"
+	"heisendump/internal/interp"
+	"heisendump/internal/sched"
 	"heisendump/internal/slicing"
+	"heisendump/internal/trace"
 	"heisendump/internal/workloads"
 )
 
@@ -234,6 +240,67 @@ func BenchmarkAblationPreemptionBound(b *testing.B) {
 		if i == 0 {
 			b.Logf("apache-2 found: k=1:%v k=2:%v k=3:%v", results[1], results[2], results[3])
 		}
+	}
+}
+
+// BenchmarkSearchParallel measures the worker-pool schedule searcher
+// on a Table-4-style search: plain CHESS (unweighted, unguided) on a
+// Table 2 workload with an unmatchable target and a fixed try cutoff,
+// so every run executes the same deterministic amount of trial work.
+// Sub-benchmarks sweep the worker count; on a multi-core runner the
+// all-cores variant should beat workers=1 by the trial-execution
+// parallelism (the per-combination setup is amortized across the
+// pool).
+func BenchmarkSearchParallel(b *testing.B) {
+	w := workloads.ByName("mysql-1")
+	cp, err := w.Compile(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	m := interp.New(cp, w.Input.Clone())
+	m.MaxSteps = 1_000_000
+	m.Hooks = rec
+	if res := sched.Run(m, sched.NewCooperative()); res.Crashed {
+		b.Fatalf("passing run crashed: %v", res.Crash)
+	}
+	cands := chess.DiscoverCandidates(cp, rec.Events)
+	chess.Annotate(cands, nil)
+	mk := func() *interp.Machine {
+		mm := interp.New(cp, w.Input.Clone())
+		mm.MaxSteps = 1_000_000
+		return mm
+	}
+
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := &chess.Searcher{
+					NewMachine: mk,
+					Candidates: cands,
+					Target:     chess.FailureSignature{Reason: "never matches"},
+					Opts: chess.Options{
+						Bound:        2,
+						MaxTries:     400,
+						Workers:      workers,
+						PassingSteps: int64(len(rec.Events)),
+					},
+				}
+				res := s.Search()
+				if res.Found {
+					b.Fatal("found an unmatchable signature")
+				}
+				if i == 0 {
+					b.Logf("tries=%d executed=%d combos=%d steps=%d",
+						res.Tries, res.TrialsExecuted, res.CombinationsGenerated, res.StepsExecuted)
+				}
+			}
+		})
 	}
 }
 

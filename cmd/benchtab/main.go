@@ -7,11 +7,16 @@
 //	benchtab -table 4         # one table (1-6)
 //	benchtab -fig 10          # figure 10
 //	benchtab -plaincap 5000   # raise the plain-CHESS cutoff
+//	benchtab -workers 8       # run up to 8 workloads concurrently
+//	benchtab -json > rows.json # machine-readable rows (one JSON object
+//	                           # per table/figure) for perf tracking
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"heisendump/internal/experiments"
@@ -22,9 +27,13 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (10); 0 = per -table")
 	plainCap := flag.Int("plaincap", 2000, "plain-CHESS try cutoff (the 18-hour analogue)")
 	reps := flag.Int("reps", 3, "repetitions for overhead timing")
+	workers := flag.Int("workers", 0, "concurrent workloads per table (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows, one object per table/figure")
 	flag.Parse()
 
-	out := os.Stdout
+	experiments.Workers = *workers
+
+	out := io.Writer(os.Stdout)
 	all := *table == 0 && *fig == 0
 
 	fail := func(err error) {
@@ -32,59 +41,70 @@ func main() {
 		os.Exit(1)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	// emit renders one section: a JSON row object in -json mode, the
+	// usual text table otherwise.
+	emit := func(name string, rows any, print func()) {
+		if *jsonOut {
+			if err := enc.Encode(struct {
+				Table string `json:"table"`
+				Rows  any    `json:"rows"`
+			}{name, rows}); err != nil {
+				fail(err)
+			}
+			return
+		}
+		print()
+		fmt.Fprintln(out)
+	}
+
 	if all || *table == 1 {
 		rows, err := experiments.Table1()
 		if err != nil {
 			fail(err)
 		}
-		experiments.PrintTable1(out, rows)
-		fmt.Fprintln(out)
+		emit("table1", rows, func() { experiments.PrintTable1(out, rows) })
 	}
 	if all || *table == 2 {
 		rows, err := experiments.Table2()
 		if err != nil {
 			fail(err)
 		}
-		experiments.PrintTable2(out, rows)
-		fmt.Fprintln(out)
+		emit("table2", rows, func() { experiments.PrintTable2(out, rows) })
 	}
 	if all || *table == 3 {
 		rows, err := experiments.Table3()
 		if err != nil {
 			fail(err)
 		}
-		experiments.PrintTable3(out, rows)
-		fmt.Fprintln(out)
+		emit("table3", rows, func() { experiments.PrintTable3(out, rows) })
 	}
 	if all || *table == 4 {
 		rows, err := experiments.Table4(*plainCap)
 		if err != nil {
 			fail(err)
 		}
-		experiments.PrintTable4(out, rows)
-		fmt.Fprintln(out)
+		emit("table4", rows, func() { experiments.PrintTable4(out, rows) })
 	}
 	if all || *table == 5 {
 		rows, err := experiments.Table5(*plainCap)
 		if err != nil {
 			fail(err)
 		}
-		experiments.PrintTable5(out, rows)
-		fmt.Fprintln(out)
+		emit("table5", rows, func() { experiments.PrintTable5(out, rows) })
 	}
 	if all || *table == 6 {
 		rows, err := experiments.Table6()
 		if err != nil {
 			fail(err)
 		}
-		experiments.PrintTable6(out, rows)
-		fmt.Fprintln(out)
+		emit("table6", rows, func() { experiments.PrintTable6(out, rows) })
 	}
 	if all || *fig == 10 {
 		rows, err := experiments.Fig10(*reps)
 		if err != nil {
 			fail(err)
 		}
-		experiments.PrintFig10(out, rows)
+		emit("fig10", rows, func() { experiments.PrintFig10(out, rows) })
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 	plain := flag.Bool("plain", false, "use undirected CHESS (no weighting, no guidance)")
 	bound := flag.Int("k", 2, "preemption bound")
 	maxTries := flag.Int("maxtries", 5000, "schedule-search cutoff")
+	workers := flag.Int("workers", 0, "schedule-search worker pool width (0 = GOMAXPROCS); the result is deterministic for any value")
 	list := flag.Bool("list", false, "list built-in workloads")
 	verbose := flag.Bool("v", false, "print the failure index, CSVs and candidates")
 	flag.Parse()
@@ -75,6 +76,7 @@ func main() {
 		Bound:      *bound,
 		MaxTries:   *maxTries,
 		PlainChess: *plain,
+		Workers:    *workers,
 	}
 	if *heuristic == "dep" {
 		cfg.Heuristic = heisendump.Dependence
@@ -121,8 +123,8 @@ func main() {
 		fmt.Printf("NOT reproduced within %d tries (%v)\n", res.Tries, res.Elapsed)
 		os.Exit(2)
 	}
-	fmt.Printf("reproduced: %d tries, %v, %d interpreter steps\n",
-		res.Tries, res.Elapsed, res.StepsExecuted)
+	fmt.Printf("reproduced: %d tries (%d runs executed on %d workers), %v, %d interpreter steps\n",
+		res.Tries, res.TrialsExecuted, res.Workers, res.Elapsed, res.StepsExecuted)
 	for _, ap := range res.Schedule {
 		lock := ""
 		if ap.Candidate.Lock != "" {

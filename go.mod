@@ -1,0 +1,3 @@
+module heisendump
+
+go 1.24

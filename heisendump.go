@@ -67,6 +67,23 @@ type FailureReport = core.FailureReport
 // AnalysisReport carries aligned point, dump diff, CSVs and costs.
 type AnalysisReport = core.AnalysisReport
 
+// Analysis is a stage-structured analysis run; it exposes the
+// pipeline's debugging phases individually so intermediate artifacts
+// (alignment, dump diff) can be reused across configurations.
+type Analysis = core.Analysis
+
+// Stage identifies one phase of the analysis.
+type Stage = core.Stage
+
+// Analysis stages, in execution order.
+const (
+	StageAlign       = core.StageAlign
+	StageAlignedDump = core.StageAlignedDump
+	StageDiff        = core.StageDiff
+	StagePrioritize  = core.StagePrioritize
+	StageCandidates  = core.StageCandidates
+)
+
 // AlignmentMethod selects execution-index or instruction-count
 // alignment.
 type AlignmentMethod = core.AlignmentMethod

@@ -1,7 +1,10 @@
 package chess
 
 import (
-	"sort"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"heisendump/internal/interp"
@@ -35,6 +38,8 @@ type Options struct {
 	Guided bool
 	// MaxTries cuts the search off after this many test runs (the
 	// analogue of the paper's 18-hour cutoff). Zero means unlimited.
+	// The cutoff is applied to the deterministic sequential order, so
+	// Found/Schedule/Tries do not depend on Workers.
 	MaxTries int
 	// MaxStepsPerRun bounds each test run; zero derives a bound from
 	// the passing run length.
@@ -42,6 +47,10 @@ type Options struct {
 	// PassingSteps is the passing run's length, used to derive the
 	// per-run bound.
 	PassingSteps int64
+	// Workers is the number of goroutines exploring combinations
+	// concurrently; <= 0 means GOMAXPROCS. Any value yields the same
+	// Found, Schedule and Tries (see Result).
+	Workers int
 }
 
 // AppliedPreemption records one preemption of a successful schedule.
@@ -54,21 +63,38 @@ type AppliedPreemption struct {
 // Result summarizes a search.
 type Result struct {
 	// Found is true when a failure-inducing schedule was constructed.
+	// Deterministic for any worker count.
 	Found bool
-	// Schedule is the successful preemption set.
+	// Schedule is the successful preemption set. Deterministic for any
+	// worker count: the winning schedule is the one with the lowest
+	// worklist rank, regardless of which worker finishes first.
 	Schedule []AppliedPreemption
-	// Tries counts executed test runs.
+	// Tries counts the test runs of the equivalent sequential search —
+	// the runs a single worker would have executed before finding the
+	// schedule (or hitting the cutoff). Deterministic for any worker
+	// count and never above MaxTries.
 	Tries int
+	// TrialsExecuted counts every test run actually executed,
+	// including speculative runs of combinations that a concurrent
+	// lower-rank find or the cutoff later disqualified. Equal to Tries
+	// when Workers is 1.
+	TrialsExecuted int
 	// Elapsed is the wall time spent executing test runs.
 	Elapsed time.Duration
-	// StepsExecuted totals interpreter steps across test runs.
+	// StepsExecuted totals interpreter steps across all executed test
+	// runs (including speculative ones).
 	StepsExecuted int64
 	// CombinationsGenerated counts the combinations enumerated.
 	CombinationsGenerated int
+	// Workers is the worker count the search ran with.
+	Workers int
 }
 
 // Searcher drives the schedule search. NewMachine must build a fresh
-// machine on the same program and input for every test run.
+// machine on the same program and input for every test run; it is
+// called from multiple goroutines when Workers > 1, so it must be safe
+// for concurrent use (share only the immutable compiled program and
+// clone any mutable input).
 type Searcher struct {
 	NewMachine func() *interp.Machine
 	Candidates []Candidate
@@ -76,11 +102,30 @@ type Searcher struct {
 	Opts       Options
 }
 
-// weightedCombo is one entry of Algorithm 2's worklist.
-type weightedCombo struct {
-	weight int
-	order  int
-	combo  []int // candidate indices
+// searchState is the shared state of one parallel search: the
+// generated worklist, the atomic work-claim and progress counters, and
+// the incremental rank-order fold that decides the deterministic
+// result.
+type searchState struct {
+	s        *Searcher
+	wl       []rankedCombo
+	maxRun   int64
+	maxTries int
+
+	next     atomic.Int64 // next worklist rank to claim
+	tries    atomic.Int64 // test runs executed (raw, incl. speculation)
+	steps    atomic.Int64 // interpreter steps executed
+	bestRank atomic.Int64 // lowest rank whose combination found the target
+	decided  atomic.Bool  // the fold reached a winner or the cutoff
+
+	// mu guards the fold state below and the reads of outcomes inside
+	// advance (each outcomes[r] slot is written once, by the worker
+	// that claimed rank r, before that worker calls advance).
+	mu        sync.Mutex
+	outcomes  []*comboOutcome
+	committed int           // next rank the fold will consume
+	cumTries  int           // sequential-equivalent tries folded so far
+	winner    *comboOutcome // committed winning outcome, if any
 }
 
 // Search runs Algorithm 2: generate all preemption combinations up to
@@ -88,6 +133,13 @@ type weightedCombo struct {
 // generation order for plain CHESS), and execute test runs — exploring
 // the eligible thread choices at each preemption — until the failure
 // reproduces or the work list is exhausted.
+//
+// Combinations are explored by Opts.Workers concurrent workers that
+// claim worklist ranks in order. The result is reduced
+// deterministically: outcomes are folded in rank order, the cutoff is
+// applied to that order, and the winning schedule is the find with the
+// lowest rank — so Found, Schedule and Tries are bit-identical for any
+// worker count.
 func (s *Searcher) Search() *Result {
 	res := &Result{}
 	start := time.Now()
@@ -102,74 +154,219 @@ func (s *Searcher) Search() *Result {
 		maxRun = s.Opts.PassingSteps*4 + 10000
 	}
 
-	// Size-major generation: all 1-subsets, then 2-subsets, ... so the
-	// unweighted (original CHESS) order is the linear search the paper
-	// describes.
-	var wl []weightedCombo
-	n := len(s.Candidates)
-	for size := 1; size <= bound; size++ {
-		var gsize func(startIdx int, cur []int)
-		gsize = func(startIdx int, cur []int) {
-			if len(cur) == size {
-				combo := append([]int(nil), cur...)
-				w := 0
-				for _, ci := range combo {
-					w += s.Candidates[ci].MinPriority()
-				}
-				wl = append(wl, weightedCombo{weight: w, order: len(wl), combo: combo})
-				return
-			}
-			for i := startIdx; i < n; i++ {
-				gsize(i+1, append(cur, i))
-			}
-		}
-		gsize(0, nil)
-	}
-
+	wl := generateWorklist(s.Candidates, bound, s.Opts.Weighted)
 	res.CombinationsGenerated = len(wl)
-	if s.Opts.Weighted {
-		sort.SliceStable(wl, func(i, j int) bool {
-			if wl[i].weight != wl[j].weight {
-				return wl[i].weight < wl[j].weight
-			}
-			return wl[i].order < wl[j].order
-		})
+
+	workers := s.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(wl) {
+		workers = len(wl)
+	}
+	res.Workers = workers
+	if len(wl) == 0 {
+		return res
 	}
 
-	for _, wc := range wl {
-		if s.Opts.MaxTries > 0 && res.Tries >= s.Opts.MaxTries {
-			return res
-		}
-		if s.exploreCombo(wc.combo, maxRun, res) {
-			res.Found = true
-			return res
-		}
+	st := &searchState{
+		s:        s,
+		wl:       wl,
+		maxRun:   maxRun,
+		maxTries: s.Opts.MaxTries,
+		outcomes: make([]*comboOutcome, len(wl)),
 	}
+	st.bestRank.Store(int64(len(wl))) // sentinel: nothing found yet
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.worker()
+		}()
+	}
+	wg.Wait()
+	st.finish()
+
+	st.mu.Lock()
+	if st.winner != nil {
+		res.Found = true
+		res.Schedule = st.winner.schedule
+	}
+	res.Tries = st.cumTries
+	st.mu.Unlock()
+	res.TrialsExecuted = int(st.tries.Load())
+	res.StepsExecuted = st.steps.Load()
 	return res
 }
 
-// exploreCombo executes test runs for one combination, enumerating the
-// thread choices at each preemption with an odometer over the choice
-// counts observed at run time.
-func (s *Searcher) exploreCombo(combo []int, maxRun int64, res *Result) bool {
+// worker claims worklist ranks in order and explores each combination.
+// A worker stops claiming when the worklist is drained, when the fold
+// has decided the search (winner committed or cutoff reached), when a
+// lower-rank combination has already found the target (higher ranks
+// cannot win: either that find commits, or the cutoff lands at or
+// before it), or when the executed-trial count has reached the cutoff
+// budget. The last guard is only a speculation throttle — it may
+// abandon ranks the sequential order would still reach, because the
+// raw count can include trials of higher ranks; finish() repairs any
+// such gap after the pool joins, so the guard never affects the
+// result.
+func (st *searchState) worker() {
+	for {
+		r := int(st.next.Add(1) - 1)
+		if r >= len(st.wl) {
+			return
+		}
+		if st.decided.Load() {
+			return
+		}
+		if int(st.bestRank.Load()) < r {
+			return
+		}
+		if st.maxTries > 0 && int(st.tries.Load()) >= st.maxTries {
+			return
+		}
+		// Cap this rank's exploration by the budget not yet consumed by
+		// the folded prefix. The fold only ever consumes ranks below r
+		// before r itself, so the snapshot is a safe over-approximation
+		// of r's final allowance — and with a single worker the fold is
+		// always caught up, making the cap exact (TrialsExecuted then
+		// equals Tries).
+		cap := 0
+		if st.maxTries > 0 {
+			st.mu.Lock()
+			cap = st.maxTries - st.cumTries
+			st.mu.Unlock()
+			if cap <= 0 {
+				return // the fold has reached the cutoff
+			}
+		}
+		out := st.exploreCombo(r, cap)
+		if out.foundAt >= 0 {
+			for {
+				cur := st.bestRank.Load()
+				if int64(r) >= cur || st.bestRank.CompareAndSwap(cur, int64(r)) {
+					break
+				}
+			}
+		}
+		st.record(r, out)
+	}
+}
+
+// finish completes the search after the worker pool joins. If the fold
+// stalled on a rank no worker explored (abandoned by the speculation
+// throttle), the missing frontier combinations run here sequentially
+// with their exact remaining allowance — the literal sequential
+// semantics — until the search is decided or the worklist is folded.
+// In the common case the fold kept pace with the pool and this is a
+// no-op.
+func (st *searchState) finish() {
+	for {
+		st.mu.Lock()
+		if st.decided.Load() || st.committed >= len(st.wl) {
+			st.mu.Unlock()
+			return
+		}
+		// The frontier outcome is always nil here: record folds
+		// eagerly, so a completed frontier would have been consumed.
+		r := st.committed
+		rem := 0
+		if st.maxTries > 0 {
+			rem = st.maxTries - st.cumTries
+		}
+		st.mu.Unlock()
+
+		out := st.exploreCombo(r, rem)
+		if out.foundAt >= 0 {
+			st.bestRank.Store(int64(r))
+		}
+		st.record(r, out)
+	}
+}
+
+// record publishes rank r's outcome and advances the fold: consume
+// completed outcomes in rank order, replaying the sequential search's
+// semantics — accumulate each rank's trials against the cutoff budget
+// and stop at the first rank whose find falls within its remaining
+// allowance. Every outcome the fold consumes is a deterministic
+// function of its combination alone (aborted explorations only exist
+// at ranks past the decision point, which the fold never consumes), so
+// the resulting Found/Schedule/Tries are independent of worker
+// scheduling.
+func (st *searchState) record(r int, out *comboOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.outcomes[r] = out
+	for !st.decided.Load() && st.committed < len(st.wl) {
+		cur := st.outcomes[st.committed]
+		if cur == nil {
+			return // the frontier rank is still in flight
+		}
+		allowed := math.MaxInt
+		if st.maxTries > 0 {
+			allowed = st.maxTries - st.cumTries
+			if allowed <= 0 {
+				st.decided.Store(true)
+				return
+			}
+		}
+		if cur.foundAt >= 0 && cur.foundAt < allowed {
+			st.winner = cur
+			st.cumTries += cur.foundAt + 1
+			st.decided.Store(true)
+			return
+		}
+		t := cur.trials
+		if t > allowed {
+			t = allowed
+		}
+		st.cumTries += t
+		st.committed++
+		if st.maxTries > 0 && st.cumTries >= st.maxTries {
+			st.decided.Store(true)
+		}
+	}
+}
+
+// exploreCombo executes test runs for the combination at rank r,
+// enumerating the thread choices at each preemption with an odometer
+// over the choice counts observed at run time. cap > 0 bounds the
+// trials; callers pass a value that is at least this rank's
+// deterministic trial allowance (the fold's cum only grows as ranks
+// below r are consumed), so capped outcomes still fold exactly.
+// Exploration aborts early only when the search is already decided or
+// a lower-rank combination has found the target — in both cases this
+// rank's outcome is past the decision point and the fold never
+// consumes it.
+func (st *searchState) exploreCombo(r, cap int) *comboOutcome {
+	combo := st.wl[r].combo
+	out := &comboOutcome{rank: r, foundAt: -1}
 	k := len(combo)
 	vec := make([]int, k)
 	for {
-		if s.Opts.MaxTries > 0 && res.Tries >= s.Opts.MaxTries {
-			return false
+		if st.decided.Load() || int(st.bestRank.Load()) < r {
+			return out // this rank cannot win; abandon speculation
 		}
-		out := s.runOnce(combo, vec, maxRun)
-		res.Tries++
-		res.StepsExecuted += out.steps
-		if out.found {
-			res.Schedule = out.applied
-			return true
+		if cap > 0 && out.trials >= cap {
+			return out
+		}
+		tr := st.s.runTrial(combo, vec, st.maxRun)
+		out.trials++
+		out.steps += tr.steps
+		st.tries.Add(1)
+		st.steps.Add(tr.steps)
+		if tr.found {
+			out.foundAt = out.trials - 1
+			out.schedule = tr.applied
+			return out
 		}
 		// Advance the odometer over observed choice counts. Positions
 		// whose preemption never fired count one notch.
 		pos := k - 1
 		for pos >= 0 {
-			limit := out.choiceCounts[pos]
+			limit := tr.choiceCounts[pos]
 			if limit <= 0 {
 				limit = 1
 			}
@@ -181,182 +378,7 @@ func (s *Searcher) exploreCombo(combo []int, maxRun int64, res *Result) bool {
 			pos--
 		}
 		if pos < 0 {
-			return false
+			return out // odometer exhausted
 		}
 	}
-}
-
-type runOutcome struct {
-	found        bool
-	steps        int64
-	choiceCounts []int
-	applied      []AppliedPreemption
-}
-
-// runOnce executes one test run: a cooperative deterministic schedule
-// with the combination's preemptions injected, switching at each fired
-// preemption to the thread selected by the choice vector.
-func (s *Searcher) runOnce(combo []int, vec []int, maxRun int64) runOutcome {
-	m := s.NewMachine()
-	out := runOutcome{choiceCounts: make([]int, len(combo))}
-
-	fired := make([]bool, len(combo))
-	completed := map[int]int{} // sync ops completed per thread
-	cur := 0                   // current thread id
-
-	pickLowest := func() int {
-		r := m.Runnable()
-		if len(r) == 0 {
-			return -1
-		}
-		return r[0]
-	}
-
-	// eligibleChoices lists the threads that may be scheduled at a
-	// fired preemption, per the guided or exhaustive policy.
-	eligibleChoices := func(c *Candidate) []int {
-		var choices []int
-		blockVars := c.AccessVars()
-		for _, t := range m.Threads {
-			if t.ID == c.Thread {
-				continue
-			}
-			if t.Status == interp.Done {
-				continue
-			}
-			if t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1 {
-				// Still blocked; switching to it cannot run it.
-				continue
-			}
-			if s.Opts.Guided {
-				// Algorithm 2 preempt(): switch to T only when T's
-				// future CSV set overlaps the preempted block's
-				// accesses.
-				overlap := false
-				for v := range s.futureCSVsOf(t.ID, completed[t.ID]) {
-					if blockVars[v] {
-						overlap = true
-						break
-					}
-				}
-				if !overlap {
-					continue
-				}
-			}
-			choices = append(choices, t.ID)
-		}
-		return choices
-	}
-
-	// firePreemption handles a matched candidate: consult the choice
-	// vector and switch threads. Returns true when a switch happened.
-	firePreemption := func(ci int) bool {
-		c := &s.Candidates[combo[ci]]
-		choices := eligibleChoices(c)
-		out.choiceCounts[ci] = len(choices)
-		if len(choices) == 0 {
-			return false
-		}
-		pick := vec[ci]
-		if pick >= len(choices) {
-			pick = len(choices) - 1
-		}
-		fired[ci] = true
-		out.applied = append(out.applied, AppliedPreemption{Candidate: *c, SwitchTo: choices[pick]})
-		cur = choices[pick]
-		return true
-	}
-
-	matchCandidate := func(tid int, kind PointKind, seq int) int {
-		for i, cidx := range combo {
-			if fired[i] {
-				continue
-			}
-			c := &s.Candidates[cidx]
-			if c.Thread == tid && c.Kind == kind && c.Seq == seq {
-				return i
-			}
-		}
-		return -1
-	}
-
-	for !m.Crashed() && !m.Done() && m.TotalSteps < maxRun {
-		t := m.Threads[cur]
-		if t.Status == interp.Done || (t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1) {
-			next := pickLowest()
-			if next < 0 {
-				break // deadlock
-			}
-			cur = next
-			continue
-		}
-
-		// Preemption points that fire before the next instruction.
-		pc := t.PC()
-		if pc.I >= 0 {
-			in := m.Prog.InstrAt(pc)
-			if t.Steps == 0 {
-				if ci := matchCandidate(cur, ThreadStart, 0); ci >= 0 {
-					if firePreemption(ci) {
-						continue
-					}
-				}
-			}
-			if in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1 {
-				if ci := matchCandidate(cur, BeforeAcquire, completed[cur]); ci >= 0 {
-					if firePreemption(ci) {
-						continue
-					}
-				}
-			}
-		}
-
-		wasAcquire, wasRelease := false, false
-		if pc.I >= 0 {
-			in := m.Prog.InstrAt(pc)
-			wasAcquire = in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1
-			wasRelease = in.Op == ir.OpRelease
-		}
-		ok, err := m.Step(cur)
-		if err != nil || !ok {
-			if t.Status == interp.Blocked {
-				continue // re-dispatch
-			}
-			break
-		}
-		if wasAcquire || wasRelease {
-			completed[cur]++
-		}
-		if wasRelease {
-			if ci := matchCandidate(cur, AfterRelease, completed[cur]); ci >= 0 {
-				if firePreemption(ci) {
-					continue
-				}
-			}
-		}
-	}
-
-	out.steps = m.TotalSteps
-	out.found = m.Crashed() && s.Target.Matches(m.Crash)
-	return out
-}
-
-// futureCSVsOf approximates thread tid's future CSV set at its current
-// sync ordinal using the passing-run annotations: the future set of
-// the thread's candidate at or after that ordinal.
-func (s *Searcher) futureCSVsOf(tid, ordinal int) map[interp.VarID]bool {
-	var best *Candidate
-	for i := range s.Candidates {
-		c := &s.Candidates[i]
-		if c.Thread != tid || c.Seq < ordinal {
-			continue
-		}
-		if best == nil || c.Seq < best.Seq || (c.Seq == best.Seq && c.Step < best.Step) {
-			best = c
-		}
-	}
-	if best == nil {
-		return nil
-	}
-	return best.FutureCSVs
 }

@@ -1,0 +1,125 @@
+package chess_test
+
+import (
+	"reflect"
+	"testing"
+
+	"heisendump/internal/chess"
+	"heisendump/internal/core"
+	"heisendump/internal/interp"
+	"heisendump/internal/workloads"
+)
+
+// analyzedSearcher runs the pipeline's provoke+analyze phases on a
+// Table 2 workload and returns a ready searcher.
+func analyzedSearcher(t testing.TB, name string) *chess.Searcher {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("unknown workload %q", name)
+	}
+	prog, err := w.Compile(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewPipeline(prog, w.Input, core.Config{})
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := p.Analyze(fail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Searcher(fail, an)
+}
+
+// TestParallelSearchDeterminism: for a Table 2 workload, the search
+// result is bit-identical for any worker count — the winning schedule
+// is the lowest-ranked one regardless of which worker finds first.
+func TestParallelSearchDeterminism(t *testing.T) {
+	for _, name := range []string{"mysql-1", "apache-1"} {
+		s := analyzedSearcher(t, name)
+		s.Opts.MaxTries = 5000
+
+		s.Opts.Workers = 1
+		ref := s.Search()
+		if !ref.Found {
+			t.Fatalf("%s: reference search failed in %d tries", name, ref.Tries)
+		}
+		if ref.TrialsExecuted != ref.Tries {
+			t.Fatalf("%s: single worker executed %d runs but reports %d tries",
+				name, ref.TrialsExecuted, ref.Tries)
+		}
+
+		for _, workers := range []int{2, 4} {
+			s.Opts.Workers = workers
+			got := s.Search()
+			if got.Found != ref.Found {
+				t.Fatalf("%s: Found=%v with %d workers, %v with 1", name, got.Found, workers, ref.Found)
+			}
+			if !reflect.DeepEqual(got.Schedule, ref.Schedule) {
+				t.Fatalf("%s: schedule diverged with %d workers:\n  got  %+v\n  want %+v",
+					name, workers, got.Schedule, ref.Schedule)
+			}
+			if got.Tries != ref.Tries {
+				t.Fatalf("%s: Tries=%d with %d workers, %d with 1", name, got.Tries, workers, ref.Tries)
+			}
+			if got.CombinationsGenerated != ref.CombinationsGenerated {
+				t.Fatalf("%s: worklist size diverged: %d vs %d",
+					name, got.CombinationsGenerated, ref.CombinationsGenerated)
+			}
+		}
+	}
+}
+
+// TestParallelSearchDeterministicUnderCutoff: when MaxTries cuts the
+// search off before any find, the reported Tries is the deterministic
+// sequential count for any worker count, and never above the cutoff.
+func TestParallelSearchDeterministicUnderCutoff(t *testing.T) {
+	s := analyzedSearcher(t, "apache-2")
+	s.Target = chess.FailureSignature{Reason: "never matches"}
+	s.Opts.MaxTries = 40
+
+	s.Opts.Workers = 1
+	ref := s.Search()
+	if ref.Found {
+		t.Fatal("found an unmatchable signature")
+	}
+	if ref.Tries > 40 {
+		t.Fatalf("tries %d exceeded cutoff", ref.Tries)
+	}
+	// A single worker never speculates, even when the cutoff lands in
+	// the middle of a combination's odometer.
+	if ref.TrialsExecuted != ref.Tries {
+		t.Fatalf("single worker executed %d runs but reports %d tries", ref.TrialsExecuted, ref.Tries)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		s.Opts.Workers = workers
+		got := s.Search()
+		if got.Found {
+			t.Fatal("found an unmatchable signature")
+		}
+		if got.Tries != ref.Tries {
+			t.Fatalf("cutoff tries diverged: %d with %d workers, %d with 1", got.Tries, workers, ref.Tries)
+		}
+		if got.Tries > 40 {
+			t.Fatalf("tries %d exceeded cutoff with %d workers", got.Tries, workers)
+		}
+	}
+}
+
+// TestSearchNoCandidates: an empty candidate set yields an empty,
+// well-formed result.
+func TestSearchNoCandidates(t *testing.T) {
+	s := &chess.Searcher{
+		NewMachine: func() *interp.Machine { t.Fatal("machine built with no work"); return nil },
+		Target:     chess.FailureSignature{Reason: "x"},
+		Opts:       chess.Options{Bound: 2, Workers: 4},
+	}
+	res := s.Search()
+	if res.Found || res.Tries != 0 || res.CombinationsGenerated != 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}

@@ -1,0 +1,197 @@
+package chess
+
+import (
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+)
+
+// trialResult is the outcome of one test run of one combination under
+// one thread-choice vector.
+type trialResult struct {
+	found        bool
+	steps        int64
+	choiceCounts []int
+	applied      []AppliedPreemption
+}
+
+// comboOutcome summarizes the exploration of one combination: the
+// odometer walk over its thread-choice vectors. foundAt is the 0-based
+// trial index whose run reproduced the failure, or -1.
+type comboOutcome struct {
+	rank     int
+	trials   int
+	steps    int64
+	foundAt  int
+	schedule []AppliedPreemption
+}
+
+// runTrial is the pure trial executor: it builds a fresh machine and
+// executes one test run — a cooperative deterministic schedule with
+// the combination's preemptions injected, switching at each fired
+// preemption to the thread selected by the choice vector. It mutates
+// nothing on the Searcher, so any number of trials may run
+// concurrently as long as NewMachine is safe for concurrent use.
+func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64) trialResult {
+	m := s.NewMachine()
+	out := trialResult{choiceCounts: make([]int, len(combo))}
+
+	fired := make([]bool, len(combo))
+	completed := map[int]int{} // sync ops completed per thread
+	cur := 0                   // current thread id
+
+	pickLowest := func() int {
+		r := m.Runnable()
+		if len(r) == 0 {
+			return -1
+		}
+		return r[0]
+	}
+
+	// eligibleChoices lists the threads that may be scheduled at a
+	// fired preemption, per the guided or exhaustive policy.
+	eligibleChoices := func(c *Candidate) []int {
+		var choices []int
+		blockVars := c.AccessVars()
+		for _, t := range m.Threads {
+			if t.ID == c.Thread {
+				continue
+			}
+			if t.Status == interp.Done {
+				continue
+			}
+			if t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1 {
+				// Still blocked; switching to it cannot run it.
+				continue
+			}
+			if s.Opts.Guided {
+				// Algorithm 2 preempt(): switch to T only when T's
+				// future CSV set overlaps the preempted block's
+				// accesses.
+				overlap := false
+				for v := range s.futureCSVsOf(t.ID, completed[t.ID]) {
+					if blockVars[v] {
+						overlap = true
+						break
+					}
+				}
+				if !overlap {
+					continue
+				}
+			}
+			choices = append(choices, t.ID)
+		}
+		return choices
+	}
+
+	// firePreemption handles a matched candidate: consult the choice
+	// vector and switch threads. Returns true when a switch happened.
+	firePreemption := func(ci int) bool {
+		c := &s.Candidates[combo[ci]]
+		choices := eligibleChoices(c)
+		out.choiceCounts[ci] = len(choices)
+		if len(choices) == 0 {
+			return false
+		}
+		pick := vec[ci]
+		if pick >= len(choices) {
+			pick = len(choices) - 1
+		}
+		fired[ci] = true
+		out.applied = append(out.applied, AppliedPreemption{Candidate: *c, SwitchTo: choices[pick]})
+		cur = choices[pick]
+		return true
+	}
+
+	matchCandidate := func(tid int, kind PointKind, seq int) int {
+		for i, cidx := range combo {
+			if fired[i] {
+				continue
+			}
+			c := &s.Candidates[cidx]
+			if c.Thread == tid && c.Kind == kind && c.Seq == seq {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for !m.Crashed() && !m.Done() && m.TotalSteps < maxRun {
+		t := m.Threads[cur]
+		if t.Status == interp.Done || (t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1) {
+			next := pickLowest()
+			if next < 0 {
+				break // deadlock
+			}
+			cur = next
+			continue
+		}
+
+		// Preemption points that fire before the next instruction.
+		pc := t.PC()
+		if pc.I >= 0 {
+			in := m.Prog.InstrAt(pc)
+			if t.Steps == 0 {
+				if ci := matchCandidate(cur, ThreadStart, 0); ci >= 0 {
+					if firePreemption(ci) {
+						continue
+					}
+				}
+			}
+			if in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1 {
+				if ci := matchCandidate(cur, BeforeAcquire, completed[cur]); ci >= 0 {
+					if firePreemption(ci) {
+						continue
+					}
+				}
+			}
+		}
+
+		wasAcquire, wasRelease := false, false
+		if pc.I >= 0 {
+			in := m.Prog.InstrAt(pc)
+			wasAcquire = in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1
+			wasRelease = in.Op == ir.OpRelease
+		}
+		ok, err := m.Step(cur)
+		if err != nil || !ok {
+			if t.Status == interp.Blocked {
+				continue // re-dispatch
+			}
+			break
+		}
+		if wasAcquire || wasRelease {
+			completed[cur]++
+		}
+		if wasRelease {
+			if ci := matchCandidate(cur, AfterRelease, completed[cur]); ci >= 0 {
+				if firePreemption(ci) {
+					continue
+				}
+			}
+		}
+	}
+
+	out.steps = m.TotalSteps
+	out.found = m.Crashed() && s.Target.Matches(m.Crash)
+	return out
+}
+
+// futureCSVsOf approximates thread tid's future CSV set at its current
+// sync ordinal using the passing-run annotations: the future set of
+// the thread's candidate at or after that ordinal.
+func (s *Searcher) futureCSVsOf(tid, ordinal int) map[interp.VarID]bool {
+	var best *Candidate
+	for i := range s.Candidates {
+		c := &s.Candidates[i]
+		if c.Thread != tid || c.Seq < ordinal {
+			continue
+		}
+		if best == nil || c.Seq < best.Seq || (c.Seq == best.Seq && c.Step < best.Step) {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.FutureCSVs
+}

@@ -1,0 +1,57 @@
+package chess
+
+import "sort"
+
+// rankedCombo is one entry of Algorithm 2's worklist: a preemption
+// combination (candidate indices) plus its CSV-access weight and its
+// final exploration rank. Rank order is the deterministic exploration
+// order of the sequential search; the parallel searcher commits
+// results in rank order, so the search outcome is a pure function of
+// the worklist regardless of how trials are scheduled across workers.
+type rankedCombo struct {
+	weight int
+	rank   int
+	combo  []int
+}
+
+// generateWorklist enumerates every preemption combination up to the
+// bound in size-major order — all 1-subsets, then all 2-subsets, ... —
+// so the unweighted (original CHESS) order is the linear search the
+// paper describes. For the enhanced algorithm the list is stably
+// sorted by combination weight (the sum of each member's best block
+// priority), keeping generation order as the tiebreak. The returned
+// slice order is the exploration order; rank is the index within it.
+func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo {
+	var wl []rankedCombo
+	n := len(cands)
+	for size := 1; size <= bound; size++ {
+		var gsize func(startIdx int, cur []int)
+		gsize = func(startIdx int, cur []int) {
+			if len(cur) == size {
+				combo := append([]int(nil), cur...)
+				w := 0
+				for _, ci := range combo {
+					w += cands[ci].MinPriority()
+				}
+				wl = append(wl, rankedCombo{weight: w, rank: len(wl), combo: combo})
+				return
+			}
+			for i := startIdx; i < n; i++ {
+				gsize(i+1, append(cur, i))
+			}
+		}
+		gsize(0, nil)
+	}
+	if weighted {
+		sort.SliceStable(wl, func(i, j int) bool {
+			if wl[i].weight != wl[j].weight {
+				return wl[i].weight < wl[j].weight
+			}
+			return wl[i].rank < wl[j].rank
+		})
+	}
+	for i := range wl {
+		wl[i].rank = i
+	}
+	return wl
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"heisendump/internal/chess"
+	"heisendump/internal/coredump"
+	"heisendump/internal/index"
+	"heisendump/internal/interp"
+	"heisendump/internal/sched"
+	"heisendump/internal/slicing"
+	"heisendump/internal/trace"
+)
+
+// Stage identifies one phase of the debugging-side analysis. Stages
+// run strictly in order; Analysis.Through runs everything up to and
+// including its argument, so callers can stop early or reuse the
+// artifacts of completed stages — e.g. re-prioritize the CSV accesses
+// under a different heuristic without repeating the expensive
+// alignment re-execution.
+type Stage int
+
+const (
+	// StageAlign reverse engineers the failure index (under
+	// execution-index alignment) and locates the aligned point in a
+	// deterministic re-run, recording the passing-run trace.
+	StageAlign Stage = iota
+	// StageAlignedDump replays deterministically to the aligned point
+	// and captures the passing-side core dump there.
+	StageAlignedDump
+	// StageDiff compares the failure and aligned dumps; the shared
+	// differences are the critical shared variables.
+	StageDiff
+	// StagePrioritize orders the CSV accesses of the passing run by
+	// the configured heuristic (temporal or dependence distance).
+	StagePrioritize
+	// StageCandidates discovers the preemption candidates and attaches
+	// Algorithm 2's block-access and future-CSV-set annotations.
+	StageCandidates
+)
+
+// String names the stage for reports.
+func (s Stage) String() string {
+	switch s {
+	case StageAlign:
+		return "align"
+	case StageAlignedDump:
+		return "aligned-dump"
+	case StageDiff:
+		return "diff"
+	case StagePrioritize:
+		return "prioritize"
+	case StageCandidates:
+		return "candidates"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Analysis is a stage-structured analysis of one provoked failure. It
+// carries the intermediate artifacts (most importantly the recorded
+// passing-run trace) between stages, which Analyze's one-shot API
+// discards.
+type Analysis struct {
+	// Pipe is the owning pipeline.
+	Pipe *Pipeline
+	// Fail is the failure under analysis.
+	Fail *FailureReport
+	// Report accumulates the artifacts and costs of completed stages.
+	Report *AnalysisReport
+	// Trace is the recorded passing-run trace (set by StageAlign).
+	Trace *trace.Recorder
+
+	next Stage
+}
+
+// NewAnalysis starts a stage-structured analysis of the failure. Run
+// stages with Through; Analyze is the one-shot equivalent.
+func (p *Pipeline) NewAnalysis(fail *FailureReport) *Analysis {
+	rep := &AnalysisReport{}
+	if t := fail.Dump.Thread(fail.Dump.FailingThread); t != nil {
+		rep.ThreadSteps = t.Steps
+	}
+	return &Analysis{Pipe: p, Fail: fail, Report: rep}
+}
+
+// Through runs every not-yet-run stage up to and including last.
+// Already-completed stages are not repeated.
+func (a *Analysis) Through(last Stage) error {
+	for a.next <= last {
+		if err := a.runStage(a.next); err != nil {
+			return err
+		}
+		a.next++
+	}
+	return nil
+}
+
+// Reprioritize re-runs the prioritization and candidate stages under a
+// different heuristic, reusing the alignment, dump and diff artifacts
+// of the earlier stages (running them first if needed). Experiments
+// that compare heuristics on one bug use this to amortize the
+// re-execution cost across configurations.
+func (a *Analysis) Reprioritize(h slicing.Heuristic) error {
+	if err := a.Through(StageDiff); err != nil {
+		return err
+	}
+	a.prioritize(h)
+	a.candidates()
+	a.next = StageCandidates + 1
+	return nil
+}
+
+func (a *Analysis) runStage(s Stage) error {
+	switch s {
+	case StageAlign:
+		return a.align()
+	case StageAlignedDump:
+		return a.alignedDump()
+	case StageDiff:
+		a.diff()
+		return nil
+	case StagePrioritize:
+		a.prioritize(a.Pipe.Cfg.Heuristic)
+		return nil
+	case StageCandidates:
+		a.candidates()
+		return nil
+	}
+	return fmt.Errorf("core: unknown analysis stage %v", s)
+}
+
+// align locates the aligned point in a deterministic re-run, recording
+// the trace. Under execution-index alignment it first reverse
+// engineers the failure index from the dump (Algorithm 1).
+func (a *Analysis) align() error {
+	p, rep := a.Pipe, a.Report
+
+	rec := trace.NewRecorder()
+	if p.Cfg.TraceWindow > 0 {
+		rec = trace.NewWindowed(p.Cfg.TraceWindow)
+	}
+	a.Trace = rec
+
+	start := time.Now()
+	switch p.Cfg.Alignment {
+	case AlignByIndex:
+		t0 := time.Now()
+		fidx, err := index.Reverse(p.Prog, p.PDeps, a.Fail.Dump)
+		if err != nil {
+			return fmt.Errorf("core: reverse engineering failure index: %w", err)
+		}
+		rep.ReverseTime = time.Since(t0)
+		rep.FailureIndex = fidx
+		rep.IndexLen = fidx.Len()
+
+		al := index.NewAligner(p.Prog, p.PDeps, fidx)
+		m := p.NewMachine()
+		m.Hooks = trace.Multi{al, rec}
+		res := sched.Runner{}.Run(m, sched.NewCooperative())
+		rep.PassingSteps = res.Steps
+		rep.AlignKind = al.Kind
+		rep.AlignSteps = al.AlignSteps
+		rep.AlignPC = al.AlignPC
+	case AlignByInstructionCount:
+		al := NewStepCountAligner(a.Fail.Dump.FailingThread, rep.ThreadSteps, a.Fail.Dump.PC)
+		m := p.NewMachine()
+		m.Hooks = trace.Multi{al, rec}
+		res := sched.Runner{}.Run(m, sched.NewCooperative())
+		rep.PassingSteps = res.Steps
+		rep.AlignKind = al.kind()
+		rep.AlignSteps = al.steps()
+		rep.AlignPC = al.pc()
+	default:
+		return fmt.Errorf("core: unknown alignment method %v", p.Cfg.Alignment)
+	}
+	rep.AlignTime = time.Since(start)
+
+	if rep.AlignKind == index.AlignNone {
+		return fmt.Errorf("core: no aligned point found in passing run")
+	}
+	return nil
+}
+
+// alignedDump replays deterministically to the aligned point and
+// captures the dump there.
+func (a *Analysis) alignedDump() error {
+	p, rep := a.Pipe, a.Report
+	t0 := time.Now()
+	m := p.NewMachine()
+	// BoundedRun, not a bare Runner: an aligned point at step 0 must
+	// capture the initial state, and BoundedRun runs nothing for a
+	// non-positive bound where Runner{MaxSteps: 0} would run forever.
+	sched.BoundedRun(m, sched.NewCooperative(), rep.AlignSteps)
+	rep.AlignedDump = coredump.Capture(m, a.Fail.Dump.FailingThread, rep.AlignPC, "aligned point")
+	var err error
+	rep.AlignedDumpBytes, err = rep.AlignedDump.Size()
+	if err != nil {
+		return err
+	}
+	rep.DumpTime = time.Since(t0)
+	return nil
+}
+
+// diff compares the dumps; shared differences are the CSVs.
+func (a *Analysis) diff() {
+	rep := a.Report
+	t0 := time.Now()
+	rep.Diff = coredump.Compare(a.Fail.Dump, rep.AlignedDump)
+	rep.CSVs = rep.Diff.CSVs()
+	rep.DiffTime = time.Since(t0)
+}
+
+// prioritize orders the CSV accesses of the passing run by h.
+func (a *Analysis) prioritize(h slicing.Heuristic) {
+	p, rep := a.Pipe, a.Report
+	csvVars := make([]interp.VarID, 0, len(rep.CSVs))
+	for _, c := range rep.CSVs {
+		csvVars = append(csvVars, c.BVar)
+	}
+	criterionStep := rep.AlignSteps
+	if rep.AlignKind == index.AlignClosest && criterionStep > 0 {
+		criterionStep-- // the divergent branch itself
+	}
+	t0 := time.Now()
+	var sl *slicing.Slice
+	if h == slicing.Dependence {
+		sl = slicing.Compute(p.Prog, p.PDeps, a.Trace.Events, criterionStep, nil)
+	}
+	rep.Accesses = slicing.CollectAccesses(a.Trace.Events, csvVars, criterionStep, h, sl)
+	rep.SliceTime = time.Since(t0)
+}
+
+// candidates discovers and annotates the preemption candidates.
+func (a *Analysis) candidates() {
+	rep := a.Report
+	cands := chess.DiscoverCandidates(a.Pipe.Prog, a.Trace.Events)
+	chess.Annotate(cands, rep.Accesses)
+	rep.Candidates = cands
+}

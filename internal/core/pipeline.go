@@ -25,7 +25,6 @@ import (
 	"heisendump/internal/ir"
 	"heisendump/internal/sched"
 	"heisendump/internal/slicing"
-	"heisendump/internal/trace"
 )
 
 // AlignmentMethod selects how the aligned point is located.
@@ -68,6 +67,10 @@ type Config struct {
 	TraceWindow int
 	// StepLimit bounds each execution (0 = a generous default).
 	StepLimit int64
+	// Workers is the schedule-search worker-pool width (0 =
+	// GOMAXPROCS). The search result is deterministic for any value:
+	// the winning schedule is always the lowest-ranked one.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,8 +105,13 @@ func NewPipeline(prog *ir.Program, input *interp.Input, cfg Config) *Pipeline {
 }
 
 // NewMachine builds a fresh machine on the pipeline's program/input.
+// It is safe for concurrent use, so the parallel schedule search hands
+// it directly to its worker pool: the compiled program is immutable
+// and shared, and the input is cloned per machine — interp.New only
+// reads the input today, so the clone is insurance that no two workers
+// ever see shared mutable input state even if Input grows some.
 func (p *Pipeline) NewMachine() *interp.Machine {
-	m := interp.New(p.Prog, p.Input)
+	m := interp.New(p.Prog, p.Input.Clone())
 	m.MaxSteps = p.Cfg.StepLimit
 	return m
 }
@@ -187,112 +195,18 @@ type AnalysisReport struct {
 	SliceTime   time.Duration
 }
 
-// Analyze performs the debugging-phase analysis: reverse engineer the
-// failure index, re-execute deterministically to find the aligned
-// point, capture and compare dumps, and prioritize CSV accesses.
+// Analyze performs the debugging-phase analysis in one shot: reverse
+// engineer the failure index, re-execute deterministically to find the
+// aligned point, capture and compare dumps, and prioritize CSV
+// accesses. It is equivalent to running every Stage of a NewAnalysis;
+// use the stage-structured API to reuse intermediate artifacts.
 func (p *Pipeline) Analyze(fail *FailureReport) (*AnalysisReport, error) {
-	rep := &AnalysisReport{}
-	if t := fail.Dump.Thread(fail.Dump.FailingThread); t != nil {
-		rep.ThreadSteps = t.Steps
-	}
-
-	// Phase 1: locate the aligned point in a deterministic re-run,
-	// recording the trace.
-	rec := trace.NewRecorder()
-	if p.Cfg.TraceWindow > 0 {
-		rec = trace.NewWindowed(p.Cfg.TraceWindow)
-	}
-
-	start := time.Now()
-	var aligned interface {
-		kind() index.AlignKind
-		steps() int64
-		pc() ir.PC
-	}
-	switch p.Cfg.Alignment {
-	case AlignByIndex:
-		t0 := time.Now()
-		fidx, err := index.Reverse(p.Prog, p.PDeps, fail.Dump)
-		if err != nil {
-			return nil, fmt.Errorf("core: reverse engineering failure index: %w", err)
-		}
-		rep.ReverseTime = time.Since(t0)
-		rep.FailureIndex = fidx
-		rep.IndexLen = fidx.Len()
-
-		al := index.NewAligner(p.Prog, p.PDeps, fidx)
-		m := p.NewMachine()
-		m.Hooks = trace.Multi{al, rec}
-		res := sched.Run(m, sched.NewCooperative())
-		rep.PassingSteps = res.Steps
-		aligned = indexAlignment{al}
-	case AlignByInstructionCount:
-		al := NewStepCountAligner(fail.Dump.FailingThread, rep.ThreadSteps, fail.Dump.PC)
-		m := p.NewMachine()
-		m.Hooks = trace.Multi{al, rec}
-		res := sched.Run(m, sched.NewCooperative())
-		rep.PassingSteps = res.Steps
-		aligned = al
-	default:
-		return nil, fmt.Errorf("core: unknown alignment method %v", p.Cfg.Alignment)
-	}
-	rep.AlignTime = time.Since(start)
-
-	rep.AlignKind = aligned.kind()
-	rep.AlignSteps = aligned.steps()
-	rep.AlignPC = aligned.pc()
-	if rep.AlignKind == index.AlignNone {
-		return nil, fmt.Errorf("core: no aligned point found in passing run")
-	}
-
-	// Phase 2: replay deterministically to the aligned point and
-	// capture the dump there.
-	t0 := time.Now()
-	m2 := p.NewMachine()
-	sched.BoundedRun(m2, sched.NewCooperative(), rep.AlignSteps)
-	rep.AlignedDump = coredump.Capture(m2, fail.Dump.FailingThread, rep.AlignPC, "aligned point")
-	var err error
-	rep.AlignedDumpBytes, err = rep.AlignedDump.Size()
-	if err != nil {
+	a := p.NewAnalysis(fail)
+	if err := a.Through(StageCandidates); err != nil {
 		return nil, err
 	}
-	rep.DumpTime = time.Since(t0)
-
-	// Phase 3: compare dumps; shared differences are the CSVs.
-	t0 = time.Now()
-	rep.Diff = coredump.Compare(fail.Dump, rep.AlignedDump)
-	rep.CSVs = rep.Diff.CSVs()
-	rep.DiffTime = time.Since(t0)
-
-	// Phase 4: prioritize CSV accesses.
-	csvVars := make([]interp.VarID, 0, len(rep.CSVs))
-	for _, c := range rep.CSVs {
-		csvVars = append(csvVars, c.BVar)
-	}
-	criterionStep := rep.AlignSteps
-	if rep.AlignKind == index.AlignClosest && criterionStep > 0 {
-		criterionStep-- // the divergent branch itself
-	}
-	t0 = time.Now()
-	var sl *slicing.Slice
-	if p.Cfg.Heuristic == slicing.Dependence {
-		sl = slicing.Compute(p.Prog, p.PDeps, rec.Events, criterionStep, nil)
-	}
-	rep.Accesses = slicing.CollectAccesses(rec.Events, csvVars, criterionStep, p.Cfg.Heuristic, sl)
-	rep.SliceTime = time.Since(t0)
-
-	// Phase 5: discover and annotate preemption candidates.
-	cands := chess.DiscoverCandidates(p.Prog, rec.Events)
-	chess.Annotate(cands, rep.Accesses)
-	rep.Candidates = cands
-	return rep, nil
+	return a.Report, nil
 }
-
-type indexAlignment struct{ al *index.Aligner }
-
-func (a indexAlignment) kind() index.AlignKind { return a.al.Kind }
-func (a indexAlignment) steps() int64          { return a.al.AlignSteps }
-func (a indexAlignment) pc() ir.PC             { return a.al.AlignPC }
 
 // Searcher builds the schedule searcher for a completed analysis;
 // callers may tweak its Opts before Search (ablation studies do).
@@ -307,6 +221,7 @@ func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Sear
 			Guided:       !p.Cfg.PlainChess,
 			MaxTries:     p.Cfg.MaxTries,
 			PassingSteps: an.PassingSteps,
+			Workers:      p.Cfg.Workers,
 		},
 	}
 }

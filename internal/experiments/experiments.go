@@ -21,9 +21,19 @@ import (
 	"heisendump/internal/instrument"
 	"heisendump/internal/ir"
 	"heisendump/internal/lang"
+	"heisendump/internal/pool"
 	"heisendump/internal/slicing"
 	"heisendump/internal/workloads"
 )
+
+// Workers bounds how many independent subjects (bug workloads,
+// corpora) each table generator runs concurrently; <= 0 means
+// GOMAXPROCS. Every subject's pipeline is deterministic and
+// self-contained, so row order and all counted columns (tries, CSVs,
+// dump bytes, ...) are identical for any width; only the wall-clock
+// time columns vary, since co-scheduled subjects contend for cores.
+// Set it once at startup (cmd/benchtab's -workers flag does).
+var Workers = 0
 
 // Table1Row is one corpus's control-dependence distribution.
 type Table1Row struct {
@@ -38,26 +48,32 @@ type Table1Row struct {
 // Table1 computes the control-dependence distribution over the three
 // synthetic corpora.
 func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, spec := range workloads.CorpusSpecs() {
+	specs := workloads.CorpusSpecs()
+	rows := make([]Table1Row, len(specs))
+	err := pool.ForEach(Workers, len(specs), func(i int) error {
+		spec := specs[i]
 		prog, err := workloads.GenerateCorpus(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cp, err := ir.Compile(prog, ir.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st := ctrldep.AnalyzeProgram(cp).ProgramStats()
 		tot := float64(st.Total)
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Benchmark: spec.Name,
 			OneCD:     100 * float64(st.One+st.None) / tot,
 			AggrToOne: 100 * float64(st.Aggregatable) / tot,
 			NotAggr:   100 * float64(st.NonAggregatable) / tot,
 			Loop:      100 * float64(st.Loop) / tot,
 			Total:     st.Total,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -84,19 +100,25 @@ type Table2Row struct {
 
 // Table2 describes the studied bugs.
 func Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, w := range workloads.Bugs() {
+	bugs := workloads.Bugs()
+	rows := make([]Table2Row, len(bugs))
+	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+		w := bugs[i]
 		prog, err := w.Compile(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := core.NewPipeline(prog, w.Input, core.Config{})
 		m := p.NewMachine()
 		steps := runToCompletion(m)
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			Name: w.Name, BugID: w.BugID, Kind: w.Kind,
 			Steps: steps, Threads: w.Threads, Description: w.Description,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -148,13 +170,15 @@ type Table3Row struct {
 
 // Table3 runs the analysis phase on every bug.
 func Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, w := range workloads.Bugs() {
+	bugs := workloads.Bugs()
+	rows := make([]Table3Row, len(bugs))
+	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+		w := bugs[i]
 		_, an, fail, err := analyzeBug(w, core.Config{})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Name:           w.Name,
 			FailDumpBytes:  fail.DumpBytes,
 			PassDumpBytes:  an.AlignedDumpBytes,
@@ -165,7 +189,11 @@ func Table3() ([]Table3Row, error) {
 			IndexLen:       an.IndexLen,
 			AlignKind:      an.AlignKind,
 			StressAttempts: fail.Attempts,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -218,36 +246,66 @@ type Table4Row struct {
 }
 
 // Table4 runs the three search configurations on every bug. plainCap
-// bounds plain CHESS (0 means 2000).
+// bounds plain CHESS (0 means 2000). The provocation, alignment and
+// dump-diff stages run once per bug and are shared by the three
+// configurations (they are heuristic-independent); only the
+// prioritization/candidate stages and the search itself re-run, via
+// the stage-structured analysis API.
 func Table4(plainCap int) ([]Table4Row, error) {
 	if plainCap == 0 {
 		plainCap = 2000
 	}
-	var rows []Table4Row
-	for _, w := range workloads.Bugs() {
-		row := Table4Row{Name: w.Name}
-		run := func(cfg core.Config) (int, time.Duration, bool, error) {
-			p, an, fail, err := analyzeBug(w, cfg)
-			if err != nil {
+	bugs := workloads.Bugs()
+	rows := make([]Table4Row, len(bugs))
+	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+		w := bugs[i]
+		prog, err := w.Compile(true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		// Workers=1: the subject-level pool already saturates the cores;
+		// a nested full-width search pool per bug would oversubscribe
+		// them roughly quadratically and perturb the time columns.
+		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1})
+		fail, err := p.ProvokeFailure()
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		an := p.NewAnalysis(fail)
+		if err := an.Through(core.StageDiff); err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+
+		search := func(h slicing.Heuristic, enhanced bool, maxTries int) (int, time.Duration, bool, error) {
+			if err := an.Reprioritize(h); err != nil {
 				return 0, 0, false, err
 			}
-			res := p.Reproduce(fail, an)
+			s := p.Searcher(fail, an.Report)
+			s.Opts.Weighted = enhanced
+			s.Opts.Guided = enhanced
+			s.Opts.MaxTries = maxTries
+			res := s.Search()
 			return res.Tries, res.Elapsed, res.Found, nil
 		}
-		var err error
-		row.ChessTries, row.ChessTime, row.ChessFound, err = run(core.Config{PlainChess: true, MaxTries: plainCap})
+
+		row := Table4Row{Name: w.Name}
+		row.ChessTries, row.ChessTime, row.ChessFound, err = search(slicing.Temporal, false, plainCap)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		row.DepTries, row.DepTime, row.DepFound, err = run(core.Config{Heuristic: slicing.Dependence, MaxTries: plainCap * 2})
+		row.DepTries, row.DepTime, row.DepFound, err = search(slicing.Dependence, true, plainCap*2)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		row.TempTries, row.TempTime, row.TempFound, err = run(core.Config{Heuristic: slicing.Temporal, MaxTries: plainCap * 2})
+		row.TempTries, row.TempTime, row.TempFound, err = search(slicing.Temporal, true, plainCap*2)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -293,18 +351,21 @@ func Table5(cap int) ([]Table5Row, error) {
 	if cap == 0 {
 		cap = 2000
 	}
-	var rows []Table5Row
-	for _, w := range workloads.Bugs() {
+	bugs := workloads.Bugs()
+	rows := make([]Table5Row, len(bugs))
+	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+		w := bugs[i]
 		p, an, fail, err := analyzeBug(w, core.Config{
 			Alignment: core.AlignByInstructionCount,
 			Heuristic: slicing.Temporal,
 			MaxTries:  cap,
+			Workers:   1, // the subject pool provides the parallelism
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		res := p.Reproduce(fail, an)
-		rows = append(rows, Table5Row{
+		rows[i] = Table5Row{
 			Name:           w.Name,
 			ThreadInstrs:   an.ThreadSteps,
 			VarsCompared:   an.Diff.VarsCompared,
@@ -314,7 +375,11 @@ func Table5(cap int) ([]Table5Row, error) {
 			Tries:          res.Tries,
 			Time:           res.Elapsed,
 			Reproduced:     res.Found,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -343,20 +408,26 @@ type Table6Row struct {
 
 // Table6 measures the one-time analysis costs per bug.
 func Table6() ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, w := range workloads.Bugs() {
+	bugs := workloads.Bugs()
+	rows := make([]Table6Row, len(bugs))
+	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+		w := bugs[i]
 		_, an, _, err := analyzeBug(w, core.Config{Heuristic: slicing.Dependence})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		rows = append(rows, Table6Row{
+		rows[i] = Table6Row{
 			Name:        w.Name,
 			DumpCapture: an.DumpTime,
 			DumpDiff:    an.DiffTime,
 			Slicing:     an.SliceTime,
 			Reverse:     an.ReverseTime,
 			Align:       an.AlignTime,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -382,7 +453,9 @@ type Fig10Row struct {
 }
 
 // Fig10 measures loop-counter instrumentation overhead on the bug
-// workloads and the splash kernels.
+// workloads and the splash kernels. Unlike the tables, the subjects
+// run sequentially: the measurement is a wall-clock ratio, and
+// co-scheduled subjects would perturb each other's timings.
 func Fig10(reps int) ([]Fig10Row, error) {
 	subjects := append(append([]*workloads.Workload{}, workloads.Bugs()...), workloads.SplashKernels()...)
 	var rows []Fig10Row

@@ -1,0 +1,27 @@
+package interp
+
+// Clone returns a deep copy of the input. Every trial machine of a
+// parallel schedule search is built from its own clone, so no two
+// workers ever share mutable input state even if Input grows state
+// that machines retain or mutate — New only reads it today (the
+// compiled ir.Program, by contrast, is immutable and shared). A nil
+// input clones to nil.
+func (in *Input) Clone() *Input {
+	if in == nil {
+		return nil
+	}
+	out := &Input{}
+	if in.Scalars != nil {
+		out.Scalars = make(map[string]int64, len(in.Scalars))
+		for k, v := range in.Scalars {
+			out.Scalars[k] = v
+		}
+	}
+	if in.Arrays != nil {
+		out.Arrays = make(map[string][]int64, len(in.Arrays))
+		for k, v := range in.Arrays {
+			out.Arrays[k] = append([]int64(nil), v...)
+		}
+	}
+	return out
+}

@@ -170,7 +170,10 @@ type PC struct {
 // the function name.
 func (pc PC) String() string { return fmt.Sprintf("%d:%d", pc.F, pc.I) }
 
-// Program is a compiled program.
+// Program is a compiled program. It is immutable once Compile
+// returns: the interpreter and every analysis only read it, so a
+// single compiled program is safely shared by any number of machines
+// running concurrently (the parallel schedule search relies on this).
 type Program struct {
 	Name    string
 	Globals []*lang.VarDecl

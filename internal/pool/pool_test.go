@@ -1,0 +1,90 @@
+package pool_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"heisendump/internal/pool"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 50
+		counts := make([]int32, n)
+		err := pool.ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	done := make(chan struct{})
+	err := pool.ForEach(workers, 20, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		// Give other workers a chance to pile up.
+		select {
+		case <-done:
+		default:
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	close(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeded %d workers", p, workers)
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := pool.ForEach(1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Single worker claims in order: indices 0..4 run, the rest are
+	// skipped once the error lands.
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("ran %d tasks, want 5", got)
+	}
+}
+
+func TestForEachEmptyAndOversized(t *testing.T) {
+	if err := pool.ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	if err := pool.ForEach(64, 2, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("ran %d, want 2", ran.Load())
+	}
+}

@@ -2,7 +2,8 @@
 // a cooperative deterministic single-core scheduler (the paper's
 // re-execution environment), a seeded pseudo-random scheduler
 // simulating multicore interleaving (used to provoke failures during
-// stress testing), and a recording/replay facility.
+// stress testing), and a recording/replay facility. The Runner type is
+// the single execution loop behind every run variant.
 package sched
 
 import (
@@ -37,12 +38,30 @@ type Result struct {
 	StepLimited bool
 }
 
-// Run drives m with s until the machine halts or the scheduler yields.
-// The returned Result records the full thread schedule, so the run can
-// be replayed with a Replayer.
-func Run(m *interp.Machine, s Scheduler) *Result {
+// Runner executes machines under a scheduler with a uniform run
+// policy. It is the single execution loop behind the Run and
+// BoundedRun convenience wrappers: pipeline stages and the parallel
+// schedule search construct Runners directly (a Runner is a value, so
+// each trial can carry its own bound without shared state).
+type Runner struct {
+	// MaxSteps bounds the steps executed by this run — not the
+	// machine's lifetime total, so a Runner can extend a partially-run
+	// machine by an exact amount. 0 means unlimited; negative runs
+	// nothing.
+	MaxSteps int64
+}
+
+// Run drives m with s until the machine halts, the scheduler yields,
+// or the runner's step bound is reached. The returned Result records
+// the full thread schedule, so the run can be replayed with a
+// Replayer.
+func (r Runner) Run(m *interp.Machine, s Scheduler) *Result {
 	res := &Result{}
 	for !m.Crashed() && !m.Done() {
+		if r.MaxSteps != 0 && int64(len(res.Schedule)) >= r.MaxSteps {
+			res.StepLimited = true
+			break
+		}
 		tid := s.Next(m)
 		if tid < 0 {
 			break
@@ -66,6 +85,11 @@ func Run(m *interp.Machine, s Scheduler) *Result {
 		res.Deadlocked = true
 	}
 	return res
+}
+
+// Run drives m with s until the machine halts or the scheduler yields.
+func Run(m *interp.Machine, s Scheduler) *Result {
+	return Runner{}.Run(m, s)
 }
 
 // Cooperative is the deterministic single-core scheduler: the current
@@ -139,30 +163,14 @@ func (r *Replayer) Next(m *interp.Machine) int {
 	return tid
 }
 
-// BoundedRun runs m under s for at most maxSteps additional steps.
-// It is used to capture dumps at precise points of deterministic runs.
+// BoundedRun runs m under s for at most maxSteps additional steps
+// (non-positive bounds run nothing). It is used to capture dumps at
+// precise points of deterministic runs.
 func BoundedRun(m *interp.Machine, s Scheduler, maxSteps int64) *Result {
-	res := &Result{}
-	for !m.Crashed() && !m.Done() && int64(len(res.Schedule)) < maxSteps {
-		tid := s.Next(m)
-		if tid < 0 {
-			break
-		}
-		ok, err := m.Step(tid)
-		if err != nil || !ok {
-			break
-		}
-		res.Schedule = append(res.Schedule, tid)
+	if maxSteps <= 0 {
+		maxSteps = -1
 	}
-	res.Steps = m.TotalSteps
-	res.Output = m.Output
-	if m.Crashed() {
-		res.Crashed = true
-		res.Crash = m.Crash
-	} else if !m.Done() && len(m.Runnable()) == 0 {
-		res.Deadlocked = true
-	}
-	return res
+	return Runner{MaxSteps: maxSteps}.Run(m, s)
 }
 
 // StressResult describes the outcome of a stress-testing campaign.

@@ -105,6 +105,90 @@ func TestMultiFansOutIdentically(t *testing.T) {
 	}
 }
 
+// feedWindowed drives a windowed recorder's BeforeInstr hook n times,
+// simulating n executed instructions of one thread.
+func feedWindowed(rec *trace.Recorder, n int) {
+	th := &interp.Thread{ID: 0}
+	in := &ir.Instr{Op: ir.OpAssign}
+	for i := 0; i < n; i++ {
+		rec.BeforeInstr(th, ir.PC{F: 0, I: i}, in)
+	}
+}
+
+// TestWindowedExactlyFull: a window filled to exactly its bound keeps
+// everything; eviction only happens when the next event arrives.
+func TestWindowedExactlyFull(t *testing.T) {
+	rec := trace.NewWindowed(4)
+	feedWindowed(rec, 4)
+	if len(rec.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(rec.Events))
+	}
+	if rec.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 at exactly-full", rec.Dropped)
+	}
+	for i, e := range rec.Events {
+		if e.Step != int64(i) {
+			t.Fatalf("event %d has step %d", i, e.Step)
+		}
+	}
+	if rec.EventAt(0) == nil || rec.EventAt(3) == nil || rec.EventAt(4) != nil {
+		t.Fatal("EventAt boundaries wrong at exactly-full")
+	}
+}
+
+// TestWindowedOneOverEvictsOldestHalf: the window+1-th event evicts
+// the oldest half, and EventAt reflects the shifted retention.
+func TestWindowedOneOverEvictsOldestHalf(t *testing.T) {
+	rec := trace.NewWindowed(4)
+	feedWindowed(rec, 5)
+	// Eviction drops floor(4/2)=2 events, then the 5th is appended.
+	if len(rec.Events) != 3 {
+		t.Fatalf("events = %d, want 3 after eviction", len(rec.Events))
+	}
+	if rec.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", rec.Dropped)
+	}
+	if first := rec.Events[0].Step; first != 2 {
+		t.Fatalf("oldest retained step = %d, want 2", first)
+	}
+	// Steps stay globally numbered and contiguous in the window.
+	for i, e := range rec.Events {
+		if e.Step != int64(2+i) {
+			t.Fatalf("event %d has step %d, want %d", i, e.Step, 2+i)
+		}
+	}
+	// Evicted steps are gone; retained ones resolve.
+	if rec.EventAt(0) != nil || rec.EventAt(1) != nil {
+		t.Fatal("evicted steps still resolve")
+	}
+	if rec.EventAt(2) == nil || rec.EventAt(4) == nil || rec.EventAt(5) != nil {
+		t.Fatal("EventAt boundaries wrong after eviction")
+	}
+}
+
+// TestWindowedRepeatedEviction: the recorder keeps evicting halves as
+// the run grows, never exceeding the window.
+func TestWindowedRepeatedEviction(t *testing.T) {
+	rec := trace.NewWindowed(4)
+	feedWindowed(rec, 101)
+	if len(rec.Events) > 4 {
+		t.Fatalf("window overflow: %d events retained", len(rec.Events))
+	}
+	if got := rec.Dropped + int64(len(rec.Events)); got != 101 {
+		t.Fatalf("dropped+retained = %d, want 101", got)
+	}
+	last := rec.Events[len(rec.Events)-1]
+	if last.Step != 100 {
+		t.Fatalf("newest retained step = %d, want 100", last.Step)
+	}
+	if rec.EventAt(last.Step) == nil {
+		t.Fatal("newest event must resolve")
+	}
+	if rec.EventAt(rec.Events[0].Step-1) != nil {
+		t.Fatal("step before the window must not resolve")
+	}
+}
+
 func TestSynthEventsMarked(t *testing.T) {
 	rec := trace.NewRecorder()
 	run(t, `
