@@ -8,6 +8,8 @@
 //	benchtab -fig 10          # figure 10
 //	benchtab -plaincap 5000   # raise the plain-CHESS cutoff
 //	benchtab -workers 8       # run up to 8 workloads concurrently
+//	benchtab -prune           # equivalence-pruned searches (same rows,
+//	                          # fewer executed trials)
 //	benchtab -json > rows.json # machine-readable rows (one JSON object
 //	                           # per table/figure) for perf tracking
 package main
@@ -28,10 +30,12 @@ func main() {
 	plainCap := flag.Int("plaincap", 2000, "plain-CHESS try cutoff (the 18-hour analogue)")
 	reps := flag.Int("reps", 3, "repetitions for overhead timing")
 	workers := flag.Int("workers", 0, "concurrent workloads per table (0 = GOMAXPROCS)")
+	prune := flag.Bool("prune", false, "enable equivalence pruning in the schedule searches (identical tries/found, fewer executed trials)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows, one object per table/figure")
 	flag.Parse()
 
 	experiments.Workers = *workers
+	experiments.Prune = *prune
 
 	out := io.Writer(os.Stdout)
 	all := *table == 0 && *fig == 0

@@ -32,6 +32,7 @@ func main() {
 	bound := flag.Int("k", 2, "preemption bound")
 	maxTries := flag.Int("maxtries", 5000, "schedule-search cutoff")
 	workers := flag.Int("workers", 0, "schedule-search worker pool width (0 = GOMAXPROCS); the result is deterministic for any value")
+	prune := flag.Bool("prune", false, "skip schedule trials proven equivalent to already-executed runs; the result is identical either way")
 	list := flag.Bool("list", false, "list built-in workloads")
 	verbose := flag.Bool("v", false, "print the failure index, CSVs and candidates")
 	flag.Parse()
@@ -77,6 +78,7 @@ func main() {
 		MaxTries:   *maxTries,
 		PlainChess: *plain,
 		Workers:    *workers,
+		Prune:      *prune,
 	}
 	if *heuristic == "dep" {
 		cfg.Heuristic = heisendump.Dependence
@@ -123,8 +125,12 @@ func main() {
 		fmt.Printf("NOT reproduced within %d tries (%v)\n", res.Tries, res.Elapsed)
 		os.Exit(2)
 	}
-	fmt.Printf("reproduced: %d tries (%d runs executed on %d workers), %v, %d interpreter steps\n",
-		res.Tries, res.TrialsExecuted, res.Workers, res.Elapsed, res.StepsExecuted)
+	pruneNote := ""
+	if res.TrialsPruned > 0 {
+		pruneNote = fmt.Sprintf(", %d pruned as equivalent, %d distinct interleavings", res.TrialsPruned, res.DistinctRuns)
+	}
+	fmt.Printf("reproduced: %d tries (%d runs executed on %d workers%s), %v, %d interpreter steps\n",
+		res.Tries, res.TrialsExecuted, res.Workers, pruneNote, res.Elapsed, res.StepsExecuted)
 	for _, ap := range res.Schedule {
 		lock := ""
 		if ap.Candidate.Lock != "" {

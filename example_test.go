@@ -1,0 +1,127 @@
+package heisendump_test
+
+import (
+	"fmt"
+	"log"
+
+	"heisendump"
+)
+
+// Example_quickstart reproduces the paper's Fig. 1 Heisenbug end to
+// end: provoke the failure under random interleavings, analyze the
+// core dump, and search for a failure-inducing schedule. Every phase
+// is deterministic (fixed stress seeds, Workers: 1), so the output is
+// stable — `go test` keeps this quick start honest.
+func Example_quickstart() {
+	w := heisendump.WorkloadByName("fig1")
+	prog, err := w.Compile(true) // loop-counter instrumentation on
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{
+		Heuristic: heisendump.Temporal,
+		MaxTries:  1000,
+		Workers:   1,    // any value gives the same result; 1 keeps the example minimal
+		Prune:     true, // skip schedule trials proven equivalent to executed runs
+	})
+
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash: %s\n", fail.Signature.Reason)
+
+	an, err := p.Analyze(fail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aligned: %v, %d CSVs\n", an.AlignKind, len(an.CSVs))
+
+	res := p.Reproduce(fail, an)
+	fmt.Printf("found=%v tries=%d\n", res.Found, res.Tries)
+	for _, ap := range res.Schedule {
+		fmt.Printf("preempt thread %d at %v (sync #%d) -> thread %d\n",
+			ap.Candidate.Thread, ap.Candidate.Kind, ap.Candidate.Seq, ap.SwitchTo)
+	}
+	// Output:
+	// crash: null pointer dereference
+	// aligned: closest, 2 CSVs
+	// found=true tries=1
+	// preempt thread 1 at after-release (sync #4) -> thread 2
+}
+
+// ExampleCompareDumps diffs a failure core dump against the dump
+// captured at the aligned point of a deterministic passing re-run; the
+// shared locations that differ are the critical shared variables the
+// schedule search is steered by.
+func ExampleCompareDumps() {
+	w := heisendump.WorkloadByName("fig1")
+	prog, err := w.Compile(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{})
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := p.Analyze(fail) // captures the aligned-point dump
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	diff := heisendump.CompareDumps(fail.Dump, an.AlignedDump)
+	fmt.Printf("compared %d locations (%d shared)\n", diff.VarsCompared, diff.SharedCompared)
+	for _, c := range diff.CSVs() {
+		fmt.Printf("CSV %s: failing=%v passing=%v\n", c.Path, c.A, c.B)
+	}
+	// Output:
+	// compared 15 locations (10 shared)
+	// CSV busy: failing=3 passing=0
+	// CSV x: failing=0 passing=1
+}
+
+// ExampleAnonymizeDump shows the §7 privacy mitigation: dumps
+// anonymized with the same salt preserve value *equality* without
+// revealing values, so the comparison phase still finds exactly the
+// same critical shared variables.
+func ExampleAnonymizeDump() {
+	w := heisendump.WorkloadByName("fig1")
+	prog, err := w.Compile(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{})
+	fail, err := p.ProvokeFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := p.Analyze(fail)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const salt = 0xfeedface
+	anonFail := heisendump.AnonymizeDump(fail.Dump, prog, salt)
+	anonPass := heisendump.AnonymizeDump(an.AlignedDump, prog, salt)
+
+	clear := heisendump.CompareDumps(fail.Dump, an.AlignedDump).CSVs()
+	anon := heisendump.CompareDumps(anonFail, anonPass).CSVs()
+
+	same := len(clear) == len(anon)
+	for i := range anon {
+		if !same {
+			break
+		}
+		same = anon[i].Path == clear[i].Path
+	}
+	fmt.Printf("same CSVs from anonymized dumps: %v\n", same)
+	for _, c := range anon {
+		fmt.Printf("CSV %s (values tokenized)\n", c.Path)
+	}
+	// Output:
+	// same CSVs from anonymized dumps: true
+	// CSV busy (values tokenized)
+	// CSV x (values tokenized)
+}

@@ -31,11 +31,20 @@
 //
 //	w := heisendump.WorkloadByName("fig1")
 //	prog, _ := w.Compile(true) // with loop-counter instrumentation
-//	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{})
+//	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{
+//		Workers: 0,    // search pool width; 0 = GOMAXPROCS, any value same result
+//		Prune:   true, // skip schedule trials proven equivalent to executed runs
+//	})
 //	rep, err := p.Run()
 //	// rep.Search.Found, rep.Search.Schedule: the failure-inducing schedule
 //
-// See the examples/ directory for complete programs.
+// The schedule search runs Config.Workers trials concurrently with a
+// deterministic rank-order reduction, and Config.Prune skips trials
+// that are happens-before equivalent to already-executed runs — both
+// knobs change only the cost of the search, never its result.
+//
+// See the examples/ directory for complete programs, and the runnable
+// godoc examples in example_test.go.
 package heisendump
 
 import (

@@ -1,0 +1,260 @@
+package chess
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"sync"
+
+	"heisendump/internal/trace"
+)
+
+// The pruning layer eliminates redundant test runs, the DPOR-style
+// waste the parallel search of PR 1 still paid for: many candidate
+// schedules are happens-before equivalent to schedules already tried —
+// most commonly a combination whose extra preemption point is never
+// reached, which executes the exact run of the smaller combination.
+//
+// Every executed trial is fingerprinted by the happens-before-relevant
+// projection of its trace (per-location access and sync order over
+// shared globals, array elements, heap cells and locks — see
+// trace.Projection) and memoized, together with the set of candidates
+// that were *fireable* during the run — candidates whose dynamic point
+// the run reached with at least one eligible switch target — in a
+// concurrent sharded seen-set. Before executing a trial of combination
+// C under choice vector v, the worklist's odometer consults the set:
+// if some memoized trial of a sub-combination C\{c} under the same
+// remaining choices never had candidate c fireable, the two runs are
+// step-identical — the deterministic interpreter cannot diverge before
+// the first point where the extra preemption both matches and has
+// somewhere to switch, and that point never comes (a matched
+// preemption with no eligible target falls through without perturbing
+// the run) — so the memoized outcome (found, choice counts, schedule,
+// fingerprint) is replayed without execution and the trial is
+// accounted in Result.TrialsPruned. The search seeds the set with one
+// unperturbed base run, so 1-combinations whose candidate is never
+// fireable prune as well.
+//
+// Pruning never changes the search result: a pruned trial contributes
+// the bit-identical outcome its execution would have produced, so the
+// rank-order fold — and with it Found, Schedule and Tries — is the same
+// with pruning on or off, for any worker count. Fingerprints are
+// bookkeeping (the seen-set shards by them and Result.DistinctRuns
+// counts them); the skip decision itself relies only on the exact
+// reached-point rule above, so a 64-bit collision cannot corrupt the
+// search.
+
+// pruneShardCount is the seen-set shard fan-out; 64 keeps shard
+// contention negligible at any realistic worker count.
+const pruneShardCount = 64
+
+// pointKey names a candidate's dynamic preemption point. The triple is
+// unique per candidate for traces produced by DiscoverCandidates
+// (sync ordinals increase monotonically per thread).
+type pointKey struct {
+	thread int
+	kind   PointKind
+	seq    int
+}
+
+// trialRecord is the memoized outcome of one trial, keyed by
+// (combination, choice vector). Embedding the whole trialResult —
+// rather than copying fields — guarantees pruned replays stay
+// bit-identical even as trialResult grows: the fireable bitset (which
+// candidates the run reached with an eligible switch target) and the
+// projection fingerprint ride along with the observable outcome.
+type trialRecord struct {
+	trialResult
+}
+
+// asResult replays the record as a trialResult.
+func (r *trialRecord) asResult() trialResult {
+	return r.trialResult
+}
+
+// pruner is the concurrent sharded seen-set of executed trials for one
+// search.
+type pruner struct {
+	points map[pointKey]int // candidate index by dynamic point
+	nCands int
+	seed   maphash.Seed
+	shards [pruneShardCount]pruneShard
+	fps    [pruneShardCount]fpShard
+}
+
+type pruneShard struct {
+	mu sync.RWMutex
+	m  map[string]*trialRecord
+}
+
+type fpShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+}
+
+// newPruner indexes the candidates' dynamic points. It returns nil —
+// disabling pruning — if two candidates share a point, which cannot
+// happen for DiscoverCandidates output but could for hand-built
+// candidate sets; with ambiguous points the reached-set rule would not
+// be exact.
+func newPruner(cands []Candidate) *pruner {
+	p := &pruner{
+		points: make(map[pointKey]int, len(cands)),
+		nCands: len(cands),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range cands {
+		k := pointKey{thread: cands[i].Thread, kind: cands[i].Kind, seq: cands[i].Seq}
+		if _, dup := p.points[k]; dup {
+			return nil
+		}
+		p.points[k] = i
+	}
+	for i := range p.shards {
+		p.shards[i].m = map[string]*trialRecord{}
+	}
+	for i := range p.fps {
+		p.fps[i].m = map[uint64]struct{}{}
+	}
+	return p
+}
+
+// trialKey serializes a (combination, choice vector) pair.
+func trialKey(combo, vec []int) string {
+	buf := make([]byte, 0, 4*len(combo)+1)
+	buf = binary.AppendUvarint(buf, uint64(len(combo)))
+	for i := range combo {
+		buf = binary.AppendUvarint(buf, uint64(combo[i]))
+		buf = binary.AppendUvarint(buf, uint64(vec[i]))
+	}
+	return string(buf)
+}
+
+func (p *pruner) shardFor(key string) *pruneShard {
+	return &p.shards[maphash.String(p.seed, key)%pruneShardCount]
+}
+
+func (p *pruner) get(key string) *trialRecord {
+	sh := p.shardFor(key)
+	sh.mu.RLock()
+	rec := sh.m[key]
+	sh.mu.RUnlock()
+	return rec
+}
+
+func (p *pruner) put(key string, rec *trialRecord) {
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	sh.m[key] = rec
+	sh.mu.Unlock()
+}
+
+// record memoizes an executed trial's outcome and registers its
+// fingerprint in the seen-set. A nil pruner records nothing.
+func (p *pruner) record(combo, vec []int, tr *trialResult) {
+	if p == nil {
+		return
+	}
+	rec := &trialRecord{trialResult: *tr}
+	p.put(trialKey(combo, vec), rec)
+	fsh := &p.fps[tr.fp%pruneShardCount]
+	fsh.mu.Lock()
+	fsh.m[tr.fp] = struct{}{}
+	fsh.mu.Unlock()
+}
+
+// lookup consults the seen-set before a trial of (combo, vec) runs. A
+// hit means a memoized trial of some C\{c} with the same remaining
+// choices never had candidate c fireable, so this trial would execute
+// the identical run; the returned record replays it. The equivalent
+// record is also aliased under the full key so that larger supersets
+// keep chaining off it. Lookups are opportunistic: a miss (including a
+// sub-combination a concurrent worker has not finished yet) simply
+// means the trial executes. 1-combinations check against the seeded
+// base run (the empty combination).
+func (p *pruner) lookup(combo, vec []int) *trialRecord {
+	if p == nil {
+		return nil
+	}
+	sub := make([]int, 0, len(combo)-1)
+	subVec := make([]int, 0, len(combo)-1)
+	for i, c := range combo {
+		if vec[i] != 0 {
+			// A nonzero choice at i means candidate i fired in an earlier
+			// trial of this combination; the sub-run rule needs v[i]==0.
+			continue
+		}
+		sub = append(sub[:0], combo[:i]...)
+		sub = append(sub, combo[i+1:]...)
+		subVec = append(subVec[:0], vec[:i]...)
+		subVec = append(subVec, vec[i+1:]...)
+		rec := p.get(trialKey(sub, subVec))
+		if rec == nil || bitGet(rec.fireable, c) {
+			continue
+		}
+		// Identical run: expand the choice counts to this combination's
+		// positions (the absent candidate saw zero choices) and alias.
+		counts := make([]int, len(combo))
+		copy(counts[:i], rec.choiceCounts[:i])
+		copy(counts[i+1:], rec.choiceCounts[i:])
+		alias := &trialRecord{trialResult: rec.trialResult}
+		alias.choiceCounts = counts
+		p.put(trialKey(combo, vec), alias)
+		return alias
+	}
+	return nil
+}
+
+// distinct counts the distinct run fingerprints seen so far.
+func (p *pruner) distinct() int {
+	n := 0
+	for i := range p.fps {
+		p.fps[i].mu.Lock()
+		n += len(p.fps[i].m)
+		p.fps[i].mu.Unlock()
+	}
+	return n
+}
+
+// pruneProbe carries one trial's pruning observations: which
+// candidates were fireable during the run, and the streaming
+// projection fingerprint. runTrial drives it; nil disables
+// observation.
+type pruneProbe struct {
+	points   map[pointKey]int
+	fireable []uint64
+	fpr      *trace.FingerprintRecorder
+}
+
+// newProbe allocates a probe for one trial; a nil pruner yields a nil
+// probe, which runTrial treats as observation off.
+func (p *pruner) newProbe() *pruneProbe {
+	if p == nil {
+		return nil
+	}
+	return &pruneProbe{
+		points:   p.points,
+		fireable: make([]uint64, (p.nCands+63)/64),
+		fpr:      trace.NewFingerprintRecorder(),
+	}
+}
+
+// candidateAt resolves the candidate whose dynamic point the run is
+// passing, or -1. runTrial calls it exactly where matchCandidate is
+// consulted, checks eligibility there (where the machine state lives),
+// and marks fireable candidates — so an unmarked candidate is one that
+// could not have perturbed this run.
+func (pp *pruneProbe) candidateAt(thread int, kind PointKind, seq int) int {
+	if ci, ok := pp.points[pointKey{thread: thread, kind: kind, seq: seq}]; ok {
+		return ci
+	}
+	return -1
+}
+
+// markFireable sets candidate ci's fireable bit.
+func (pp *pruneProbe) markFireable(ci int) {
+	pp.fireable[ci/64] |= 1 << (uint(ci) % 64)
+}
+
+func bitGet(bs []uint64, i int) bool {
+	return bs[i/64]&(1<<(uint(i)%64)) != 0
+}

@@ -1,0 +1,140 @@
+package chess
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fakeCands builds n candidates with distinct dynamic points.
+func fakeCands(n int) []Candidate {
+	out := make([]Candidate, n)
+	for i := range out {
+		out[i] = Candidate{ID: i, Thread: 1 + i, Kind: BeforeAcquire, Seq: i}
+	}
+	return out
+}
+
+// TestPrunerSubsetRule: a memoized sub-combination run in which the
+// extra candidate was never fireable prunes the superset trial, with
+// the choice counts expanded at the absent position; a fireable
+// candidate blocks the prune.
+func TestPrunerSubsetRule(t *testing.T) {
+	p := newPruner(fakeCands(4))
+	if p == nil {
+		t.Fatal("pruner disabled for distinct candidates")
+	}
+
+	// Executed trial of combo {1} with vec (0): found nothing;
+	// candidates 1 and 2 were fireable during the run.
+	tr := trialResult{
+		found:        false,
+		steps:        100,
+		choiceCounts: []int{3},
+		fireable:     []uint64{0b0110},
+		fp:           0xabcdef,
+	}
+	p.record([]int{1}, []int{0}, &tr)
+
+	// {1,3} with vec (0,0): candidate 3 never fireable -> prune.
+	rec := p.lookup([]int{1, 3}, []int{0, 0})
+	if rec == nil {
+		t.Fatal("expected a prune hit for the never-fireable superset")
+	}
+	got := rec.asResult()
+	if got.found != tr.found || got.steps != tr.steps || got.fp != tr.fp {
+		t.Fatalf("replayed outcome diverged: %+v", got)
+	}
+	if want := []int{3, 0}; !reflect.DeepEqual(got.choiceCounts, want) {
+		t.Fatalf("choiceCounts = %v, want %v", got.choiceCounts, want)
+	}
+
+	// {1,2} with vec (0,0): candidate 2 was fireable -> no prune.
+	if p.lookup([]int{1, 2}, []int{0, 0}) != nil {
+		t.Fatal("pruned a superset whose extra candidate was fireable")
+	}
+
+	// Nonzero choice at the absent position blocks the rule.
+	if p.lookup([]int{1, 3}, []int{0, 1}) != nil {
+		t.Fatal("pruned despite a nonzero choice at the absent candidate")
+	}
+
+	// Mismatched remaining choices miss.
+	if p.lookup([]int{1, 3}, []int{2, 0}) != nil {
+		t.Fatal("pruned despite differing sub-vector")
+	}
+
+	// The hit was aliased under the full key, so a longer chain can
+	// prune off it: {0,1,3} with candidate 0 never fireable in the
+	// aliased run.
+	if rec2 := p.lookup([]int{0, 1, 3}, []int{0, 0, 0}); rec2 == nil {
+		t.Fatal("alias record did not chain to the larger superset")
+	} else if want := []int{0, 3, 0}; !reflect.DeepEqual(rec2.choiceCounts, want) {
+		t.Fatalf("chained choiceCounts = %v, want %v", rec2.choiceCounts, want)
+	}
+}
+
+// TestPrunerSingletonAgainstBaseRun: a 1-combination prunes against
+// the seeded base run exactly when its candidate was never fireable
+// there.
+func TestPrunerSingletonAgainstBaseRun(t *testing.T) {
+	p := newPruner(fakeCands(2))
+	base := trialResult{steps: 42, choiceCounts: []int{}, fireable: []uint64{0b01}, fp: 7}
+	p.record(nil, nil, &base)
+	if p.lookup([]int{0}, []int{0}) != nil {
+		t.Fatal("pruned a singleton whose candidate was fireable in the base run")
+	}
+	rec := p.lookup([]int{1}, []int{0})
+	if rec == nil {
+		t.Fatal("never-fireable singleton did not prune against the base run")
+	}
+	if want := []int{0}; !reflect.DeepEqual(rec.choiceCounts, want) {
+		t.Fatalf("choiceCounts = %v, want %v", rec.choiceCounts, want)
+	}
+	if rec.steps != 42 || rec.fp != 7 {
+		t.Fatalf("base outcome not replayed: %+v", rec)
+	}
+}
+
+// TestPrunerAmbiguousPointsDisable: duplicate dynamic points make the
+// reached-set rule inexact, so the pruner refuses to build.
+func TestPrunerAmbiguousPointsDisable(t *testing.T) {
+	cands := fakeCands(2)
+	cands[1] = cands[0]
+	if newPruner(cands) != nil {
+		t.Fatal("pruner built over ambiguous dynamic points")
+	}
+}
+
+// TestNilPrunerIsInert: the nil receiver paths used when pruning is
+// off are no-ops.
+func TestNilPrunerIsInert(t *testing.T) {
+	var p *pruner
+	if p.lookup([]int{0, 1}, []int{0, 0}) != nil {
+		t.Fatal("nil pruner returned a record")
+	}
+	if p.newProbe() != nil {
+		t.Fatal("nil pruner returned a probe")
+	}
+	p.record([]int{0}, []int{0}, &trialResult{}) // must not panic
+}
+
+// TestProbeResolvesOnlyKnownPoints: candidateAt resolves candidates by
+// their dynamic point and ignores unknown points; markFireable sets
+// exactly the resolved bit.
+func TestProbeResolvesOnlyKnownPoints(t *testing.T) {
+	p := newPruner(fakeCands(3))
+	pr := p.newProbe()
+	if ci := pr.candidateAt(2, BeforeAcquire, 1); ci != 1 {
+		t.Fatalf("candidateAt known point = %d, want 1", ci)
+	}
+	if ci := pr.candidateAt(9, AfterRelease, 7); ci != -1 {
+		t.Fatalf("candidateAt unknown point = %d, want -1", ci)
+	}
+	pr.markFireable(1)
+	if !bitGet(pr.fireable, 1) {
+		t.Fatal("marked candidate not set")
+	}
+	if bitGet(pr.fireable, 0) || bitGet(pr.fireable, 2) {
+		t.Fatal("stray bits set")
+	}
+}

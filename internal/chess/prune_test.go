@@ -1,0 +1,105 @@
+package chess_test
+
+import (
+	"reflect"
+	"testing"
+
+	"heisendump/internal/chess"
+)
+
+// TestPruneDeterminism: for the sync-heavy Table 2 workloads, the
+// equivalence-pruned search reports bit-identical Found, Schedule and
+// Tries to the unpruned search at any worker count — pruned trials
+// replay the exact outcome their execution would have produced — while
+// actually executing fewer runs.
+func TestPruneDeterminism(t *testing.T) {
+	plainPruned := 0
+	for _, name := range []string{"apache-1", "mysql-3"} {
+		s := analyzedSearcher(t, name)
+		s.Opts.MaxTries = 3000
+		// Both the enhanced (weighted+guided) search, which finds the
+		// bug in a handful of trials, and the plain-CHESS configuration,
+		// whose deep exploration is where pruning pays (Table 4's chess
+		// column).
+		for _, enhanced := range []bool{true, false} {
+			s.Opts.Weighted = enhanced
+			s.Opts.Guided = enhanced
+			s.Opts.Workers = 1
+			s.Opts.Prune = false
+			ref := s.Search()
+
+			s.Opts.Prune = true
+			for _, workers := range []int{1, 4} {
+				s.Opts.Workers = workers
+				got := s.Search()
+				if got.Found != ref.Found {
+					t.Fatalf("%s(enh=%v): Found=%v pruned @%dw, %v unpruned",
+						name, enhanced, got.Found, workers, ref.Found)
+				}
+				if !reflect.DeepEqual(got.Schedule, ref.Schedule) {
+					t.Fatalf("%s(enh=%v): schedule diverged with pruning @%dw:\n  got  %+v\n  want %+v",
+						name, enhanced, workers, got.Schedule, ref.Schedule)
+				}
+				if got.Tries != ref.Tries {
+					t.Fatalf("%s(enh=%v): Tries=%d pruned @%dw, %d unpruned",
+						name, enhanced, got.Tries, workers, ref.Tries)
+				}
+				if workers == 1 {
+					// One worker never speculates: the pruned search walks
+					// the exact sequential trial sequence, so executed and
+					// pruned trials partition the unpruned execution count
+					// (plus the one seeding base run).
+					if got.TrialsExecuted+got.TrialsPruned != ref.TrialsExecuted+1 {
+						t.Fatalf("%s(enh=%v): executed %d + pruned %d != unpruned %d + seed",
+							name, enhanced, got.TrialsExecuted, got.TrialsPruned, ref.TrialsExecuted)
+					}
+					if got.DistinctRuns > got.TrialsExecuted {
+						t.Fatalf("%s(enh=%v): %d distinct fingerprints from %d executed trials",
+							name, enhanced, got.DistinctRuns, got.TrialsExecuted)
+					}
+				}
+				if !enhanced {
+					plainPruned += got.TrialsPruned
+				}
+			}
+		}
+	}
+	if plainPruned == 0 {
+		t.Fatal("pruning never fired on the plain-CHESS searches of the sync-heavy workloads")
+	}
+}
+
+// TestPruneUnderCutoff: with an unmatchable target the cutoff path is
+// exercised end to end; the deterministic Tries is unchanged by
+// pruning and the executed-trial count drops.
+func TestPruneUnderCutoff(t *testing.T) {
+	s := analyzedSearcher(t, "mysql-3")
+	s.Target = chess.FailureSignature{Reason: "never matches"}
+	s.Opts.MaxTries = 400
+	s.Opts.Workers = 1
+
+	s.Opts.Prune = false
+	ref := s.Search()
+	if ref.Found {
+		t.Fatal("found an unmatchable signature")
+	}
+
+	s.Opts.Prune = true
+	got := s.Search()
+	if got.Found {
+		t.Fatal("found an unmatchable signature with pruning")
+	}
+	if got.Tries != ref.Tries {
+		t.Fatalf("cutoff tries diverged under pruning: %d vs %d", got.Tries, ref.Tries)
+	}
+	if got.TrialsPruned == 0 {
+		t.Fatal("no trials pruned on a deep cutoff search of mysql-3")
+	}
+	if got.TrialsExecuted >= ref.TrialsExecuted {
+		t.Fatalf("executed trials did not drop: %d (pruned) vs %d", got.TrialsExecuted, ref.TrialsExecuted)
+	}
+	if got.TrialsExecuted+got.TrialsPruned != ref.TrialsExecuted+1 {
+		t.Fatalf("executed %d + pruned %d != unpruned %d + seed",
+			got.TrialsExecuted, got.TrialsPruned, ref.TrialsExecuted)
+	}
+}

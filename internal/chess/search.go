@@ -51,6 +51,15 @@ type Options struct {
 	// concurrently; <= 0 means GOMAXPROCS. Any value yields the same
 	// Found, Schedule and Tries (see Result).
 	Workers int
+	// Prune enables the equivalence-pruning layer (see prune.go): every
+	// executed trial is fingerprinted by the happens-before projection
+	// of its trace and memoized, and candidate schedules proven
+	// equivalent to an already-executed run are skipped before
+	// execution. Pruned trials replay the memoized outcome, so Found,
+	// Schedule and Tries are bit-identical with pruning on or off, for
+	// any worker count; only the execution-cost fields (TrialsExecuted,
+	// StepsExecuted, wall time) drop.
+	Prune bool
 }
 
 // AppliedPreemption records one preemption of a successful schedule.
@@ -76,9 +85,25 @@ type Result struct {
 	Tries int
 	// TrialsExecuted counts every test run actually executed,
 	// including speculative runs of combinations that a concurrent
-	// lower-rank find or the cutoff later disqualified. Equal to Tries
-	// when Workers is 1.
+	// lower-rank find or the cutoff later disqualified, and — with
+	// pruning on — the one seeding base run. Equal to Tries when
+	// Workers is 1 and pruning is off; with pruning on and one worker,
+	// TrialsExecuted + TrialsPruned equals the unpruned count plus the
+	// seeding run.
 	TrialsExecuted int
+	// TrialsPruned counts trials the equivalence-pruning layer skipped:
+	// candidate schedules proven identical to an already-executed run,
+	// whose memoized outcome was replayed without execution. Zero when
+	// Options.Prune is off. Like TrialsExecuted it can vary with worker
+	// scheduling when Workers > 1 (a worker may execute a trial a
+	// slower-to-commit sub-run would have pruned); at Workers == 1 it
+	// is deterministic.
+	TrialsPruned int
+	// DistinctRuns counts the distinct happens-before-projection
+	// fingerprints among executed trials — the number of genuinely
+	// inequivalent interleavings the search paid for. Zero when pruning
+	// is off.
+	DistinctRuns int
 	// Elapsed is the wall time spent executing test runs.
 	Elapsed time.Duration
 	// StepsExecuted totals interpreter steps across all executed test
@@ -112,8 +137,13 @@ type searchState struct {
 	maxRun   int64
 	maxTries int
 
+	// pruner is the equivalence-pruning seen-set, nil when pruning is
+	// off (or the candidate set has ambiguous dynamic points).
+	pruner *pruner
+
 	next     atomic.Int64 // next worklist rank to claim
 	tries    atomic.Int64 // test runs executed (raw, incl. speculation)
+	pruned   atomic.Int64 // trials skipped by the pruning layer
 	steps    atomic.Int64 // interpreter steps executed
 	bestRank atomic.Int64 // lowest rank whose combination found the target
 	decided  atomic.Bool  // the fold reached a winner or the cutoff
@@ -176,7 +206,24 @@ func (s *Searcher) Search() *Result {
 		maxTries: s.Opts.MaxTries,
 		outcomes: make([]*comboOutcome, len(wl)),
 	}
+	if s.Opts.Prune {
+		st.pruner = newPruner(s.Candidates)
+	}
 	st.bestRank.Store(int64(len(wl))) // sentinel: nothing found yet
+
+	if st.pruner != nil {
+		// Seed the seen-set with the unperturbed base run so that
+		// 1-combinations whose candidate is never fireable prune
+		// against it (the empty combination is their only sub-run). The
+		// seeding run counts toward TrialsExecuted and StepsExecuted
+		// but not Tries — it is pruning overhead, not part of the
+		// sequential search.
+		probe := st.pruner.newProbe()
+		tr := s.runTrial(nil, nil, maxRun, probe)
+		st.tries.Add(1)
+		st.steps.Add(tr.steps)
+		st.pruner.record(nil, nil, &tr)
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -197,7 +244,11 @@ func (s *Searcher) Search() *Result {
 	res.Tries = st.cumTries
 	st.mu.Unlock()
 	res.TrialsExecuted = int(st.tries.Load())
+	res.TrialsPruned = int(st.pruned.Load())
 	res.StepsExecuted = st.steps.Load()
+	if st.pruner != nil {
+		res.DistinctRuns = st.pruner.distinct()
+	}
 	return res
 }
 
@@ -352,11 +403,22 @@ func (st *searchState) exploreCombo(r, cap int) *comboOutcome {
 		if cap > 0 && out.trials >= cap {
 			return out
 		}
-		tr := st.s.runTrial(combo, vec, st.maxRun)
+		// Consult the equivalence seen-set first: a hit replays the
+		// memoized outcome of an identical run — bit-for-bit what this
+		// trial's execution would have produced, including the choice
+		// counts the odometer advances on — without executing it.
+		var tr trialResult
+		if rec := st.pruner.lookup(combo, vec); rec != nil {
+			tr = rec.asResult()
+			st.pruned.Add(1)
+		} else {
+			tr = st.s.runTrial(combo, vec, st.maxRun, st.pruner.newProbe())
+			st.tries.Add(1)
+			st.steps.Add(tr.steps)
+			st.pruner.record(combo, vec, &tr)
+		}
 		out.trials++
 		out.steps += tr.steps
-		st.tries.Add(1)
-		st.steps.Add(tr.steps)
 		if tr.found {
 			out.foundAt = out.trials - 1
 			out.schedule = tr.applied

@@ -12,6 +12,10 @@ type trialResult struct {
 	steps        int64
 	choiceCounts []int
 	applied      []AppliedPreemption
+	// fireable and fp are the pruning layer's observations (see
+	// prune.go); zero when the trial ran without a probe.
+	fireable []uint64
+	fp       uint64
 }
 
 // comboOutcome summarizes the exploration of one combination: the
@@ -31,9 +35,19 @@ type comboOutcome struct {
 // preemption to the thread selected by the choice vector. It mutates
 // nothing on the Searcher, so any number of trials may run
 // concurrently as long as NewMachine is safe for concurrent use.
-func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64) trialResult {
+//
+// A non-nil probe attaches the pruning layer's observers: the
+// streaming projection-fingerprint hooks, and fireability checks at
+// exactly the places matchCandidate is consulted — every candidate at
+// a passed point is checked for eligible switch targets there, member
+// of the combination or not, so a candidate the probe never marks is
+// one whose addition could not have perturbed this run.
+func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64, probe *pruneProbe) trialResult {
 	m := s.NewMachine()
 	out := trialResult{choiceCounts: make([]int, len(combo))}
+	if probe != nil {
+		m.Hooks = probe.fpr
+	}
 
 	fired := make([]bool, len(combo))
 	completed := map[int]int{} // sync ops completed per thread
@@ -81,6 +95,25 @@ func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64) trialResult {
 			choices = append(choices, t.ID)
 		}
 		return choices
+	}
+
+	// observePoint checks the candidate at the current dynamic point
+	// (if any) for fireability: with at least one eligible switch
+	// target here, adding it to the combination would perturb the run,
+	// so the pruning layer must not treat its absence as harmless. The
+	// check runs for members and non-members alike, at the same machine
+	// state matchCandidate sees.
+	observePoint := func(kind PointKind, seq int) {
+		if probe == nil {
+			return
+		}
+		ci := probe.candidateAt(cur, kind, seq)
+		if ci < 0 || bitGet(probe.fireable, ci) {
+			return
+		}
+		if len(eligibleChoices(&s.Candidates[ci])) > 0 {
+			probe.markFireable(ci)
+		}
 	}
 
 	// firePreemption handles a matched candidate: consult the choice
@@ -131,6 +164,7 @@ func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64) trialResult {
 		if pc.I >= 0 {
 			in := m.Prog.InstrAt(pc)
 			if t.Steps == 0 {
+				observePoint(ThreadStart, 0)
 				if ci := matchCandidate(cur, ThreadStart, 0); ci >= 0 {
 					if firePreemption(ci) {
 						continue
@@ -138,6 +172,7 @@ func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64) trialResult {
 				}
 			}
 			if in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1 {
+				observePoint(BeforeAcquire, completed[cur])
 				if ci := matchCandidate(cur, BeforeAcquire, completed[cur]); ci >= 0 {
 					if firePreemption(ci) {
 						continue
@@ -163,6 +198,7 @@ func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64) trialResult {
 			completed[cur]++
 		}
 		if wasRelease {
+			observePoint(AfterRelease, completed[cur])
 			if ci := matchCandidate(cur, AfterRelease, completed[cur]); ci >= 0 {
 				if firePreemption(ci) {
 					continue
@@ -173,6 +209,10 @@ func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64) trialResult {
 
 	out.steps = m.TotalSteps
 	out.found = m.Crashed() && s.Target.Matches(m.Crash)
+	if probe != nil {
+		out.fireable = probe.fireable
+		out.fp = probe.fpr.Fingerprint()
+	}
 	return out
 }
 

@@ -71,6 +71,14 @@ type Config struct {
 	// GOMAXPROCS). The search result is deterministic for any value:
 	// the winning schedule is always the lowest-ranked one.
 	Workers int
+	// Prune enables the schedule search's equivalence-pruning layer:
+	// trials whose happens-before projection is proven identical to an
+	// already-executed run are skipped before execution. Found,
+	// Schedule and Tries are bit-identical with pruning on or off; only
+	// the execution costs (chess.Result.TrialsExecuted and
+	// StepsExecuted, wall time) drop, with skips accounted in
+	// chess.Result.TrialsPruned.
+	Prune bool
 }
 
 func (c Config) withDefaults() Config {
@@ -222,6 +230,7 @@ func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Sear
 			MaxTries:     p.Cfg.MaxTries,
 			PassingSteps: an.PassingSteps,
 			Workers:      p.Cfg.Workers,
+			Prune:        p.Cfg.Prune,
 		},
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"io"
 	"time"
 
+	"heisendump/internal/chess"
 	"heisendump/internal/core"
 	"heisendump/internal/ctrldep"
 	"heisendump/internal/index"
@@ -34,6 +35,14 @@ import (
 // time columns vary, since co-scheduled subjects contend for cores.
 // Set it once at startup (cmd/benchtab's -workers flag does).
 var Workers = 0
+
+// Prune enables the schedule search's equivalence-pruning layer for
+// the searching tables (4 and 5) — and is plumbed through the shared
+// analysis config of the others, where it is a no-op. Search outcomes
+// (found, tries) are bit-identical either way; only the executed-trial
+// counts and times drop. Set it once at startup (cmd/benchtab's -prune
+// flag does).
+var Prune = false
 
 // Table1Row is one corpus's control-dependence distribution.
 type Table1Row struct {
@@ -174,7 +183,7 @@ func Table3() ([]Table3Row, error) {
 	rows := make([]Table3Row, len(bugs))
 	err := pool.ForEach(Workers, len(bugs), func(i int) error {
 		w := bugs[i]
-		_, an, fail, err := analyzeBug(w, core.Config{})
+		_, an, fail, err := analyzeBug(w, core.Config{Prune: Prune})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -227,22 +236,31 @@ func PrintTable3(w io.Writer, rows []Table3Row) {
 	}
 }
 
-// Table4Row compares the search algorithms on one bug.
+// Table4Row compares the search algorithms on one bug. The *Executed /
+// *Pruned pairs report the equivalence-pruning layer's effect (executed
+// == tries and pruned == 0 when Prune is off): pruning never changes
+// the tries or found columns, only how many of those tries ran.
 type Table4Row struct {
 	Name string
 	// Chess* are the plain-CHESS results (Found false means the cutoff
 	// hit, the analogue of the paper's 18-hour timeouts).
-	ChessTries int
-	ChessTime  time.Duration
-	ChessFound bool
+	ChessTries    int
+	ChessTime     time.Duration
+	ChessFound    bool
+	ChessExecuted int
+	ChessPruned   int
 
-	DepTries int
-	DepTime  time.Duration
-	DepFound bool
+	DepTries    int
+	DepTime     time.Duration
+	DepFound    bool
+	DepExecuted int
+	DepPruned   int
 
-	TempTries int
-	TempTime  time.Duration
-	TempFound bool
+	TempTries    int
+	TempTime     time.Duration
+	TempFound    bool
+	TempExecuted int
+	TempPruned   int
 }
 
 // Table4 runs the three search configurations on every bug. plainCap
@@ -266,7 +284,7 @@ func Table4(plainCap int) ([]Table4Row, error) {
 		// Workers=1: the subject-level pool already saturates the cores;
 		// a nested full-width search pool per bug would oversubscribe
 		// them roughly quadratically and perturb the time columns.
-		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1})
+		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Prune: Prune})
 		fail, err := p.ProvokeFailure()
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
@@ -276,31 +294,36 @@ func Table4(plainCap int) ([]Table4Row, error) {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 
-		search := func(h slicing.Heuristic, enhanced bool, maxTries int) (int, time.Duration, bool, error) {
+		search := func(h slicing.Heuristic, enhanced bool, maxTries int) (*chess.Result, error) {
 			if err := an.Reprioritize(h); err != nil {
-				return 0, 0, false, err
+				return nil, err
 			}
 			s := p.Searcher(fail, an.Report)
 			s.Opts.Weighted = enhanced
 			s.Opts.Guided = enhanced
 			s.Opts.MaxTries = maxTries
-			res := s.Search()
-			return res.Tries, res.Elapsed, res.Found, nil
+			return s.Search(), nil
 		}
 
 		row := Table4Row{Name: w.Name}
-		row.ChessTries, row.ChessTime, row.ChessFound, err = search(slicing.Temporal, false, plainCap)
+		res, err := search(slicing.Temporal, false, plainCap)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		row.DepTries, row.DepTime, row.DepFound, err = search(slicing.Dependence, true, plainCap*2)
+		row.ChessTries, row.ChessTime, row.ChessFound = res.Tries, res.Elapsed, res.Found
+		row.ChessExecuted, row.ChessPruned = res.TrialsExecuted, res.TrialsPruned
+		res, err = search(slicing.Dependence, true, plainCap*2)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		row.TempTries, row.TempTime, row.TempFound, err = search(slicing.Temporal, true, plainCap*2)
+		row.DepTries, row.DepTime, row.DepFound = res.Tries, res.Elapsed, res.Found
+		row.DepExecuted, row.DepPruned = res.TrialsExecuted, res.TrialsPruned
+		res, err = search(slicing.Temporal, true, plainCap*2)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
+		row.TempTries, row.TempTime, row.TempFound = res.Tries, res.Elapsed, res.Found
+		row.TempExecuted, row.TempPruned = res.TrialsExecuted, res.TrialsPruned
 		rows[i] = row
 		return nil
 	})
@@ -330,6 +353,15 @@ func PrintTable4(w io.Writer, rows []Table4Row) {
 			mark(r.TempTries, r.TempFound), r.TempTime.Round(time.Millisecond))
 	}
 	fmt.Fprintln(w, "* cut off before the failure was reproduced")
+	var exec, pruned int
+	for _, r := range rows {
+		exec += r.ChessExecuted + r.DepExecuted + r.TempExecuted
+		pruned += r.ChessPruned + r.DepPruned + r.TempPruned
+	}
+	if pruned > 0 {
+		fmt.Fprintf(w, "equivalence pruning: %d of %d trials skipped (%.1f%%)\n",
+			pruned, exec+pruned, 100*float64(pruned)/float64(exec+pruned))
+	}
 }
 
 // Table5Row is the instruction-count-alignment baseline on one bug.
@@ -343,6 +375,10 @@ type Table5Row struct {
 	Tries          int
 	Time           time.Duration
 	Reproduced     bool
+	// Executed/Pruned report the equivalence-pruning layer's effect on
+	// the search (executed == tries, pruned == 0 when Prune is off).
+	Executed int
+	Pruned   int
 }
 
 // Table5 runs the chessX+temporal search with instruction-count
@@ -360,6 +396,7 @@ func Table5(cap int) ([]Table5Row, error) {
 			Heuristic: slicing.Temporal,
 			MaxTries:  cap,
 			Workers:   1, // the subject pool provides the parallelism
+			Prune:     Prune,
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
@@ -375,6 +412,8 @@ func Table5(cap int) ([]Table5Row, error) {
 			Tries:          res.Tries,
 			Time:           res.Elapsed,
 			Reproduced:     res.Found,
+			Executed:       res.TrialsExecuted,
+			Pruned:         res.TrialsPruned,
 		}
 		return nil
 	})
@@ -412,7 +451,7 @@ func Table6() ([]Table6Row, error) {
 	rows := make([]Table6Row, len(bugs))
 	err := pool.ForEach(Workers, len(bugs), func(i int) error {
 		w := bugs[i]
-		_, an, _, err := analyzeBug(w, core.Config{Heuristic: slicing.Dependence})
+		_, an, _, err := analyzeBug(w, core.Config{Heuristic: slicing.Dependence, Prune: Prune})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}

@@ -101,6 +101,19 @@ type Hooks interface {
 	OnWrite(t *Thread, v VarID)
 }
 
+// LockHooks is an optional extension of Hooks for observers that need
+// synchronization events. OnAcquire fires only when an acquisition
+// succeeds (a blocked attempt is visible as a BeforeInstr with no
+// matching OnAcquire); OnRelease fires on every release. Both fire
+// within the same Step as the BeforeInstr that opened the instruction.
+// Implementations must not mutate the machine.
+type LockHooks interface {
+	// OnAcquire fires when t successfully acquires lock.
+	OnAcquire(t *Thread, lock string)
+	// OnRelease fires when t releases lock.
+	OnRelease(t *Thread, lock string)
+}
+
 // VarKind discriminates runtime variable identities.
 type VarKind uint8
 
@@ -432,6 +445,9 @@ func (m *Machine) Step(tid int) (bool, error) {
 			t.Status = Runnable
 			t.WaitLock = ""
 			fr.PC++
+			if lh, ok := m.Hooks.(LockHooks); ok {
+				lh.OnAcquire(t, in.Lock)
+			}
 		case t.ID:
 			return fault(crashError{fmt.Sprintf("recursive acquire of lock %q", in.Lock)})
 		default:
@@ -448,6 +464,9 @@ func (m *Machine) Step(tid int) (bool, error) {
 		}
 		m.Locks[in.Lock] = -1
 		fr.PC++
+		if lh, ok := m.Hooks.(LockHooks); ok {
+			lh.OnRelease(t, in.Lock)
+		}
 
 	case ir.OpSpawn:
 		callee := m.Prog.FuncIndex(in.Callee)

@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+)
+
+// SyncKind classifies one entry of a location's projected access
+// sequence.
+type SyncKind uint8
+
+const (
+	// ProjRead is a read of a shared variable.
+	ProjRead SyncKind = iota
+	// ProjWrite is a write of a shared variable.
+	ProjWrite
+	// ProjAcquire is a successful lock acquisition.
+	ProjAcquire
+	// ProjRelease is a lock release.
+	ProjRelease
+)
+
+// ProjEvent is one entry of a per-location access sequence: who touched
+// the location, and how.
+type ProjEvent struct {
+	Thread int
+	Kind   SyncKind
+}
+
+// Projection is the happens-before-relevant canonical projection of a
+// run: for every shared memory location (global, array element, heap
+// field) the order of reads and writes, and for every lock the order of
+// acquisitions and releases. Thread-private locals and the global
+// interleaving of accesses to *independent* locations are discarded, so
+// two runs with equal projections are happens-before equivalent — every
+// conflicting pair of operations is ordered the same way — and a
+// deterministic program reaches the same final state under both.
+type Projection struct {
+	// Vars holds the per-location access order of shared variables.
+	Vars map[interp.VarID][]ProjEvent
+	// Locks holds the per-lock synchronization order.
+	Locks map[string][]ProjEvent
+}
+
+// Project builds the canonical projection of a recorded trace. Lock
+// events require the recorder to have observed interp.LockHooks (the
+// Recorder in this package does): an OpAcquire event with an empty Lock
+// field is a blocked attempt and is excluded, matching the streaming
+// FingerprintRecorder.
+func Project(events []Event) *Projection {
+	p := &Projection{
+		Vars:  map[interp.VarID][]ProjEvent{},
+		Locks: map[string][]ProjEvent{},
+	}
+	for i := range events {
+		e := &events[i]
+		for _, v := range e.Reads {
+			if v.Shared() {
+				p.Vars[v] = append(p.Vars[v], ProjEvent{Thread: e.Thread, Kind: ProjRead})
+			}
+		}
+		for _, v := range e.Writes {
+			if v.Shared() {
+				p.Vars[v] = append(p.Vars[v], ProjEvent{Thread: e.Thread, Kind: ProjWrite})
+			}
+		}
+		if e.Lock != "" {
+			switch e.Op {
+			case ir.OpAcquire:
+				p.Locks[e.Lock] = append(p.Locks[e.Lock], ProjEvent{Thread: e.Thread, Kind: ProjAcquire})
+			case ir.OpRelease:
+				p.Locks[e.Lock] = append(p.Locks[e.Lock], ProjEvent{Thread: e.Thread, Kind: ProjRelease})
+			}
+		}
+	}
+	return p
+}
+
+// Fingerprint folds the projection into a 64-bit hash. Each location's
+// access sequence is chained through an FNV-style mix seeded by the
+// location's identity, and the per-location chains are combined
+// order-independently — so the fingerprint is a pure function of the
+// projection, not of the interleaving the trace happened to record.
+// Equal projections always produce equal fingerprints; the converse
+// holds only up to 64-bit collisions, so consumers that need exactness
+// (the schedule-search pruner) must not treat fingerprint equality
+// alone as proof of equivalence.
+func (p *Projection) Fingerprint() uint64 {
+	var fp uint64
+	for v, seq := range p.Vars {
+		fp ^= finalizeChain(varLocHash(v), seq)
+	}
+	for l, seq := range p.Locks {
+		fp ^= finalizeChain(lockLocHash(l), seq)
+	}
+	return fp
+}
+
+func finalizeChain(h uint64, seq []ProjEvent) uint64 {
+	for _, e := range seq {
+		h = mixChain(h, e.Thread, e.Kind)
+	}
+	return mix64(h)
+}
+
+// Locations returns the projected shared-variable locations in a
+// stable order, for reports and tests.
+func (p *Projection) Locations() []interp.VarID {
+	out := make([]interp.VarID, 0, len(p.Vars))
+	for v := range p.Vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+const fnvPrime = 1099511628211
+
+// mixChain appends one access to a location's chain hash.
+func mixChain(h uint64, thread int, kind SyncKind) uint64 {
+	h = (h ^ uint64(thread)) * fnvPrime
+	h = (h ^ uint64(kind)) * fnvPrime
+	return h
+}
+
+// mix64 is a finalizing avalanche (splitmix64's), keeping the XOR
+// combination of chains from cancelling structured low bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// varLocHash names a shared variable's identity in the hash domain.
+func varLocHash(v interp.VarID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(v.Kind)})
+	h.Write([]byte(v.Name))
+	var buf [16]byte
+	putU64(buf[:8], uint64(v.Idx))
+	putU64(buf[8:], uint64(v.Obj))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// lockLocHash names a lock's identity in the hash domain, kept disjoint
+// from variable locations by a kind tag.
+func lockLocHash(l string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{0xff})
+	h.Write([]byte(l))
+	return h.Sum64()
+}
+
+func putU64(b []byte, x uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+}
+
+// FingerprintRecorder is a lightweight interp.Hooks implementation that
+// streams a run's projection fingerprint without materializing events:
+// it keeps one running chain hash per shared location and folds them at
+// Fingerprint time. It observes exactly what Project sees, so for the
+// same run
+//
+//	rec.Fingerprint() == Project(recorder.Events).Fingerprint()
+//
+// The schedule-search pruner attaches one to every trial machine; the
+// cost per access is a map probe and two multiplies.
+type FingerprintRecorder struct {
+	vars  map[interp.VarID]uint64
+	locks map[string]uint64
+}
+
+var (
+	_ interp.Hooks     = (*FingerprintRecorder)(nil)
+	_ interp.LockHooks = (*FingerprintRecorder)(nil)
+)
+
+// NewFingerprintRecorder returns an empty streaming recorder.
+func NewFingerprintRecorder() *FingerprintRecorder {
+	return &FingerprintRecorder{
+		vars:  map[interp.VarID]uint64{},
+		locks: map[string]uint64{},
+	}
+}
+
+// BeforeInstr implements interp.Hooks (no-op: instruction identity is
+// not part of the projection).
+func (f *FingerprintRecorder) BeforeInstr(t *interp.Thread, pc ir.PC, in *ir.Instr) {}
+
+// OnBranch implements interp.Hooks (no-op).
+func (f *FingerprintRecorder) OnBranch(t *interp.Thread, pc ir.PC, taken bool) {}
+
+// OnEnterFunc implements interp.Hooks (no-op).
+func (f *FingerprintRecorder) OnEnterFunc(t *interp.Thread, fidx int) {}
+
+// OnExitFunc implements interp.Hooks (no-op).
+func (f *FingerprintRecorder) OnExitFunc(t *interp.Thread, fidx int) {}
+
+// OnRead folds a shared read into its location's chain.
+func (f *FingerprintRecorder) OnRead(t *interp.Thread, v interp.VarID) {
+	if !v.Shared() {
+		return
+	}
+	h, ok := f.vars[v]
+	if !ok {
+		h = varLocHash(v)
+	}
+	f.vars[v] = mixChain(h, t.ID, ProjRead)
+}
+
+// OnWrite folds a shared write into its location's chain.
+func (f *FingerprintRecorder) OnWrite(t *interp.Thread, v interp.VarID) {
+	if !v.Shared() {
+		return
+	}
+	h, ok := f.vars[v]
+	if !ok {
+		h = varLocHash(v)
+	}
+	f.vars[v] = mixChain(h, t.ID, ProjWrite)
+}
+
+// OnAcquire folds a successful acquisition into the lock's chain.
+func (f *FingerprintRecorder) OnAcquire(t *interp.Thread, lock string) {
+	h, ok := f.locks[lock]
+	if !ok {
+		h = lockLocHash(lock)
+	}
+	f.locks[lock] = mixChain(h, t.ID, ProjAcquire)
+}
+
+// OnRelease folds a release into the lock's chain.
+func (f *FingerprintRecorder) OnRelease(t *interp.Thread, lock string) {
+	h, ok := f.locks[lock]
+	if !ok {
+		h = lockLocHash(lock)
+	}
+	f.locks[lock] = mixChain(h, t.ID, ProjRelease)
+}
+
+// Fingerprint folds the per-location chains into the run fingerprint.
+// The recorder remains usable afterwards (more accesses keep chaining).
+func (f *FingerprintRecorder) Fingerprint() uint64 {
+	var fp uint64
+	for _, h := range f.vars {
+		fp ^= mix64(h)
+	}
+	for _, h := range f.locks {
+		fp ^= mix64(h)
+	}
+	return fp
+}

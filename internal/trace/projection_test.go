@@ -1,0 +1,201 @@
+package trace_test
+
+import (
+	"testing"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/sched"
+	"heisendump/internal/trace"
+)
+
+// projSrc has two threads whose accesses to the shared counters are
+// partly independent (each thread owns one counter) and partly
+// conflicting (both touch `shared` under the lock).
+const projSrc = `
+program proj;
+global int ca;
+global int cb;
+global int shared;
+lock L;
+func main() {
+    spawn A();
+    spawn B();
+}
+func A() {
+    var int i;
+    for i = 1 .. 3 {
+        ca = ca + 1;
+    }
+    acquire(L);
+    shared = shared + 1;
+    release(L);
+}
+func B() {
+    var int j;
+    for j = 1 .. 3 {
+        cb = cb + 1;
+    }
+    acquire(L);
+    shared = shared + 10;
+    release(L);
+}
+`
+
+func compileProj(t testing.TB) *ir.Program {
+	t.Helper()
+	cp, err := ir.Compile(lang.MustParse(projSrc), ir.Options{InstrumentLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// runUnder executes the program under the given scheduler with both a
+// full recorder and a streaming fingerprint recorder attached.
+func runUnder(t testing.TB, cp *ir.Program, s sched.Scheduler) (*trace.Recorder, *trace.FingerprintRecorder) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	fpr := trace.NewFingerprintRecorder()
+	m := interp.New(cp, nil)
+	m.Hooks = trace.Multi{rec, fpr}
+	sched.Run(m, s)
+	if m.Crashed() {
+		t.Fatalf("unexpected crash: %v", m.Crash)
+	}
+	if !m.Done() {
+		t.Fatal("run did not finish")
+	}
+	return rec, fpr
+}
+
+// TestProjectionRecordsLockOrder: the projection sees per-lock
+// acquire/release chains and per-variable access chains, and excludes
+// thread-private locals.
+func TestProjectionRecordsLockOrder(t *testing.T) {
+	cp := compileProj(t)
+	rec, _ := runUnder(t, cp, sched.NewCooperative())
+	p := trace.Project(rec.Events)
+
+	seq, ok := p.Locks["L"]
+	if !ok {
+		t.Fatal("lock L missing from projection")
+	}
+	if len(seq) != 4 { // two acquire/release pairs
+		t.Fatalf("lock chain length %d, want 4: %+v", len(seq), seq)
+	}
+	for i, e := range seq {
+		want := trace.ProjAcquire
+		if i%2 == 1 {
+			want = trace.ProjRelease
+		}
+		if e.Kind != want {
+			t.Fatalf("lock chain entry %d has kind %v", i, e.Kind)
+		}
+	}
+	for _, v := range p.Locations() {
+		if !v.Shared() {
+			t.Fatalf("thread-private location %v leaked into the projection", v)
+		}
+	}
+	if _, ok := p.Vars[interp.VarID{Kind: interp.VGlobal, Name: "shared"}]; !ok {
+		t.Fatal("global `shared` missing from projection")
+	}
+}
+
+// TestFingerprintStreamingMatchesOffline: the streaming recorder and
+// the offline projection of the recorded trace agree on the
+// fingerprint.
+func TestFingerprintStreamingMatchesOffline(t *testing.T) {
+	cp := compileProj(t)
+	for _, s := range []sched.Scheduler{sched.NewCooperative(), sched.NewRandom(7)} {
+		rec, fpr := runUnder(t, cp, s)
+		offline := trace.Project(rec.Events).Fingerprint()
+		if got := fpr.Fingerprint(); got != offline {
+			t.Fatalf("streaming fp %#x != offline fp %#x", got, offline)
+		}
+	}
+}
+
+// TestFingerprintInvariantUnderIndependentReordering: interleaving
+// independent accesses differently must not change the fingerprint —
+// the projection is the happens-before-relevant view, not the raw
+// schedule.
+func TestFingerprintInvariantUnderIndependentReordering(t *testing.T) {
+	cp := compileProj(t)
+
+	var fpA, fpB uint64
+	{
+		_, fpr := runUnder(t, cp, sched.NewCooperative())
+		fpA = fpr.Fingerprint()
+	}
+	{
+		// Custom schedule: interleave the two spawned threads' counter
+		// loops step-by-step (round-robin) instead of running each to
+		// completion, then let the cooperative scheduler finish. The
+		// round-robin prefix permutes only accesses to ca and cb, which
+		// are independent locations; the lock sections run in the same
+		// relative order as the cooperative run because thread 1 reaches
+		// its acquire first either way.
+		fpr := trace.NewFingerprintRecorder()
+		m2 := interp.New(cp, nil)
+		m2.Hooks = fpr
+		// Step main to completion first so both workers exist.
+		for len(m2.Threads) < 3 {
+			if ok, err := m2.Step(0); err != nil || !ok {
+				t.Fatalf("stepping main: ok=%v err=%v", ok, err)
+			}
+		}
+		// Round-robin the workers for a prefix of their independent
+		// loops (each counter update is several steps; 8 alternations
+		// stay well inside the loops).
+		for i := 0; i < 8; i++ {
+			tid := 1 + i%2
+			if ok, err := m2.Step(tid); err != nil || !ok {
+				t.Fatalf("stepping worker %d: ok=%v err=%v", tid, ok, err)
+			}
+		}
+		sched.Run(m2, sched.NewCooperative())
+		if !m2.Done() {
+			t.Fatal("permuted run did not finish")
+		}
+		fpB = fpr.Fingerprint()
+	}
+	if fpA != fpB {
+		t.Fatalf("fingerprint changed under independent reordering: %#x vs %#x", fpA, fpB)
+	}
+}
+
+// TestFingerprintSensitiveToConflictOrder: swapping the order of the
+// two lock-protected conflicting updates changes the fingerprint.
+func TestFingerprintSensitiveToConflictOrder(t *testing.T) {
+	cp := compileProj(t)
+
+	fpOf := func(first int) uint64 {
+		t.Helper()
+		fpr := trace.NewFingerprintRecorder()
+		m := interp.New(cp, nil)
+		m.Hooks = fpr
+		for len(m.Threads) < 3 {
+			if ok, err := m.Step(0); err != nil || !ok {
+				t.Fatalf("stepping main: ok=%v err=%v", ok, err)
+			}
+		}
+		// Run the chosen worker to completion first, then the rest.
+		for m.Threads[first].Status != interp.Done {
+			if ok, err := m.Step(first); err != nil || !ok {
+				t.Fatalf("stepping thread %d: ok=%v err=%v", first, ok, err)
+			}
+		}
+		sched.Run(m, sched.NewCooperative())
+		if !m.Done() {
+			t.Fatal("run did not finish")
+		}
+		return fpr.Fingerprint()
+	}
+
+	if a, b := fpOf(1), fpOf(2); a == b {
+		t.Fatalf("conflicting-order swap not reflected in fingerprint (%#x)", a)
+	}
+}

@@ -30,6 +30,9 @@ type Event struct {
 	// Reads and Writes are the variables touched during the step.
 	Reads  []interp.VarID
 	Writes []interp.VarID
+	// Lock is set on successful acquire and on release steps (an
+	// OpAcquire event with an empty Lock is a blocked attempt).
+	Lock string
 }
 
 // Recorder is an interp.Hooks implementation that collects events.
@@ -54,7 +57,10 @@ func NewRecorder() *Recorder { return &Recorder{cur: -1} }
 // NewWindowed returns a recorder retaining at most window events.
 func NewWindowed(window int) *Recorder { return &Recorder{Window: window, cur: -1} }
 
-var _ interp.Hooks = (*Recorder)(nil)
+var (
+	_ interp.Hooks     = (*Recorder)(nil)
+	_ interp.LockHooks = (*Recorder)(nil)
+)
 
 // BeforeInstr opens a new event.
 func (r *Recorder) BeforeInstr(t *interp.Thread, pc ir.PC, in *ir.Instr) {
@@ -102,6 +108,20 @@ func (r *Recorder) OnWrite(t *interp.Thread, v interp.VarID) {
 	}
 }
 
+// OnAcquire records the successful acquisition on the current event.
+func (r *Recorder) OnAcquire(t *interp.Thread, lock string) {
+	if r.cur >= 0 {
+		r.Events[r.cur].Lock = lock
+	}
+}
+
+// OnRelease records the release on the current event.
+func (r *Recorder) OnRelease(t *interp.Thread, lock string) {
+	if r.cur >= 0 {
+		r.Events[r.cur].Lock = lock
+	}
+}
+
 // EventAt returns the event with the given step number, or nil when it
 // fell outside the retained window.
 func (r *Recorder) EventAt(step int64) *Event {
@@ -121,7 +141,10 @@ func (r *Recorder) EventAt(step int64) *Event {
 // recorder at once.
 type Multi []interp.Hooks
 
-var _ interp.Hooks = (Multi)(nil)
+var (
+	_ interp.Hooks     = (Multi)(nil)
+	_ interp.LockHooks = (Multi)(nil)
+)
 
 // BeforeInstr implements interp.Hooks.
 func (m Multi) BeforeInstr(t *interp.Thread, pc ir.PC, in *ir.Instr) {
@@ -162,5 +185,24 @@ func (m Multi) OnRead(t *interp.Thread, v interp.VarID) {
 func (m Multi) OnWrite(t *interp.Thread, v interp.VarID) {
 	for _, h := range m {
 		h.OnWrite(t, v)
+	}
+}
+
+// OnAcquire implements interp.LockHooks, forwarding to the members
+// that observe lock events.
+func (m Multi) OnAcquire(t *interp.Thread, lock string) {
+	for _, h := range m {
+		if lh, ok := h.(interp.LockHooks); ok {
+			lh.OnAcquire(t, lock)
+		}
+	}
+}
+
+// OnRelease implements interp.LockHooks.
+func (m Multi) OnRelease(t *interp.Thread, lock string) {
+	for _, h := range m {
+		if lh, ok := h.(interp.LockHooks); ok {
+			lh.OnRelease(t, lock)
+		}
 	}
 }
