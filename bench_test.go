@@ -9,6 +9,7 @@
 package heisendump_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -28,7 +29,7 @@ import (
 // dependence classification over the three synthetic corpora.
 func BenchmarkTable1CDClassification(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1()
+		rows, err := experiments.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func BenchmarkTable1CDClassification(b *testing.B) {
 // BenchmarkTable2Workloads regenerates Table 2: the studied bugs.
 func BenchmarkTable2Workloads(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2()
+		rows, err := experiments.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func BenchmarkTable2Workloads(b *testing.B) {
 // compared variables, CSVs and index lengths per bug.
 func BenchmarkTable3DumpAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3()
+		rows, err := experiments.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func BenchmarkTable3DumpAnalysis(b *testing.B) {
 // chessX+dep vs chessX+temporal tries and times.
 func BenchmarkTable4ScheduleSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table4(1000)
+		rows, err := experiments.Table4(context.Background(), 1000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkTable4ScheduleSearch(b *testing.B) {
 // instruction-count alignment baseline.
 func BenchmarkTable5InstructionCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table5(1000)
+		rows, err := experiments.Table5(context.Background(), 1000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkTable5InstructionCount(b *testing.B) {
 // costs (dump capture, diff, slicing).
 func BenchmarkTable6OtherCosts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table6()
+		rows, err := experiments.Table6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkTable6OtherCosts(b *testing.B) {
 // instrumentation overhead across the workloads and splash kernels.
 func BenchmarkFig10Overhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig10(1)
+		rows, err := experiments.Fig10(context.Background(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}

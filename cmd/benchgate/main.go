@@ -1,0 +1,177 @@
+// Command benchgate is the benchmark-regression gate: it compares a
+// fresh `benchtab -json` stream (stdin) against the checked-in
+// baseline snapshot and fails when any deterministic search-outcome
+// field drifts. Gated fields are the row names and every Tries /
+// Found / Reproduced column — the values the determinism contract pins
+// for a given seed state. Cost fields (times, executed/pruned trial
+// counts, steps) are informational only and never gate.
+//
+// Usage (what CI runs):
+//
+//	benchtab -table 4 -json | benchgate -baseline BENCH_baseline.json
+//
+// Only the tables present on stdin are compared, so gating one table
+// against a full-run baseline works. When a PR intentionally moves the
+// numbers, regenerate the baseline (see README.md) and review the diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in benchtab -json snapshot to gate against")
+	tableFilter := flag.String("table", "", `compare only this table (e.g. "table4"); default: every table on stdin`)
+	flag.Parse()
+
+	f, err := os.Open(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	baseline, err := parseSections(f)
+	if err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", *baselinePath, err))
+	}
+	fresh, err := parseSections(os.Stdin)
+	if err != nil {
+		fatal(fmt.Errorf("stdin: %w", err))
+	}
+	if *tableFilter != "" {
+		if _, ok := fresh[*tableFilter]; !ok {
+			fatal(fmt.Errorf("table %q not present on stdin", *tableFilter))
+		}
+		fresh = map[string][]map[string]any{*tableFilter: fresh[*tableFilter]}
+	}
+	if len(fresh) == 0 {
+		fatal(fmt.Errorf("no tables on stdin"))
+	}
+
+	diffs, checked := compare(fresh, baseline)
+	for _, d := range diffs {
+		fmt.Fprintln(os.Stderr, "benchgate: DRIFT:", d)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated field(s) drifted from %s — if intentional, regenerate the baseline (see README.md)\n",
+			len(diffs), *baselinePath)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(fresh))
+	for n := range fresh {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchgate: OK — %s unchanged (%d gated fields checked)\n", strings.Join(names, ", "), checked)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}
+
+// parseSections decodes a benchtab -json stream: one
+// {"table": ..., "rows": [...]} object per line. Numbers stay
+// json.Number so comparisons never lose precision.
+func parseSections(r io.Reader) (map[string][]map[string]any, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	out := map[string][]map[string]any{}
+	for {
+		var s struct {
+			Table string           `json:"table"`
+			Rows  []map[string]any `json:"rows"`
+		}
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if s.Table == "" {
+			return nil, fmt.Errorf("section without a table name")
+		}
+		out[s.Table] = s.Rows
+	}
+	return out, nil
+}
+
+// rowID names a row in drift messages: tables key rows on either
+// "Name" (workloads) or "Benchmark" (corpora).
+func rowID(row map[string]any) any {
+	if v, ok := row["Name"]; ok {
+		return v
+	}
+	return row["Benchmark"]
+}
+
+// gated reports whether a row field participates in the regression
+// gate: row identity plus every deterministic search-outcome column.
+func gated(key string) bool {
+	return key == "Name" || key == "Benchmark" ||
+		strings.Contains(key, "Tries") ||
+		strings.Contains(key, "Found") ||
+		key == "Reproduced"
+}
+
+// compare checks every gated field of every fresh table against the
+// baseline, returning human-readable drift descriptions and the number
+// of gated fields checked.
+func compare(fresh, baseline map[string][]map[string]any) (diffs []string, checked int) {
+	names := make([]string, 0, len(fresh))
+	for n := range fresh {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := fresh[name]
+		base, ok := baseline[name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: not in baseline", name))
+			continue
+		}
+		if len(rows) != len(base) {
+			diffs = append(diffs, fmt.Sprintf("%s: %d rows, baseline has %d", name, len(rows), len(base)))
+			continue
+		}
+		for i, row := range rows {
+			// The union of both rows' gated keys: a gated column that
+			// disappears from the fresh output (or appears without a
+			// baseline) is itself drift, not a silent pass.
+			keySet := map[string]bool{}
+			for k := range row {
+				if gated(k) {
+					keySet[k] = true
+				}
+			}
+			for k := range base[i] {
+				if gated(k) {
+					keySet[k] = true
+				}
+			}
+			keys := make([]string, 0, len(keySet))
+			for k := range keySet {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				checked++
+				got, inFresh := row[k]
+				want, inBase := base[i][k]
+				switch {
+				case !inFresh:
+					diffs = append(diffs, fmt.Sprintf("%s row %d (%v): gated field %s missing from fresh output (baseline %v)", name, i, rowID(base[i]), k, want))
+				case !inBase:
+					diffs = append(diffs, fmt.Sprintf("%s row %d (%v): gated field %s not in baseline", name, i, rowID(row), k))
+				case fmt.Sprint(got) != fmt.Sprint(want):
+					diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v, baseline %v", name, i, rowID(row), k, got, want))
+				}
+			}
+		}
+	}
+	return diffs, checked
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baselineDoc = `{"table":"table4","rows":[
+  {"Name":"apache-1","ChessTries":44,"ChessFound":true,"TempTries":4,"TempFound":true,"TempTime":123456},
+  {"Name":"apache-2","ChessTries":2000,"ChessFound":false,"TempTries":460,"TempFound":true,"TempTime":99}
+]}
+{"table":"table5","rows":[{"Name":"apache-1","Tries":7,"Reproduced":true,"Time":5}]}
+`
+
+func sections(t *testing.T, doc string) map[string][]map[string]any {
+	t.Helper()
+	out, err := parseSections(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	diffs, checked := compare(sections(t, baselineDoc), sections(t, baselineDoc))
+	if len(diffs) != 0 {
+		t.Fatalf("unexpected diffs: %v", diffs)
+	}
+	// table4: 2 rows x 5 gated fields; table5: 1 row x 3 gated fields.
+	if checked != 13 {
+		t.Fatalf("checked %d gated fields, want 13", checked)
+	}
+}
+
+func TestCompareIgnoresCostFields(t *testing.T) {
+	fresh := sections(t, strings.ReplaceAll(baselineDoc, `"TempTime":123456`, `"TempTime":777`))
+	diffs, _ := compare(fresh, sections(t, baselineDoc))
+	if len(diffs) != 0 {
+		t.Fatalf("cost-field change gated: %v", diffs)
+	}
+}
+
+func TestCompareCatchesTriesDrift(t *testing.T) {
+	fresh := sections(t, strings.ReplaceAll(baselineDoc, `"TempTries":460`, `"TempTries":461`))
+	diffs, _ := compare(fresh, sections(t, baselineDoc))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "TempTries") {
+		t.Fatalf("tries drift not caught: %v", diffs)
+	}
+}
+
+func TestCompareCatchesFoundDrift(t *testing.T) {
+	fresh := sections(t, strings.ReplaceAll(baselineDoc, `"ChessFound":false`, `"ChessFound":true`))
+	diffs, _ := compare(fresh, sections(t, baselineDoc))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "ChessFound") {
+		t.Fatalf("found drift not caught: %v", diffs)
+	}
+}
+
+func TestCompareCatchesDroppedGatedField(t *testing.T) {
+	fresh := sections(t, strings.ReplaceAll(baselineDoc, `"TempFound":true,`, ``))
+	diffs, _ := compare(fresh, sections(t, baselineDoc))
+	if len(diffs) != 2 { // both table4 rows lost the column
+		t.Fatalf("dropped gated field not caught: %v", diffs)
+	}
+	for _, d := range diffs {
+		if !strings.Contains(d, "TempFound") || !strings.Contains(d, "missing from fresh") {
+			t.Fatalf("unexpected diff: %q", d)
+		}
+	}
+}
+
+func TestCompareSubsetOfBaselineTables(t *testing.T) {
+	fresh := sections(t, `{"table":"table4","rows":[
+  {"Name":"apache-1","ChessTries":44,"ChessFound":true,"TempTries":4,"TempFound":true,"TempTime":1},
+  {"Name":"apache-2","ChessTries":2000,"ChessFound":false,"TempTries":460,"TempFound":true,"TempTime":2}
+]}`)
+	diffs, _ := compare(fresh, sections(t, baselineDoc))
+	if len(diffs) != 0 {
+		t.Fatalf("gating one table against a full baseline failed: %v", diffs)
+	}
+}
+
+func TestCompareMissingTableAndRowCount(t *testing.T) {
+	fresh := sections(t, `{"table":"table9","rows":[{"Name":"x","Tries":1}]}`)
+	diffs, _ := compare(fresh, sections(t, baselineDoc))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "not in baseline") {
+		t.Fatalf("missing table not caught: %v", diffs)
+	}
+	fresh = sections(t, `{"table":"table5","rows":[]}`)
+	diffs, _ = compare(fresh, sections(t, baselineDoc))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "rows") {
+		t.Fatalf("row-count drift not caught: %v", diffs)
+	}
+}

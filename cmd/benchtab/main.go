@@ -12,15 +12,29 @@
 //	                          # fewer executed trials)
 //	benchtab -json > rows.json # machine-readable rows (one JSON object
 //	                           # per table/figure) for perf tracking
+//	benchtab -timeout 2m      # give up after a wall-clock deadline
+//	benchtab -progress        # stream search heartbeats to stderr
+//
+// Ctrl-C (or the -timeout deadline) cancels cooperatively: in-flight
+// searches stop within one trial, completed tables have already been
+// printed, and benchtab exits with a note on what was cut short.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
+	"heisendump/internal/chess"
+	"heisendump/internal/core"
 	"heisendump/internal/experiments"
 )
 
@@ -32,15 +46,32 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent workloads per table (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "enable equivalence pruning in the schedule searches (identical tries/found, fewer executed trials)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows, one object per table/figure")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none)")
+	progress := flag.Bool("progress", false, "stream per-workload schedule-search heartbeats to stderr")
 	flag.Parse()
 
 	experiments.Workers = *workers
 	experiments.Prune = *prune
+	if *progress {
+		experiments.Progress = progressPrinter()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	out := io.Writer(os.Stdout)
 	all := *table == 0 && *fig == 0
 
 	fail := func(err error) {
+		if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "benchtab: cancelled, remaining sections skipped (%v)\n", err)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
@@ -63,52 +94,75 @@ func main() {
 	}
 
 	if all || *table == 1 {
-		rows, err := experiments.Table1()
+		rows, err := experiments.Table1(ctx)
 		if err != nil {
 			fail(err)
 		}
 		emit("table1", rows, func() { experiments.PrintTable1(out, rows) })
 	}
 	if all || *table == 2 {
-		rows, err := experiments.Table2()
+		rows, err := experiments.Table2(ctx)
 		if err != nil {
 			fail(err)
 		}
 		emit("table2", rows, func() { experiments.PrintTable2(out, rows) })
 	}
 	if all || *table == 3 {
-		rows, err := experiments.Table3()
+		rows, err := experiments.Table3(ctx)
 		if err != nil {
 			fail(err)
 		}
 		emit("table3", rows, func() { experiments.PrintTable3(out, rows) })
 	}
 	if all || *table == 4 {
-		rows, err := experiments.Table4(*plainCap)
+		rows, err := experiments.Table4(ctx, *plainCap)
 		if err != nil {
 			fail(err)
 		}
 		emit("table4", rows, func() { experiments.PrintTable4(out, rows) })
 	}
 	if all || *table == 5 {
-		rows, err := experiments.Table5(*plainCap)
+		rows, err := experiments.Table5(ctx, *plainCap)
 		if err != nil {
 			fail(err)
 		}
 		emit("table5", rows, func() { experiments.PrintTable5(out, rows) })
 	}
 	if all || *table == 6 {
-		rows, err := experiments.Table6()
+		rows, err := experiments.Table6(ctx)
 		if err != nil {
 			fail(err)
 		}
 		emit("table6", rows, func() { experiments.PrintTable6(out, rows) })
 	}
 	if all || *fig == 10 {
-		rows, err := experiments.Fig10(*reps)
+		rows, err := experiments.Fig10(ctx, *reps)
 		if err != nil {
 			fail(err)
 		}
 		emit("fig10", rows, func() { experiments.PrintFig10(out, rows) })
+	}
+}
+
+// progressPrinter returns an experiments.Progress hook that streams
+// heartbeats to stderr, throttled to one line per subject per 200ms
+// (final Done lines always print). Concurrent subjects share the hook,
+// so it serializes internally.
+func progressPrinter() func(string, chess.Progress) {
+	var mu sync.Mutex
+	last := map[string]time.Time{}
+	return func(subject string, p chess.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !p.Done && time.Since(last[subject]) < 200*time.Millisecond {
+			return
+		}
+		last[subject] = time.Now()
+		state := "searching"
+		if p.Done {
+			state = "done"
+		}
+		fmt.Fprintf(os.Stderr, "progress %-10s %-9s combos %d/%d  tries %d  executed %d  pruned %d  found=%v\n",
+			subject, state, p.Committed, p.Combos, p.Tries, p.Executed, p.Pruned, p.Found)
 	}
 }

@@ -3,16 +3,24 @@
 // Usage:
 //
 //	dumptool -capture -w apache-1 -o fail.core   # provoke + save a dump
+//	dumptool -capture -w mysql-2 -timeout 10s    # deadline the stress phase
 //	dumptool -info fail.core                     # header, threads, frames
 //	dumptool -paths fail.core                    # reference-path traversal
 //	dumptool -diff fail.core pass.core           # value differences / CSVs
+//
+// -capture honors Ctrl-C and -timeout: the stress phase stops
+// cooperatively and dumptool exits without writing a file.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"heisendump"
 	"heisendump/internal/coredump"
@@ -25,6 +33,7 @@ func main() {
 	capture := flag.Bool("capture", false, "provoke a failure of -w and save its dump to -o")
 	wname := flag.String("w", "", "workload for -capture")
 	out := flag.String("o", "failure.core", "output path for -capture")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for -capture (0 = none)")
 	info := flag.String("info", "", "print a dump's header and stacks")
 	paths := flag.String("paths", "", "print a dump's reference-path traversal")
 	diff := flag.Bool("diff", false, "compare two dumps given as arguments")
@@ -40,9 +49,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{})
-		fail, err := p.ProvokeFailure()
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		fail, err := heisendump.New(prog, w.Input).ProvokeFailure(ctx)
 		if err != nil {
+			if errors.Is(err, heisendump.ErrCancelled) {
+				log.Fatalf("capture cancelled before a failure was provoked: %v", err)
+			}
 			log.Fatal(err)
 		}
 		f, err := os.Create(*out)

@@ -1,5 +1,5 @@
 // Command reprod runs the full reproduction pipeline on a workload or
-// a program source file.
+// a program source file, through the context-aware Session API.
 //
 // Usage:
 //
@@ -8,14 +8,27 @@
 //	reprod -w mysql-3 -heuristic dep         # dependence-distance priorities
 //	reprod -w mysql-3 -plain                 # undirected CHESS baseline
 //	reprod -w mysql-3 -align instcount       # Table 5 alignment baseline
+//	reprod -w apache-2 -timeout 30s          # deadline the whole run
 //	reprod -list                             # list workloads
+//
+// Ctrl-C (or the -timeout deadline) cancels the run cooperatively —
+// the schedule search stops within one trial — and reprod prints the
+// best-so-far partial report (Report.Partial) before exiting.
+//
+// Exit status: 0 when the failure was reproduced, 2 when the search
+// completed without finding a schedule, 3 when the run was cancelled,
+// 1 on any other error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"heisendump"
 )
@@ -30,11 +43,12 @@ func main() {
 	align := flag.String("align", "index", `aligned-point method: "index" or "instcount"`)
 	plain := flag.Bool("plain", false, "use undirected CHESS (no weighting, no guidance)")
 	bound := flag.Int("k", 2, "preemption bound")
-	maxTries := flag.Int("maxtries", 5000, "schedule-search cutoff")
+	maxTries := flag.Int("maxtries", 5000, "schedule-search trial budget")
 	workers := flag.Int("workers", 0, "schedule-search worker pool width (0 = GOMAXPROCS); the result is deterministic for any value")
 	prune := flag.Bool("prune", false, "skip schedule trials proven equivalent to already-executed runs; the result is identical either way")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none); the deadline cancels like Ctrl-C")
 	list := flag.Bool("list", false, "list built-in workloads")
-	verbose := flag.Bool("v", false, "print the failure index, CSVs and candidates")
+	verbose := flag.Bool("v", false, "print the failure index, CSVs, candidates and stage transitions")
 	flag.Parse()
 
 	if *list {
@@ -73,25 +87,41 @@ func main() {
 		log.Fatal("need -w <workload> or -src <file> (or -list)")
 	}
 
-	cfg := heisendump.Config{
-		Bound:      *bound,
-		MaxTries:   *maxTries,
-		PlainChess: *plain,
-		Workers:    *workers,
-		Prune:      *prune,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []heisendump.Option{
+		heisendump.WithBound(*bound),
+		heisendump.WithTrialBudget(*maxTries),
+		heisendump.WithPlainChess(*plain),
+		heisendump.WithWorkers(*workers),
+		heisendump.WithPrune(*prune),
 	}
 	if *heuristic == "dep" {
-		cfg.Heuristic = heisendump.Dependence
+		opts = append(opts, heisendump.WithHeuristic(heisendump.Dependence))
 	}
 	if *align == "instcount" {
-		cfg.Alignment = heisendump.AlignByInstructionCount
+		opts = append(opts, heisendump.WithAlignment(heisendump.AlignByInstructionCount))
+	}
+	if *verbose {
+		opts = append(opts, heisendump.WithObserver(heisendump.ObserverFuncs{
+			StageFunc: func(s heisendump.Stage) { fmt.Printf("stage: %v\n", s) },
+		}))
 	}
 
-	p := heisendump.NewPipeline(prog, input, cfg)
+	s := heisendump.New(prog, input, opts...)
 
-	fail, err := p.ProvokeFailure()
+	// The staged Session calls keep the output streaming: each phase's
+	// results print as soon as it completes, and a cancellation at any
+	// point leaves everything printed so far as the partial report.
+	fail, err := s.ProvokeFailure(ctx)
 	if err != nil {
-		log.Fatal(err)
+		exitOn(err)
 	}
 	fmt.Printf("failure: %s\n", fail.Signature.Reason)
 	fmt.Printf("  at %s, thread %d\n", prog.FormatPC(fail.Dump.PC), fail.Dump.FailingThread)
@@ -99,9 +129,9 @@ func main() {
 	fmt.Printf("  dump: %d bytes (stress seed %d, %d attempts)\n",
 		fail.DumpBytes, fail.Seed, fail.Attempts)
 
-	an, err := p.Analyze(fail)
+	an, err := s.Analyze(ctx, fail)
 	if err != nil {
-		log.Fatal(err)
+		exitOn(err)
 	}
 	if an.FailureIndex != nil {
 		fmt.Printf("failure index: len %d\n", an.IndexLen)
@@ -120,7 +150,16 @@ func main() {
 		fmt.Printf("preemption candidates: %d\n", len(an.Candidates))
 	}
 
-	res := p.Reproduce(fail, an)
+	res, err := s.Search(ctx, fail, an)
+	if res != nil && res.Cancelled {
+		fmt.Printf("cancelled mid-search: best-so-far partial result: found=%v after %d tries (%d runs executed)\n",
+			res.Found, res.Tries, res.TrialsExecuted)
+		printSchedule(res)
+		exitOn(err)
+	}
+	if err != nil && !errors.Is(err, heisendump.ErrScheduleNotFound) {
+		exitOn(err)
+	}
 	if !res.Found {
 		fmt.Printf("NOT reproduced within %d tries (%v)\n", res.Tries, res.Elapsed)
 		os.Exit(2)
@@ -131,6 +170,10 @@ func main() {
 	}
 	fmt.Printf("reproduced: %d tries (%d runs executed on %d workers%s), %v, %d interpreter steps\n",
 		res.Tries, res.TrialsExecuted, res.Workers, pruneNote, res.Elapsed, res.StepsExecuted)
+	printSchedule(res)
+}
+
+func printSchedule(res *heisendump.SearchResult) {
 	for _, ap := range res.Schedule {
 		lock := ""
 		if ap.Candidate.Lock != "" {
@@ -139,4 +182,16 @@ func main() {
 		fmt.Printf("  preempt thread %d at %v (sync #%d%s) -> thread %d\n",
 			ap.Candidate.Thread, ap.Candidate.Kind, ap.Candidate.Seq, lock, ap.SwitchTo)
 	}
+}
+
+// exitOn reports a terminal error: cancellation exits 3 with a note
+// that everything already printed is the partial result; anything else
+// is fatal.
+func exitOn(err error) {
+	if errors.Is(err, heisendump.ErrCancelled) {
+		fmt.Printf("cancelled: %v\n", err)
+		fmt.Println("(output above is the best-so-far partial result)")
+		os.Exit(3)
+	}
+	log.Fatal(err)
 }

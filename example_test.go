@@ -1,6 +1,8 @@
 package heisendump_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -8,10 +10,11 @@ import (
 )
 
 // Example_quickstart reproduces the paper's Fig. 1 Heisenbug end to
-// end: provoke the failure under random interleavings, analyze the
-// core dump, and search for a failure-inducing schedule. Every phase
-// is deterministic (fixed stress seeds, Workers: 1), so the output is
-// stable — `go test` keeps this quick start honest.
+// end through the Session API: provoke the failure under random
+// interleavings, analyze the core dump, and search for a
+// failure-inducing schedule. Every phase is deterministic (fixed
+// stress seeds, WithWorkers(1)), so the output is stable — `go test`
+// keeps this quick start honest.
 func Example_quickstart() {
 	w := heisendump.WorkloadByName("fig1")
 	prog, err := w.Compile(true) // loop-counter instrumentation on
@@ -19,28 +22,21 @@ func Example_quickstart() {
 		log.Fatal(err)
 	}
 
-	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{
-		Heuristic: heisendump.Temporal,
-		MaxTries:  1000,
-		Workers:   1,    // any value gives the same result; 1 keeps the example minimal
-		Prune:     true, // skip schedule trials proven equivalent to executed runs
-	})
+	s := heisendump.New(prog, w.Input,
+		heisendump.WithHeuristic(heisendump.Temporal),
+		heisendump.WithTrialBudget(1000),
+		heisendump.WithWorkers(1),  // any value gives the same result; 1 keeps the example minimal
+		heisendump.WithPrune(true), // skip schedule trials proven equivalent to executed runs
+	)
 
-	fail, err := p.ProvokeFailure()
+	rep, err := s.Reproduce(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("crash: %s\n", fail.Signature.Reason)
-
-	an, err := p.Analyze(fail)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("aligned: %v, %d CSVs\n", an.AlignKind, len(an.CSVs))
-
-	res := p.Reproduce(fail, an)
-	fmt.Printf("found=%v tries=%d\n", res.Found, res.Tries)
-	for _, ap := range res.Schedule {
+	fmt.Printf("crash: %s\n", rep.Failure.Signature.Reason)
+	fmt.Printf("aligned: %v, %d CSVs\n", rep.Analysis.AlignKind, len(rep.Analysis.CSVs))
+	fmt.Printf("found=%v tries=%d\n", rep.Search.Found, rep.Search.Tries)
+	for _, ap := range rep.Search.Schedule {
 		fmt.Printf("preempt thread %d at %v (sync #%d) -> thread %d\n",
 			ap.Candidate.Thread, ap.Candidate.Kind, ap.Candidate.Seq, ap.SwitchTo)
 	}
@@ -49,6 +45,41 @@ func Example_quickstart() {
 	// aligned: closest, 2 CSVs
 	// found=true tries=1
 	// preempt thread 1 at after-release (sync #4) -> thread 2
+}
+
+// ExampleSession_cancellation cancels a reproduction mid-search and
+// shows the best-so-far partial report a cancelled Session returns.
+// The cancellation fires from the Observer when the search's folded
+// try counter — which is deterministic for any worker count — reaches
+// a budget, so the partial result (and this output) is stable too;
+// a real service would instead cancel on Ctrl-C or a deadline.
+func ExampleSession_cancellation() {
+	w := heisendump.WorkloadByName("fig1")
+	prog, err := w.Compile(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := heisendump.New(prog, w.Input,
+		heisendump.WithPlainChess(true), // undirected CHESS needs 4 tries on fig1...
+		heisendump.WithObserver(heisendump.ObserverFuncs{
+			SearchFunc: func(p heisendump.SearchProgress) {
+				if !p.Done && p.Tries >= 2 {
+					cancel() // ...so cancelling after 2 folded tries stops before the find
+				}
+			},
+		}),
+	)
+
+	rep, err := s.Reproduce(ctx)
+	fmt.Printf("cancelled: %v\n", errors.Is(err, heisendump.ErrCancelled))
+	fmt.Printf("partial: %v, found=%v after %d tries\n",
+		rep.Partial, rep.Search.Found, rep.Search.Tries)
+	// Output:
+	// cancelled: true
+	// partial: true, found=false after 2 tries
 }
 
 // ExampleCompareDumps diffs a failure core dump against the dump

@@ -4,14 +4,19 @@
 // interleavings, captures a core dump, reverse engineers the failure
 // index, aligns a deterministic re-execution, diffs the dumps to find
 // the critical shared variables, and searches for a failure-inducing
-// schedule.
+// schedule — through the Session API's staged calls, so each phase's
+// results print as soon as it completes and a Ctrl-C at any point
+// leaves everything printed so far as the partial result.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"heisendump"
 )
@@ -23,23 +28,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{
-		Heuristic: heisendump.Temporal,
-		MaxTries:  1000,
-		// Workers sets the schedule-search pool width (0 = GOMAXPROCS).
-		// The result is bit-identical for any value: workers claim
-		// combinations in deterministic rank order and outcomes fold
-		// back in that order.
-		Workers: 0,
-		// Prune skips trials proven happens-before equivalent to
+	// Ctrl-C cancels the context; every Session phase stops
+	// cooperatively (the schedule search within one trial).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	s := heisendump.New(prog, w.Input,
+		heisendump.WithHeuristic(heisendump.Temporal),
+		heisendump.WithTrialBudget(1000),
+		// WithWorkers sets the schedule-search pool width (0 =
+		// GOMAXPROCS). The result is bit-identical for any value:
+		// workers claim combinations in deterministic rank order and
+		// outcomes fold back in that order.
+		heisendump.WithWorkers(0),
+		// WithPrune skips trials proven happens-before equivalent to
 		// already-executed runs. Found/Schedule/Tries are unchanged;
 		// only the number of runs actually executed (and wall time)
 		// drops — see res.TrialsPruned below.
-		Prune: true,
-	})
+		heisendump.WithPrune(true),
+	)
 
 	fmt.Println("== production phase: provoke the Heisenbug ==")
-	fail, err := p.ProvokeFailure()
+	fail, err := s.ProvokeFailure(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +59,7 @@ func main() {
 		fail.DumpBytes, fail.Seed, fail.Attempts)
 
 	fmt.Println("== debugging phase: analyze the dump ==")
-	an, err := p.Analyze(fail)
+	an, err := s.Analyze(ctx, fail)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,9 +73,9 @@ func main() {
 	}
 
 	fmt.Println("\n== reproduction phase: search for the schedule ==")
-	res := p.Reproduce(fail, an)
-	if !res.Found {
-		log.Fatalf("not reproduced in %d tries", res.Tries)
+	res, err := s.Search(ctx, fail, an)
+	if err != nil {
+		log.Fatalf("not reproduced in %d tries: %v", res.Tries, err)
 	}
 	fmt.Printf("reproduced after %d tries (%d executed, %d pruned as equivalent) in %v\n",
 		res.Tries, res.TrialsExecuted, res.TrialsPruned, res.Elapsed)

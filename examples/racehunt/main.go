@@ -8,8 +8,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"heisendump"
 )
@@ -51,13 +54,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	p := heisendump.NewPipeline(prog, &heisendump.Input{}, heisendump.Config{
-		Heuristic: heisendump.Dependence,
-		MaxTries:  1000,
-	})
+	s := heisendump.New(prog, &heisendump.Input{},
+		heisendump.WithHeuristic(heisendump.Dependence),
+		heisendump.WithTrialBudget(1000),
+	)
 
-	rep, err := p.Run()
-	if err != nil {
+	// A deadline bounds the whole hunt; the sentinel errors say which
+	// phase gave up. (The ticket race reproduces in well under 10s.)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := s.Reproduce(ctx)
+	switch {
+	case errors.Is(err, heisendump.ErrCancelled):
+		log.Fatalf("deadline hit; partial=%v: %v", rep.Partial, err)
+	case errors.Is(err, heisendump.ErrScheduleNotFound):
+		log.Fatalf("not reproduced in %d tries", rep.Search.Tries)
+	case err != nil:
 		log.Fatal(err)
 	}
 	fmt.Printf("crash signature: %s\n", rep.Failure.Signature.Reason)
@@ -70,9 +82,6 @@ func main() {
 		fmt.Print(c.Path)
 	}
 	fmt.Println()
-	if !rep.Search.Found {
-		log.Fatalf("not reproduced in %d tries", rep.Search.Tries)
-	}
 	fmt.Printf("reproduced in %d tries:\n", rep.Search.Tries)
 	for _, ap := range rep.Search.Schedule {
 		fmt.Printf("  preempt thread %d at %v (sync #%d) -> thread %d\n",

@@ -31,17 +31,26 @@
 //
 //	w := heisendump.WorkloadByName("fig1")
 //	prog, _ := w.Compile(true) // with loop-counter instrumentation
-//	p := heisendump.NewPipeline(prog, w.Input, heisendump.Config{
-//		Workers: 0,    // search pool width; 0 = GOMAXPROCS, any value same result
-//		Prune:   true, // skip schedule trials proven equivalent to executed runs
-//	})
-//	rep, err := p.Run()
+//	s := heisendump.New(prog, w.Input,
+//		heisendump.WithWorkers(0),  // search pool width; 0 = GOMAXPROCS, any value same result
+//		heisendump.WithPrune(true), // skip schedule trials proven equivalent to executed runs
+//	)
+//	rep, err := s.Reproduce(ctx)
 //	// rep.Search.Found, rep.Search.Schedule: the failure-inducing schedule
 //
-// The schedule search runs Config.Workers trials concurrently with a
-// deterministic rank-order reduction, and Config.Prune skips trials
-// that are happens-before equivalent to already-executed runs — both
-// knobs change only the cost of the search, never its result.
+// Session.Reproduce threads its context through every phase — cancel
+// it (or give it a deadline) and the run stops within one schedule
+// trial, returning the best-so-far partial Report (Report.Partial)
+// with an error wrapping ErrCancelled. WithObserver streams stage
+// transitions and search heartbeats while a long search grinds. The
+// schedule search runs WithWorkers trials concurrently with a
+// deterministic rank-order reduction, and WithPrune skips trials that
+// are happens-before equivalent to already-executed runs — both knobs
+// change only the cost of the search, never its result.
+//
+// The pre-Session API (NewPipeline, Config, Pipeline.Run) remains as a
+// deprecated thin shim over the same implementation; see the migration
+// table in README.md.
 //
 // See the examples/ directory for complete programs, and the runnable
 // godoc examples in example_test.go.
@@ -62,13 +71,48 @@ import (
 )
 
 // Pipeline is the end-to-end reproduction pipeline.
+//
+// Deprecated: Pipeline.Run cannot be cancelled, deadlined or observed;
+// build a Session with New and call Session.Reproduce(ctx). Pipeline
+// remains a supported thin shim over the Session implementation.
 type Pipeline = core.Pipeline
 
-// Config tunes a reproduction run.
+// Config tunes a reproduction run. New code configures a Session with
+// functional options (WithWorkers, WithPrune, ...) instead of filling
+// a Config literal; the options write the same fields.
 type Config = core.Config
 
-// Report is a completed reproduction: failure, analysis, search.
+// Report is a completed reproduction: failure, analysis, search. A
+// cancelled run returns a Report with Partial set, carrying the
+// best-so-far artifacts of the phases that completed.
 type Report = core.Report
+
+// Observer receives progress events from a reproduction run — stage
+// transitions and schedule-search heartbeats. Attach one with
+// WithObserver; ObserverFuncs adapts plain functions.
+type Observer = core.Observer
+
+// ObserverFuncs adapts plain functions to Observer; nil fields are
+// no-ops.
+type ObserverFuncs = core.ObserverFuncs
+
+// SearchProgress is one schedule-search heartbeat snapshot.
+type SearchProgress = core.SearchProgress
+
+// Sentinel errors, usable with errors.Is against any error the Session
+// (or the deprecated Pipeline shims) returns.
+var (
+	// ErrNoFailure: stress testing exhausted its budget without
+	// provoking a failure.
+	ErrNoFailure = core.ErrNoFailure
+	// ErrScheduleNotFound: the schedule search completed without
+	// constructing a failure-inducing schedule.
+	ErrScheduleNotFound = core.ErrScheduleNotFound
+	// ErrCancelled: the run was cut short by its context. Errors
+	// wrapping it also wrap the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	ErrCancelled = core.ErrCancelled
+)
 
 // FailureReport describes the provoked failure and its core dump.
 type FailureReport = core.FailureReport
@@ -135,6 +179,11 @@ type Overhead = instrument.Overhead
 
 // NewPipeline builds a reproduction pipeline for a compiled program
 // and its input.
+//
+// Deprecated: use New, which takes functional options and returns a
+// cancellable, observable Session. NewPipeline remains a thin shim
+// over the same implementation: an uncancelled Session.Reproduce and
+// Pipeline.Run produce bit-identical reports.
 func NewPipeline(prog *Program, input *Input, cfg Config) *Pipeline {
 	return core.NewPipeline(prog, input, cfg)
 }
@@ -172,13 +221,20 @@ func Bugs() []*Workload { return workloads.Bugs() }
 func SplashKernels() []*Workload { return workloads.SplashKernels() }
 
 // MeasureOverhead measures the loop-counter instrumentation overhead
-// of a workload on a single deterministic core (Fig. 10).
+// of a workload on a single deterministic core (Fig. 10). Both
+// compilations go through Workload.Compile — the same compile path as
+// the rest of the facade — so workload compile options are never
+// silently dropped.
 func MeasureOverhead(w *Workload, reps int) (*Overhead, error) {
-	prog, err := lang.Parse(w.Source)
+	base, err := w.Compile(false)
 	if err != nil {
 		return nil, err
 	}
-	return instrument.Measure(w.Name, prog, w.Input, reps)
+	instr, err := w.Compile(true)
+	if err != nil {
+		return nil, err
+	}
+	return instrument.MeasureCompiled(w.Name, base, instr, w.Input, reps)
 }
 
 // ReverseIndex reverse engineers the failure index from a core dump

@@ -1,6 +1,7 @@
 package chess
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -60,6 +61,44 @@ type Options struct {
 	// any worker count; only the execution-cost fields (TrialsExecuted,
 	// StepsExecuted, wall time) drop.
 	Prune bool
+	// Progress, when non-nil, receives heartbeat snapshots of the
+	// running search: one after every rank the deterministic fold
+	// commits, and a final one (Done true) when the search returns. The
+	// deterministic fields (Combos, Committed, Tries, Found) form a
+	// stream that is identical for any worker count; the raw cost
+	// counters (Executed, Pruned, Steps) are monotone across the stream
+	// but depend on worker scheduling. The callback runs with the
+	// searcher's internal lock held: it must return quickly and must
+	// not call back into the searcher. Cancelling the SearchContext
+	// context from inside the callback is supported — it is the
+	// intended way to implement deterministic cutoffs (stop once the
+	// folded Tries reach a budget).
+	Progress func(Progress)
+}
+
+// Progress is one heartbeat snapshot of a running search, delivered to
+// Options.Progress.
+type Progress struct {
+	// Combos is the worklist size (constant per search).
+	Combos int
+	// Committed counts the worklist ranks the deterministic fold has
+	// consumed so far.
+	Committed int
+	// Tries is the folded sequential-equivalent try count so far —
+	// deterministic for any worker count, like Result.Tries.
+	Tries int
+	// Executed, Pruned and Steps are the raw cost counters at snapshot
+	// time (test runs executed including speculation, trials skipped by
+	// the pruning layer, interpreter steps). Monotone across the
+	// heartbeat stream; dependent on worker scheduling.
+	Executed int
+	Pruned   int
+	Steps    int64
+	// Found reports whether a winning schedule has committed.
+	Found bool
+	// Done marks the final snapshot, emitted exactly once as the search
+	// returns.
+	Done bool
 }
 
 // AppliedPreemption records one preemption of a successful schedule.
@@ -113,6 +152,15 @@ type Result struct {
 	CombinationsGenerated int
 	// Workers is the worker count the search ran with.
 	Workers int
+	// Cancelled is true when the search's context was cancelled before
+	// the worklist was decided: the result is then the best-so-far
+	// deterministic prefix — Found, Schedule and Tries cover exactly
+	// the ranks the fold committed before cancellation, folded in the
+	// same rank order an uncancelled search uses, so a cancellation
+	// triggered at a deterministic point (e.g. from a Progress callback
+	// when Tries reaches a budget) yields a bit-identical partial
+	// result for any worker count.
+	Cancelled bool
 }
 
 // Searcher drives the schedule search. NewMachine must build a fresh
@@ -133,6 +181,7 @@ type Searcher struct {
 // result.
 type searchState struct {
 	s        *Searcher
+	ctx      context.Context
 	wl       []rankedCombo
 	maxRun   int64
 	maxTries int
@@ -171,6 +220,22 @@ type searchState struct {
 // lowest rank — so Found, Schedule and Tries are bit-identical for any
 // worker count.
 func (s *Searcher) Search() *Result {
+	return s.SearchContext(context.Background())
+}
+
+// SearchContext is Search with cooperative cancellation: the context
+// is polled between trials (cancellation granularity is one test run)
+// by every worker and by the rank-order fold. On cancellation the
+// search stops claiming and folding work and returns the best-so-far
+// deterministic prefix with Result.Cancelled set — all completed work
+// is still reduced in rank order, so a cancellation triggered at a
+// deterministic fold point (see Options.Progress) yields a
+// bit-identical partial result for any worker count. An uncancelled
+// context leaves the result bit-identical to Search.
+func (s *Searcher) SearchContext(ctx context.Context) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{}
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
@@ -196,11 +261,13 @@ func (s *Searcher) Search() *Result {
 	}
 	res.Workers = workers
 	if len(wl) == 0 {
+		s.emitDone(res, 0)
 		return res
 	}
 
 	st := &searchState{
 		s:        s,
+		ctx:      ctx,
 		wl:       wl,
 		maxRun:   maxRun,
 		maxTries: s.Opts.MaxTries,
@@ -211,7 +278,7 @@ func (s *Searcher) Search() *Result {
 	}
 	st.bestRank.Store(int64(len(wl))) // sentinel: nothing found yet
 
-	if st.pruner != nil {
+	if st.pruner != nil && !st.cancelled() {
 		// Seed the seen-set with the unperturbed base run so that
 		// 1-combinations whose candidate is never fireable prune
 		// against it (the empty combination is their only sub-run). The
@@ -242,20 +309,51 @@ func (s *Searcher) Search() *Result {
 		res.Schedule = st.winner.schedule
 	}
 	res.Tries = st.cumTries
+	committed := st.committed
+	// The search is complete when the fold decided it (winner or
+	// cutoff) or consumed the whole worklist; anything less means the
+	// context cancelled it (finish repairs every other gap).
+	complete := st.decided.Load() || st.committed >= len(st.wl)
 	st.mu.Unlock()
+	res.Cancelled = !complete && st.cancelled()
 	res.TrialsExecuted = int(st.tries.Load())
 	res.TrialsPruned = int(st.pruned.Load())
 	res.StepsExecuted = st.steps.Load()
 	if st.pruner != nil {
 		res.DistinctRuns = st.pruner.distinct()
 	}
+	s.emitDone(res, committed)
 	return res
 }
 
+// emitDone publishes the final Progress snapshot for a finished (or
+// cancelled, or trivially empty) search.
+func (s *Searcher) emitDone(res *Result, committed int) {
+	if s.Opts.Progress == nil {
+		return
+	}
+	s.Opts.Progress(Progress{
+		Combos:    res.CombinationsGenerated,
+		Committed: committed,
+		Tries:     res.Tries,
+		Executed:  res.TrialsExecuted,
+		Pruned:    res.TrialsPruned,
+		Steps:     res.StepsExecuted,
+		Found:     res.Found,
+		Done:      true,
+	})
+}
+
+// cancelled reports whether the search's context has been cancelled.
+func (st *searchState) cancelled() bool {
+	return st.ctx.Err() != nil
+}
+
 // worker claims worklist ranks in order and explores each combination.
-// A worker stops claiming when the worklist is drained, when the fold
-// has decided the search (winner committed or cutoff reached), when a
-// lower-rank combination has already found the target (higher ranks
+// A worker stops claiming when the context is cancelled, when the
+// worklist is drained, when the fold has decided the search (winner
+// committed or cutoff reached), when a lower-rank combination has
+// already found the target (higher ranks
 // cannot win: either that find commits, or the cutoff lands at or
 // before it), or when the executed-trial count has reached the cutoff
 // budget. The last guard is only a speculation throttle — it may
@@ -265,6 +363,9 @@ func (s *Searcher) Search() *Result {
 // result.
 func (st *searchState) worker() {
 	for {
+		if st.cancelled() {
+			return
+		}
 		r := int(st.next.Add(1) - 1)
 		if r >= len(st.wl) {
 			return
@@ -312,11 +413,13 @@ func (st *searchState) worker() {
 // with their exact remaining allowance — the literal sequential
 // semantics — until the search is decided or the worklist is folded.
 // In the common case the fold kept pace with the pool and this is a
-// no-op.
+// no-op. A cancelled search is left as-is: the committed prefix is the
+// partial result, and repairing gaps would mean executing more trials
+// after the caller asked us to stop.
 func (st *searchState) finish() {
 	for {
 		st.mu.Lock()
-		if st.decided.Load() || st.committed >= len(st.wl) {
+		if st.cancelled() || st.decided.Load() || st.committed >= len(st.wl) {
 			st.mu.Unlock()
 			return
 		}
@@ -351,9 +454,21 @@ func (st *searchState) record(r int, out *comboOutcome) {
 	defer st.mu.Unlock()
 	st.outcomes[r] = out
 	for !st.decided.Load() && st.committed < len(st.wl) {
+		if st.cancelled() {
+			// Cancelled: stop folding and leave the committed prefix as
+			// the deterministic partial result. The check sits before
+			// each consume, so a Progress callback that cancels the
+			// context commits nothing past the rank it reacted to — for
+			// any worker count.
+			return
+		}
 		cur := st.outcomes[st.committed]
-		if cur == nil {
-			return // the frontier rank is still in flight
+		if cur == nil || cur.aborted {
+			// The frontier rank is still in flight, or its exploration
+			// was abandoned by the cancellation before completing (an
+			// aborted outcome is not a pure function of its combination,
+			// so the fold must never consume it).
+			return
 		}
 		allowed := math.MaxInt
 		if st.maxTries > 0 {
@@ -366,7 +481,9 @@ func (st *searchState) record(r int, out *comboOutcome) {
 		if cur.foundAt >= 0 && cur.foundAt < allowed {
 			st.winner = cur
 			st.cumTries += cur.foundAt + 1
+			st.committed++ // the winning rank was consumed too
 			st.decided.Store(true)
+			st.progressLocked()
 			return
 		}
 		t := cur.trials
@@ -378,7 +495,25 @@ func (st *searchState) record(r int, out *comboOutcome) {
 		if st.maxTries > 0 && st.cumTries >= st.maxTries {
 			st.decided.Store(true)
 		}
+		st.progressLocked()
 	}
+}
+
+// progressLocked emits a heartbeat snapshot; st.mu must be held, which
+// serializes the stream and makes every counter monotone across it.
+func (st *searchState) progressLocked() {
+	if st.s.Opts.Progress == nil {
+		return
+	}
+	st.s.Opts.Progress(Progress{
+		Combos:    len(st.wl),
+		Committed: st.committed,
+		Tries:     st.cumTries,
+		Executed:  int(st.tries.Load()),
+		Pruned:    int(st.pruned.Load()),
+		Steps:     st.steps.Load(),
+		Found:     st.winner != nil,
+	})
 }
 
 // exploreCombo executes test runs for the combination at rank r,
@@ -387,17 +522,24 @@ func (st *searchState) record(r int, out *comboOutcome) {
 // trials; callers pass a value that is at least this rank's
 // deterministic trial allowance (the fold's cum only grows as ranks
 // below r are consumed), so capped outcomes still fold exactly.
-// Exploration aborts early only when the search is already decided or
-// a lower-rank combination has found the target — in both cases this
+// Exploration aborts early when the search is already decided, when a
+// lower-rank combination has found the target — in both cases this
 // rank's outcome is past the decision point and the fold never
-// consumes it.
+// consumes it — or when the context is cancelled, which also stops the
+// fold before it could reach this rank. Aborted outcomes are marked so
+// the fold can never mistake them for completed explorations.
 func (st *searchState) exploreCombo(r, cap int) *comboOutcome {
 	combo := st.wl[r].combo
 	out := &comboOutcome{rank: r, foundAt: -1}
 	k := len(combo)
 	vec := make([]int, k)
 	for {
+		if st.cancelled() {
+			out.aborted = true
+			return out // cancelled between trials
+		}
 		if st.decided.Load() || int(st.bestRank.Load()) < r {
+			out.aborted = true
 			return out // this rank cannot win; abandon speculation
 		}
 		if cap > 0 && out.trials >= cap {

@@ -1,6 +1,7 @@
 package chess_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -106,6 +107,64 @@ func TestParallelSearchDeterministicUnderCutoff(t *testing.T) {
 		}
 		if got.Tries > 40 {
 			t.Fatalf("tries %d exceeded cutoff with %d workers", got.Tries, workers)
+		}
+	}
+}
+
+// TestSearchContextPreCancelled: a context cancelled before the search
+// starts yields an empty Cancelled result without executing a single
+// trial.
+func TestSearchContextPreCancelled(t *testing.T) {
+	s := analyzedSearcher(t, "apache-1")
+	s.Opts.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := s.SearchContext(ctx)
+	if !res.Cancelled {
+		t.Fatalf("result not marked cancelled: %+v", res)
+	}
+	if res.Found || res.Tries != 0 || res.TrialsExecuted != 0 {
+		t.Fatalf("pre-cancelled search did work: %+v", res)
+	}
+}
+
+// TestSearchContextCancelDeterministic: cancelling from the Progress
+// callback once the folded try counter reaches a budget stops the fold
+// at the same committed prefix for any worker count — the partial
+// Tries (and the absence of a find) are bit-identical.
+func TestSearchContextCancelDeterministic(t *testing.T) {
+	s := analyzedSearcher(t, "apache-2")
+	s.Target = chess.FailureSignature{Reason: "never matches"}
+	const budget = 60
+
+	run := func(workers int) *chess.Result {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		s.Opts.Workers = workers
+		s.Opts.Progress = func(p chess.Progress) {
+			if !p.Done && p.Tries >= budget {
+				cancel()
+			}
+		}
+		defer func() { s.Opts.Progress = nil }()
+		return s.SearchContext(ctx)
+	}
+
+	ref := run(1)
+	if !ref.Cancelled {
+		t.Fatalf("reference search not cancelled: %+v", ref)
+	}
+	if ref.Tries < budget {
+		t.Fatalf("fold stopped at %d tries, before the %d budget", ref.Tries, budget)
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if !got.Cancelled {
+			t.Fatalf("workers=%d: not cancelled: %+v", workers, got)
+		}
+		if got.Tries != ref.Tries || got.Found != ref.Found {
+			t.Fatalf("workers=%d: partial prefix diverged: tries=%d found=%v, want tries=%d found=%v",
+				workers, got.Tries, got.Found, ref.Tries, ref.Found)
 		}
 	}
 }

@@ -20,13 +20,18 @@ type trialResult struct {
 
 // comboOutcome summarizes the exploration of one combination: the
 // odometer walk over its thread-choice vectors. foundAt is the 0-based
-// trial index whose run reproduced the failure, or -1.
+// trial index whose run reproduced the failure, or -1. aborted marks
+// an exploration abandoned before completion (the search was decided,
+// out-ranked, or cancelled mid-walk); the fold must never consume an
+// aborted outcome, because it is not a pure function of the
+// combination.
 type comboOutcome struct {
 	rank     int
 	trials   int
 	steps    int64
 	foundAt  int
 	schedule []AppliedPreemption
+	aborted  bool
 }
 
 // runTrial is the pure trial executor: it builds a fresh machine and

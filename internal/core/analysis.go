@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -85,10 +86,29 @@ func (p *Pipeline) NewAnalysis(fail *FailureReport) *Analysis {
 }
 
 // Through runs every not-yet-run stage up to and including last.
-// Already-completed stages are not repeated.
+// Already-completed stages are not repeated. It is ThroughContext with
+// a background context.
 func (a *Analysis) Through(last Stage) error {
+	return a.ThroughContext(context.Background(), last)
+}
+
+// ThroughContext runs every not-yet-run stage up to and including
+// last, checking the context before each stage (and polling it inside
+// the long deterministic re-executions of StageAlign and
+// StageAlignedDump), and announcing each stage to the pipeline's
+// Observer as it begins. On cancellation it returns an error wrapping
+// ErrCancelled; the artifacts of completed stages remain in a.Report,
+// and a later call resumes at the first unfinished stage — this is
+// what makes an analysis resumable across cancelled runs.
+func (a *Analysis) ThroughContext(ctx context.Context, last Stage) error {
 	for a.next <= last {
-		if err := a.runStage(a.next); err != nil {
+		if err := ctx.Err(); err != nil {
+			return Cancelled(err)
+		}
+		if obs := a.Pipe.Cfg.Observer; obs != nil {
+			obs.Stage(a.next)
+		}
+		if err := a.runStage(ctx, a.next); err != nil {
 			return err
 		}
 		a.next++
@@ -111,12 +131,12 @@ func (a *Analysis) Reprioritize(h slicing.Heuristic) error {
 	return nil
 }
 
-func (a *Analysis) runStage(s Stage) error {
+func (a *Analysis) runStage(ctx context.Context, s Stage) error {
 	switch s {
 	case StageAlign:
-		return a.align()
+		return a.align(ctx)
 	case StageAlignedDump:
-		return a.alignedDump()
+		return a.alignedDump(ctx)
 	case StageDiff:
 		a.diff()
 		return nil
@@ -132,8 +152,9 @@ func (a *Analysis) runStage(s Stage) error {
 
 // align locates the aligned point in a deterministic re-run, recording
 // the trace. Under execution-index alignment it first reverse
-// engineers the failure index from the dump (Algorithm 1).
-func (a *Analysis) align() error {
+// engineers the failure index from the dump (Algorithm 1). The re-run
+// polls ctx, so a cancelled context stops the alignment mid-execution.
+func (a *Analysis) align(ctx context.Context) error {
 	p, rep := a.Pipe, a.Report
 
 	rec := trace.NewRecorder()
@@ -157,7 +178,10 @@ func (a *Analysis) align() error {
 		al := index.NewAligner(p.Prog, p.PDeps, fidx)
 		m := p.NewMachine()
 		m.Hooks = trace.Multi{al, rec}
-		res := sched.Runner{}.Run(m, sched.NewCooperative())
+		res := sched.Runner{Ctx: ctx}.Run(m, sched.NewCooperative())
+		if res.Cancelled {
+			return Cancelled(ctx.Err())
+		}
 		rep.PassingSteps = res.Steps
 		rep.AlignKind = al.Kind
 		rep.AlignSteps = al.AlignSteps
@@ -166,7 +190,10 @@ func (a *Analysis) align() error {
 		al := NewStepCountAligner(a.Fail.Dump.FailingThread, rep.ThreadSteps, a.Fail.Dump.PC)
 		m := p.NewMachine()
 		m.Hooks = trace.Multi{al, rec}
-		res := sched.Runner{}.Run(m, sched.NewCooperative())
+		res := sched.Runner{Ctx: ctx}.Run(m, sched.NewCooperative())
+		if res.Cancelled {
+			return Cancelled(ctx.Err())
+		}
 		rep.PassingSteps = res.Steps
 		rep.AlignKind = al.kind()
 		rep.AlignSteps = al.steps()
@@ -184,14 +211,17 @@ func (a *Analysis) align() error {
 
 // alignedDump replays deterministically to the aligned point and
 // captures the dump there.
-func (a *Analysis) alignedDump() error {
+func (a *Analysis) alignedDump(ctx context.Context) error {
 	p, rep := a.Pipe, a.Report
 	t0 := time.Now()
 	m := p.NewMachine()
-	// BoundedRun, not a bare Runner: an aligned point at step 0 must
-	// capture the initial state, and BoundedRun runs nothing for a
+	// BoundedRunContext, not a bare Runner: an aligned point at step 0
+	// must capture the initial state, and BoundedRun runs nothing for a
 	// non-positive bound where Runner{MaxSteps: 0} would run forever.
-	sched.BoundedRun(m, sched.NewCooperative(), rep.AlignSteps)
+	res := sched.BoundedRunContext(ctx, m, sched.NewCooperative(), rep.AlignSteps)
+	if res.Cancelled {
+		return Cancelled(ctx.Err())
+	}
 	rep.AlignedDump = coredump.Capture(m, a.Fail.Dump.FailingThread, rep.AlignPC, "aligned point")
 	var err error
 	rep.AlignedDumpBytes, err = rep.AlignedDump.Size()

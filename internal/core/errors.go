@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the reproduction pipeline. Every error a pipeline
+// stage returns wraps exactly one of them (plus stage-specific
+// context), so callers branch with errors.Is regardless of which layer
+// produced the failure. The root heisendump package re-exports all
+// three.
+var (
+	// ErrNoFailure reports that the stress-testing phase exhausted its
+	// attempt budget without provoking a failure — the subject program
+	// may simply not have the bug, or MaxStressAttempts is too small.
+	ErrNoFailure = errors.New("no failure provoked")
+
+	// ErrScheduleNotFound reports a schedule search that completed —
+	// worklist exhausted or trial budget reached — without constructing
+	// a failure-inducing schedule. The accompanying Report is complete
+	// (not Partial): it carries the full failure and analysis artifacts
+	// and the exhausted search result.
+	ErrScheduleNotFound = errors.New("failure-inducing schedule not found")
+
+	// ErrCancelled reports a run cut short by its context. Errors
+	// wrapping it also wrap the context's error, so both
+	// errors.Is(err, ErrCancelled) and
+	// errors.Is(err, context.Canceled) (or context.DeadlineExceeded)
+	// hold. The accompanying Report, when non-nil, is the best-so-far
+	// partial result with Report.Partial set.
+	ErrCancelled = errors.New("reproduction cancelled")
+)
+
+// Cancelled wraps cause — a context error — so the result matches both
+// ErrCancelled and the cause under errors.Is. A nil cause defaults to
+// context.Canceled.
+func Cancelled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("core: %w: %w", ErrCancelled, cause)
+}

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -79,6 +81,10 @@ type Config struct {
 	// StepsExecuted, wall time) drop, with skips accounted in
 	// chess.Result.TrialsPruned.
 	Prune bool
+	// Observer, when non-nil, receives stage transitions and
+	// schedule-search heartbeats from every context-aware run of this
+	// pipeline; see Observer for the delivery contract.
+	Observer Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -141,11 +147,23 @@ type FailureReport struct {
 // ProvokeFailure stress-tests the program under random interleavings
 // until it crashes, then captures the failure core dump. This phase
 // stands in for the production run; it is not part of the technique's
-// cost.
+// cost. It is ProvokeFailureContext with a background context.
 func (p *Pipeline) ProvokeFailure() (*FailureReport, error) {
-	m, st := sched.Stress(p.NewMachine, p.Cfg.MaxStressAttempts)
+	return p.ProvokeFailureContext(context.Background())
+}
+
+// ProvokeFailureContext is ProvokeFailure with cooperative
+// cancellation: the context is polled between (and during) stress
+// attempts. Cancellation returns an error wrapping ErrCancelled; an
+// exhausted attempt budget returns one wrapping ErrNoFailure. Seeds
+// are tried in a fixed order, so an uncancelled call is deterministic.
+func (p *Pipeline) ProvokeFailureContext(ctx context.Context) (*FailureReport, error) {
+	m, st := sched.StressContext(ctx, p.NewMachine, p.Cfg.MaxStressAttempts)
 	if m == nil {
-		return nil, fmt.Errorf("core: no failure provoked in %d attempts", p.Cfg.MaxStressAttempts)
+		if err := ctx.Err(); err != nil {
+			return nil, Cancelled(err)
+		}
+		return nil, fmt.Errorf("core: %w in %d attempts", ErrNoFailure, p.Cfg.MaxStressAttempts)
 	}
 	dump, err := coredump.CaptureCrash(m)
 	if err != nil {
@@ -207,19 +225,31 @@ type AnalysisReport struct {
 // engineer the failure index, re-execute deterministically to find the
 // aligned point, capture and compare dumps, and prioritize CSV
 // accesses. It is equivalent to running every Stage of a NewAnalysis;
-// use the stage-structured API to reuse intermediate artifacts.
+// use the stage-structured API to reuse intermediate artifacts. It is
+// AnalyzeContext with a background context.
 func (p *Pipeline) Analyze(fail *FailureReport) (*AnalysisReport, error) {
+	return p.AnalyzeContext(context.Background(), fail)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: the context
+// is checked between analysis stages and polled inside the long
+// deterministic re-executions. Cancellation returns an error wrapping
+// ErrCancelled and discards the partial report — use NewAnalysis +
+// ThroughContext to keep the artifacts of completed stages.
+func (p *Pipeline) AnalyzeContext(ctx context.Context, fail *FailureReport) (*AnalysisReport, error) {
 	a := p.NewAnalysis(fail)
-	if err := a.Through(StageCandidates); err != nil {
+	if err := a.ThroughContext(ctx, StageCandidates); err != nil {
 		return nil, err
 	}
 	return a.Report, nil
 }
 
 // Searcher builds the schedule searcher for a completed analysis;
-// callers may tweak its Opts before Search (ablation studies do).
+// callers may tweak its Opts before Search (ablation studies do). The
+// pipeline's Observer, if any, is pre-wired as the searcher's Progress
+// sink.
 func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Searcher {
-	return &chess.Searcher{
+	s := &chess.Searcher{
 		NewMachine: p.NewMachine,
 		Candidates: an.Candidates,
 		Target:     fail.Signature,
@@ -233,11 +263,32 @@ func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Sear
 			Prune:        p.Cfg.Prune,
 		},
 	}
+	if obs := p.Cfg.Observer; obs != nil {
+		s.Opts.Progress = obs.Search
+	}
+	return s
 }
 
-// Reproduce runs the schedule search guided by the analysis.
+// Reproduce runs the schedule search guided by the analysis. It is
+// ReproduceContext with a background context (whose result error is
+// impossible).
 func (p *Pipeline) Reproduce(fail *FailureReport, an *AnalysisReport) *chess.Result {
-	return p.Searcher(fail, an).Search()
+	res, _ := p.ReproduceContext(context.Background(), fail, an)
+	return res
+}
+
+// ReproduceContext runs the schedule search under ctx. The context is
+// polled at one-trial granularity; on cancellation the returned result
+// is the best-so-far deterministic prefix (Result.Cancelled set) and
+// the error wraps ErrCancelled. A search that completes without
+// finding a schedule is NOT an error here — callers that want
+// ErrScheduleNotFound semantics use RunContext.
+func (p *Pipeline) ReproduceContext(ctx context.Context, fail *FailureReport, an *AnalysisReport) (*chess.Result, error) {
+	res := p.Searcher(fail, an).SearchContext(ctx)
+	if res.Cancelled {
+		return res, Cancelled(ctx.Err())
+	}
+	return res, nil
 }
 
 // Report is the complete outcome of a reproduction.
@@ -245,17 +296,64 @@ type Report struct {
 	Failure  *FailureReport
 	Analysis *AnalysisReport
 	Search   *chess.Result
+	// Partial marks a report cut short by context cancellation: the
+	// populated sections are the best-so-far artifacts of the stages
+	// that completed (later sections are nil, and a cancelled Search
+	// carries its deterministic committed prefix). A Partial report
+	// always travels with an error wrapping ErrCancelled.
+	Partial bool
+}
+
+// RunContext executes the full pipeline under ctx: provoke, analyze,
+// reproduce. On cancellation it returns the best-so-far partial Report
+// (never nil, Partial set) together with an error wrapping
+// ErrCancelled; a search that completes without constructing a
+// schedule returns the complete Report with an error wrapping
+// ErrScheduleNotFound; an exhausted stress budget wraps ErrNoFailure.
+// With an uncancelled context, Found, Schedule and Tries are
+// bit-identical to the deprecated Run for any Workers/Prune setting.
+func (p *Pipeline) RunContext(ctx context.Context) (*Report, error) {
+	rep := &Report{}
+	fail, err := p.ProvokeFailureContext(ctx)
+	if err != nil {
+		rep.Partial = errors.Is(err, ErrCancelled)
+		return rep, err
+	}
+	rep.Failure = fail
+	a := p.NewAnalysis(fail)
+	if err := a.ThroughContext(ctx, StageCandidates); err != nil {
+		rep.Analysis = a.Report
+		rep.Partial = errors.Is(err, ErrCancelled)
+		return rep, err
+	}
+	rep.Analysis = a.Report
+	res, err := p.ReproduceContext(ctx, fail, a.Report)
+	rep.Search = res
+	if err != nil {
+		rep.Partial = true
+		return rep, err
+	}
+	if !res.Found {
+		return rep, fmt.Errorf("core: %w after %d tries", ErrScheduleNotFound, res.Tries)
+	}
+	return rep, nil
 }
 
 // Run executes the full pipeline: provoke, analyze, reproduce.
+//
+// Deprecated: Run cannot be cancelled, deadlined or observed; new code
+// should build a Session with the root package's heisendump.New and
+// call Session.Reproduce(ctx) (or use RunContext directly). Run is
+// kept as a thin shim over RunContext: with the background context the
+// result is bit-identical, and — matching its historical contract — a
+// search that completes without finding a schedule is not an error.
 func (p *Pipeline) Run() (*Report, error) {
-	fail, err := p.ProvokeFailure()
+	rep, err := p.RunContext(context.Background())
 	if err != nil {
+		if errors.Is(err, ErrScheduleNotFound) {
+			return rep, nil
+		}
 		return nil, err
 	}
-	an, err := p.Analyze(fail)
-	if err != nil {
-		return nil, err
-	}
-	return &Report{Failure: fail, Analysis: an, Search: p.Reproduce(fail, an)}, nil
+	return rep, nil
 }

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,7 +22,6 @@ import (
 	"heisendump/internal/index"
 	"heisendump/internal/instrument"
 	"heisendump/internal/ir"
-	"heisendump/internal/lang"
 	"heisendump/internal/pool"
 	"heisendump/internal/slicing"
 	"heisendump/internal/workloads"
@@ -44,6 +44,28 @@ var Workers = 0
 // flag does).
 var Prune = false
 
+// Progress, when non-nil, receives schedule-search heartbeats from the
+// searching tables (4 and 5), tagged with the subject workload's name;
+// cmd/benchtab's -progress flag wires it to stderr. The callback is
+// invoked from concurrently-running subjects' search goroutines — it
+// must be safe for concurrent use and fast. Set it once at startup.
+var Progress func(subject string, p chess.Progress)
+
+// observerFor adapts the Progress hook into a per-subject pipeline
+// observer, or nil when no hook is installed.
+func observerFor(subject string) core.Observer {
+	if Progress == nil {
+		return nil
+	}
+	return core.ObserverFuncs{SearchFunc: func(p chess.Progress) { Progress(subject, p) }}
+}
+
+// Every table generator takes a context threaded into each subject's
+// pipeline phases: cancellation skips unstarted subjects (the pool
+// claims nothing more) and stops in-flight subjects at the pipeline's
+// usual granularity, returning an error that wraps core.ErrCancelled
+// (or the bare context error when only unstarted work was cut).
+
 // Table1Row is one corpus's control-dependence distribution.
 type Table1Row struct {
 	Benchmark string
@@ -56,10 +78,10 @@ type Table1Row struct {
 
 // Table1 computes the control-dependence distribution over the three
 // synthetic corpora.
-func Table1() ([]Table1Row, error) {
+func Table1(ctx context.Context) ([]Table1Row, error) {
 	specs := workloads.CorpusSpecs()
 	rows := make([]Table1Row, len(specs))
-	err := pool.ForEach(Workers, len(specs), func(i int) error {
+	err := pool.ForEachContext(ctx, Workers, len(specs), func(i int) error {
 		spec := specs[i]
 		prog, err := workloads.GenerateCorpus(spec)
 		if err != nil {
@@ -108,10 +130,10 @@ type Table2Row struct {
 }
 
 // Table2 describes the studied bugs.
-func Table2() ([]Table2Row, error) {
+func Table2(ctx context.Context) ([]Table2Row, error) {
 	bugs := workloads.Bugs()
 	rows := make([]Table2Row, len(bugs))
-	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
 		prog, err := w.Compile(true)
 		if err != nil {
@@ -178,12 +200,12 @@ type Table3Row struct {
 }
 
 // Table3 runs the analysis phase on every bug.
-func Table3() ([]Table3Row, error) {
+func Table3(ctx context.Context) ([]Table3Row, error) {
 	bugs := workloads.Bugs()
 	rows := make([]Table3Row, len(bugs))
-	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
-		_, an, fail, err := analyzeBug(w, core.Config{Prune: Prune})
+		_, an, fail, err := analyzeBug(ctx, w, core.Config{Prune: Prune})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -207,17 +229,20 @@ func Table3() ([]Table3Row, error) {
 	return rows, nil
 }
 
-func analyzeBug(w *workloads.Workload, cfg core.Config) (*core.Pipeline, *core.AnalysisReport, *core.FailureReport, error) {
+func analyzeBug(ctx context.Context, w *workloads.Workload, cfg core.Config) (*core.Pipeline, *core.AnalysisReport, *core.FailureReport, error) {
 	prog, err := w.Compile(true)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if cfg.Observer == nil {
+		cfg.Observer = observerFor(w.Name)
+	}
 	p := core.NewPipeline(prog, w.Input, cfg)
-	fail, err := p.ProvokeFailure()
+	fail, err := p.ProvokeFailureContext(ctx)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	an, err := p.Analyze(fail)
+	an, err := p.AnalyzeContext(ctx, fail)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -269,13 +294,13 @@ type Table4Row struct {
 // configurations (they are heuristic-independent); only the
 // prioritization/candidate stages and the search itself re-run, via
 // the stage-structured analysis API.
-func Table4(plainCap int) ([]Table4Row, error) {
+func Table4(ctx context.Context, plainCap int) ([]Table4Row, error) {
 	if plainCap == 0 {
 		plainCap = 2000
 	}
 	bugs := workloads.Bugs()
 	rows := make([]Table4Row, len(bugs))
-	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
 		prog, err := w.Compile(true)
 		if err != nil {
@@ -284,13 +309,13 @@ func Table4(plainCap int) ([]Table4Row, error) {
 		// Workers=1: the subject-level pool already saturates the cores;
 		// a nested full-width search pool per bug would oversubscribe
 		// them roughly quadratically and perturb the time columns.
-		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Prune: Prune})
-		fail, err := p.ProvokeFailure()
+		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Prune: Prune, Observer: observerFor(w.Name)})
+		fail, err := p.ProvokeFailureContext(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		an := p.NewAnalysis(fail)
-		if err := an.Through(core.StageDiff); err != nil {
+		if err := an.ThroughContext(ctx, core.StageDiff); err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 
@@ -302,7 +327,11 @@ func Table4(plainCap int) ([]Table4Row, error) {
 			s.Opts.Weighted = enhanced
 			s.Opts.Guided = enhanced
 			s.Opts.MaxTries = maxTries
-			return s.Search(), nil
+			res := s.SearchContext(ctx)
+			if res.Cancelled {
+				return nil, core.Cancelled(ctx.Err())
+			}
+			return res, nil
 		}
 
 		row := Table4Row{Name: w.Name}
@@ -383,15 +412,15 @@ type Table5Row struct {
 
 // Table5 runs the chessX+temporal search with instruction-count
 // alignment instead of execution-index alignment.
-func Table5(cap int) ([]Table5Row, error) {
+func Table5(ctx context.Context, cap int) ([]Table5Row, error) {
 	if cap == 0 {
 		cap = 2000
 	}
 	bugs := workloads.Bugs()
 	rows := make([]Table5Row, len(bugs))
-	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
-		p, an, fail, err := analyzeBug(w, core.Config{
+		p, an, fail, err := analyzeBug(ctx, w, core.Config{
 			Alignment: core.AlignByInstructionCount,
 			Heuristic: slicing.Temporal,
 			MaxTries:  cap,
@@ -401,7 +430,10 @@ func Table5(cap int) ([]Table5Row, error) {
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		res := p.Reproduce(fail, an)
+		res, err := p.ReproduceContext(ctx, fail, an)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
 		rows[i] = Table5Row{
 			Name:           w.Name,
 			ThreadInstrs:   an.ThreadSteps,
@@ -446,12 +478,12 @@ type Table6Row struct {
 }
 
 // Table6 measures the one-time analysis costs per bug.
-func Table6() ([]Table6Row, error) {
+func Table6(ctx context.Context) ([]Table6Row, error) {
 	bugs := workloads.Bugs()
 	rows := make([]Table6Row, len(bugs))
-	err := pool.ForEach(Workers, len(bugs), func(i int) error {
+	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
-		_, an, _, err := analyzeBug(w, core.Config{Heuristic: slicing.Dependence, Prune: Prune})
+		_, an, _, err := analyzeBug(ctx, w, core.Config{Heuristic: slicing.Dependence, Prune: Prune})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -494,16 +526,25 @@ type Fig10Row struct {
 // Fig10 measures loop-counter instrumentation overhead on the bug
 // workloads and the splash kernels. Unlike the tables, the subjects
 // run sequentially: the measurement is a wall-clock ratio, and
-// co-scheduled subjects would perturb each other's timings.
-func Fig10(reps int) ([]Fig10Row, error) {
+// co-scheduled subjects would perturb each other's timings. Both
+// compilations of each subject go through Workload.Compile — the same
+// compile path the pipeline uses.
+func Fig10(ctx context.Context, reps int) ([]Fig10Row, error) {
 	subjects := append(append([]*workloads.Workload{}, workloads.Bugs()...), workloads.SplashKernels()...)
 	var rows []Fig10Row
 	for _, w := range subjects {
-		prog, err := lang.Parse(w.Source)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		if err := ctx.Err(); err != nil {
+			return nil, core.Cancelled(err)
 		}
-		o, err := instrument.Measure(w.Name, prog, w.Input, reps)
+		base, err := w.Compile(false)
+		if err != nil {
+			return nil, err
+		}
+		instr, err := w.Compile(true)
+		if err != nil {
+			return nil, err
+		}
+		o, err := instrument.MeasureCompiled(w.Name, base, instr, w.Input, reps)
 		if err != nil {
 			return nil, err
 		}

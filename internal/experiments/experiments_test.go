@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestTable1RowsAndRendering(t *testing.T) {
-	rows, err := experiments.Table1()
+	rows, err := experiments.Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestTable1RowsAndRendering(t *testing.T) {
 }
 
 func TestTable2Rows(t *testing.T) {
-	rows, err := experiments.Table2()
+	rows, err := experiments.Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestTable2Rows(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	rows, err := experiments.Table3()
+	rows, err := experiments.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4EnhancedAlwaysReproduces(t *testing.T) {
-	rows, err := experiments.Table4(500)
+	rows, err := experiments.Table4(context.Background(), 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +108,11 @@ func TestTable4EnhancedAlwaysReproduces(t *testing.T) {
 }
 
 func TestTable5BaselineDegrades(t *testing.T) {
-	base, err := experiments.Table5(500)
+	base, err := experiments.Table5(context.Background(), 500)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ei, err := experiments.Table4(1) // cheap: we only need the temporal column? No — rerun small
+	ei, err := experiments.Table4(context.Background(), 1) // cheap: we only need the temporal column? No — rerun small
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestTable5BaselineDegrades(t *testing.T) {
 }
 
 func TestTable6AllCostsMeasured(t *testing.T) {
-	rows, err := experiments.Table6()
+	rows, err := experiments.Table6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestTable6AllCostsMeasured(t *testing.T) {
 }
 
 func TestFig10WithinPaperBand(t *testing.T) {
-	rows, err := experiments.Fig10(1)
+	rows, err := experiments.Fig10(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,11 +61,10 @@ func (o *Overhead) TimeRatio() float64 {
 func (o *Overhead) Percent() float64 { return (o.StepRatio() - 1) * 100 }
 
 // Measure compiles src both ways and runs each deterministically,
-// reps times, reporting step counts and median wall times.
+// reps times, reporting step counts and median wall times. Callers
+// that already hold compiled programs (or compile through their own
+// path, like workloads.Workload.Compile) use MeasureCompiled instead.
 func Measure(name string, prog *lang.Program, input *interp.Input, reps int) (*Overhead, error) {
-	if reps < 1 {
-		reps = 1
-	}
 	base, err := ir.Compile(prog, ir.Options{InstrumentLoops: false})
 	if err != nil {
 		return nil, fmt.Errorf("instrument: %s: %w", name, err)
@@ -74,7 +73,20 @@ func Measure(name string, prog *lang.Program, input *interp.Input, reps int) (*O
 	if err != nil {
 		return nil, fmt.Errorf("instrument: %s: %w", name, err)
 	}
+	return MeasureCompiled(name, base, instr, input, reps)
+}
 
+// MeasureCompiled measures the overhead between an uninstrumented
+// (base) and loop-counter-instrumented (instr) compilation of the same
+// program, running each deterministically reps times. It is the
+// compile-path-agnostic core of Measure: the facade and the
+// experiments route workload measurements through here with programs
+// compiled by Workload.Compile, so workload compile options apply to
+// the measurement exactly as they do to the rest of the pipeline.
+func MeasureCompiled(name string, base, instr *ir.Program, input *interp.Input, reps int) (*Overhead, error) {
+	if reps < 1 {
+		reps = 1
+	}
 	o := &Overhead{Name: name}
 	for _, f := range instr.Funcs {
 		for _, l := range f.Loops {

@@ -9,6 +9,41 @@ import (
 	"heisendump/internal/workloads"
 )
 
+// TestMeasureCompiledMatchesMeasure: routing a workload's measurement
+// through its own compile path (Workload.Compile, as the facade's
+// MeasureOverhead does) yields the same deterministic step counts as
+// re-parsing the source — the two paths must never drift.
+func TestMeasureCompiledMatchesMeasure(t *testing.T) {
+	w := workloads.ByName("splash-radix")
+	parsed, err := lang.Parse(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSource, err := instrument.Measure(w.Name, parsed, w.Input, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := w.Compile(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := w.Compile(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCompile, err := instrument.MeasureCompiled(w.Name, base, instr, w.Input, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCompile.BaseSteps != viaSource.BaseSteps || viaCompile.InstrSteps != viaSource.InstrSteps {
+		t.Fatalf("steps diverged: compile path %d/%d, source path %d/%d",
+			viaCompile.BaseSteps, viaCompile.InstrSteps, viaSource.BaseSteps, viaSource.InstrSteps)
+	}
+	if viaCompile.WhileLoops != viaSource.WhileLoops || viaCompile.CountedLoops != viaSource.CountedLoops {
+		t.Fatalf("loop counts diverged: %+v vs %+v", viaCompile, viaSource)
+	}
+}
+
 func TestMeasureWhileLoopOverhead(t *testing.T) {
 	prog := lang.MustParse(`
 program wh;

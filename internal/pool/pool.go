@@ -6,6 +6,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -19,6 +20,16 @@ import (
 // index-addressed slots are visible to the caller without further
 // synchronization.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), workers, n, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: the context
+// is checked before each task is claimed, so a cancelled context skips
+// every unstarted task (already-started tasks run to completion —
+// tasks that should stop mid-flight must watch the context
+// themselves). When cancellation cut work short and no task failed
+// first, the context's error is returned.
+func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -40,6 +51,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil && next < n {
+						firstErr = err
+						next = n // claim nothing more
+					}
+					mu.Unlock()
+					return
+				}
 				mu.Lock()
 				if firstErr != nil || next >= n {
 					mu.Unlock()

@@ -1,6 +1,7 @@
 package pool_test
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -73,6 +74,43 @@ func TestForEachStopsAfterError(t *testing.T) {
 	// skipped once the error lands.
 	if got := ran.Load(); got != 5 {
 		t.Fatalf("ran %d tasks, want 5", got)
+	}
+}
+
+func TestForEachContextCancellationSkipsUnstartedTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := pool.ForEachContext(ctx, 1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 4 {
+			cancel() // started tasks run to completion; nothing more is claimed
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("ran %d tasks, want 5", got)
+	}
+}
+
+func TestForEachContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := pool.ForEachContext(ctx, 4, 10, func(int) error { t.Error("task ran"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachContextUncancelledMatchesForEach(t *testing.T) {
+	var ran atomic.Int32
+	if err := pool.ForEachContext(context.Background(), 3, 20, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d, want 20", ran.Load())
 	}
 }
 

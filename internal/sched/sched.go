@@ -7,6 +7,7 @@
 package sched
 
 import (
+	"context"
 	"math/rand"
 
 	"heisendump/internal/interp"
@@ -36,6 +37,9 @@ type Result struct {
 	// StepLimited is true when the run was cut off by the machine's
 	// step limit.
 	StepLimited bool
+	// Cancelled is true when the run was cut off by the Runner's
+	// context.
+	Cancelled bool
 }
 
 // Runner executes machines under a scheduler with a uniform run
@@ -49,7 +53,19 @@ type Runner struct {
 	// machine by an exact amount. 0 means unlimited; negative runs
 	// nothing.
 	MaxSteps int64
+	// Ctx, when non-nil, cancels the run cooperatively: it is polled
+	// every ctxPollMask+1 steps, and a cancelled run stops with
+	// Result.Cancelled set. A nil Ctx costs nothing. Cancellation never
+	// perturbs the executed prefix — the schedule up to the stop point
+	// is exactly what an uncancelled run would have produced.
+	Ctx context.Context
 }
+
+// ctxPollMask throttles the Runner's context polls to every 1024
+// steps: frequent enough that long deterministic re-executions (the
+// alignment runs are the hot case) stop promptly, rare enough that the
+// poll never shows up in a profile.
+const ctxPollMask = 1023
 
 // Run drives m with s until the machine halts, the scheduler yields,
 // or the runner's step bound is reached. The returned Result records
@@ -58,6 +74,10 @@ type Runner struct {
 func (r Runner) Run(m *interp.Machine, s Scheduler) *Result {
 	res := &Result{}
 	for !m.Crashed() && !m.Done() {
+		if r.Ctx != nil && int64(len(res.Schedule))&ctxPollMask == 0 && r.Ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		if r.MaxSteps != 0 && int64(len(res.Schedule)) >= r.MaxSteps {
 			res.StepLimited = true
 			break
@@ -167,10 +187,16 @@ func (r *Replayer) Next(m *interp.Machine) int {
 // (non-positive bounds run nothing). It is used to capture dumps at
 // precise points of deterministic runs.
 func BoundedRun(m *interp.Machine, s Scheduler, maxSteps int64) *Result {
+	return BoundedRunContext(context.Background(), m, s, maxSteps)
+}
+
+// BoundedRunContext is BoundedRun with the Runner's cooperative
+// context cancellation.
+func BoundedRunContext(ctx context.Context, m *interp.Machine, s Scheduler, maxSteps int64) *Result {
 	if maxSteps <= 0 {
 		maxSteps = -1
 	}
-	return Runner{MaxSteps: maxSteps}.Run(m, s)
+	return Runner{MaxSteps: maxSteps, Ctx: ctx}.Run(m, s)
 }
 
 // StressResult describes the outcome of a stress-testing campaign.
@@ -188,9 +214,25 @@ type StressResult struct {
 // stress testing used only to acquire a failure core dump, and returns
 // the machine in its crashed state for dump capture.
 func Stress(newMachine func() *interp.Machine, maxAttempts int) (*interp.Machine, *StressResult) {
+	return StressContext(context.Background(), newMachine, maxAttempts)
+}
+
+// StressContext is Stress with cooperative cancellation: the context
+// is polled before every attempt and during each run. It returns
+// (nil, nil) when cancelled — the caller distinguishes cancellation
+// from an exhausted budget via ctx.Err(). Seeds are tried in the same
+// fixed order, so an uncancelled StressContext is bit-identical to
+// Stress.
+func StressContext(ctx context.Context, newMachine func() *interp.Machine, maxAttempts int) (*interp.Machine, *StressResult) {
 	for i := 0; i < maxAttempts; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, nil
+		}
 		m := newMachine()
-		res := Run(m, NewRandom(int64(i)))
+		res := Runner{Ctx: ctx}.Run(m, NewRandom(int64(i)))
+		if res.Cancelled {
+			return nil, nil
+		}
 		if res.Crashed {
 			return m, &StressResult{Seed: int64(i), Result: res, Attempts: i + 1}
 		}

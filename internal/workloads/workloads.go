@@ -40,13 +40,17 @@ type Workload struct {
 }
 
 // Compile compiles the workload, with or without the while-loop
-// counter instrumentation.
+// counter instrumentation. Errors from either phase name the workload.
 func (w *Workload) Compile(instrument bool) (*ir.Program, error) {
 	prog, err := lang.Parse(w.Source)
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
 	}
-	return ir.Compile(prog, ir.Options{InstrumentLoops: instrument})
+	cp, err := ir.Compile(prog, ir.Options{InstrumentLoops: instrument})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+	}
+	return cp, nil
 }
 
 // MustCompile is Compile but panics on error.

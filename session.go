@@ -1,0 +1,171 @@
+package heisendump
+
+import (
+	"context"
+	"fmt"
+
+	"heisendump/internal/core"
+)
+
+// Session is a configured reproduction run with the lifecycle controls
+// a long-lived service needs: it is cancellable (every phase honors
+// the context passed to Reproduce — the schedule search at one-trial
+// granularity), observable (WithObserver streams stage transitions and
+// search heartbeats), and resumable (NewAnalysis exposes the
+// stage-structured analysis whose completed artifacts survive a
+// cancelled run and are reused by the next call).
+//
+// Build one with New and functional options:
+//
+//	s := heisendump.New(prog, input,
+//	    heisendump.WithWorkers(4),
+//	    heisendump.WithPrune(true),
+//	    heisendump.WithTrialBudget(2000),
+//	)
+//	rep, err := s.Reproduce(ctx)
+//
+// A Session is safe for concurrent Reproduce calls only if its
+// Observer is; every phase is otherwise a pure function of (program,
+// input, options), so repeated runs return bit-identical reports.
+type Session struct {
+	pipe *core.Pipeline
+}
+
+// Option configures a Session at construction time.
+type Option func(*Config)
+
+// WithWorkers sets the schedule-search worker-pool width (0 =
+// GOMAXPROCS). The search result is bit-identical for any value.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithPrune toggles the search's equivalence-pruning layer. Found,
+// Schedule and Tries are bit-identical either way; only executed-trial
+// counts and wall time drop.
+func WithPrune(on bool) Option { return func(c *Config) { c.Prune = on } }
+
+// WithHeuristic selects the CSV-access prioritization strategy
+// (Temporal by default, or Dependence).
+func WithHeuristic(h Heuristic) Option { return func(c *Config) { c.Heuristic = h } }
+
+// WithAlignment selects the aligned-point method (AlignByIndex by
+// default, or the AlignByInstructionCount baseline).
+func WithAlignment(m AlignmentMethod) Option { return func(c *Config) { c.Alignment = m } }
+
+// WithObserver attaches an Observer that receives stage transitions
+// and schedule-search heartbeats; see Observer for the delivery
+// contract. Cancelling the run's context from inside a callback is the
+// supported way to implement deterministic cutoffs.
+func WithObserver(o Observer) Option { return func(c *Config) { c.Observer = o } }
+
+// WithTrialBudget cuts the schedule search off after n test runs (0 =
+// unlimited) — the analogue of the paper's 18-hour cutoff. The budget
+// is applied to the deterministic sequential order, so the cut-off
+// result does not depend on WithWorkers.
+func WithTrialBudget(n int) Option { return func(c *Config) { c.MaxTries = n } }
+
+// WithBound sets the preemption bound k (default 2).
+func WithBound(k int) Option { return func(c *Config) { c.Bound = k } }
+
+// WithPlainChess disables the CSV weighting and guided thread
+// selection, yielding the original undirected CHESS baseline.
+func WithPlainChess(on bool) Option { return func(c *Config) { c.PlainChess = on } }
+
+// WithTraceWindow bounds the retained passing-run trace (0 =
+// unlimited), mirroring the paper's 20M-instruction window.
+func WithTraceWindow(n int) Option { return func(c *Config) { c.TraceWindow = n } }
+
+// WithStepLimit bounds each execution (0 = a generous default).
+func WithStepLimit(n int64) Option { return func(c *Config) { c.StepLimit = n } }
+
+// WithStressBudget bounds the failure-provocation phase's stress
+// attempts (0 = the default of 20000).
+func WithStressBudget(n int) Option { return func(c *Config) { c.MaxStressAttempts = n } }
+
+// New builds a Session for a compiled program and its failure-inducing
+// input, running the static analyses once. Options default to the
+// zero Config (temporal heuristic, execution-index alignment, bound 2,
+// GOMAXPROCS search workers, pruning off, no trial budget).
+func New(prog *Program, input *Input, opts ...Option) *Session {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Session{pipe: core.NewPipeline(prog, input, cfg)}
+}
+
+// Config returns the session's effective configuration, defaults
+// applied.
+func (s *Session) Config() Config { return s.pipe.Cfg }
+
+// Reproduce executes the full pipeline under ctx — provoke the
+// failure, analyze its core dump, search for a failure-inducing
+// schedule — and returns the complete Report.
+//
+// Cancellation (ctx cancelled or past its deadline) is honored
+// cooperatively at every phase, within one trial in the schedule
+// search; Reproduce then returns the best-so-far partial Report
+// (never nil, Report.Partial set, a cancelled search carrying its
+// deterministic committed prefix) together with an error wrapping
+// ErrCancelled and the context's error. A search that completes
+// without constructing a schedule returns the complete Report with an
+// error wrapping ErrScheduleNotFound; an exhausted stress budget wraps
+// ErrNoFailure. All three are distinguishable with errors.Is.
+//
+// With an uncancelled context the Report's Found, Schedule and Tries
+// are bit-identical to the deprecated Pipeline.Run for any
+// WithWorkers/WithPrune setting.
+func (s *Session) Reproduce(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.pipe.RunContext(ctx)
+}
+
+// ProvokeFailure runs only the stress phase under ctx: provoke a crash
+// and capture its core dump. Cancellation returns an error wrapping
+// ErrCancelled; an exhausted budget wraps ErrNoFailure.
+func (s *Session) ProvokeFailure(ctx context.Context) (*FailureReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.pipe.ProvokeFailureContext(ctx)
+}
+
+// Analyze runs the debugging-phase analysis of a provoked failure
+// under ctx in one shot. Cancellation discards partial artifacts; use
+// NewAnalysis for a resumable, stage-structured analysis.
+func (s *Session) Analyze(ctx context.Context, fail *FailureReport) (*AnalysisReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.pipe.AnalyzeContext(ctx, fail)
+}
+
+// NewAnalysis starts a resumable stage-structured analysis of the
+// failure: Analysis.ThroughContext runs stages up to a chosen point,
+// keeps completed artifacts across cancellations, and
+// Analysis.Reprioritize re-ranks CSV accesses under a different
+// heuristic without repeating the expensive alignment re-execution.
+func (s *Session) NewAnalysis(fail *FailureReport) *Analysis {
+	return s.pipe.NewAnalysis(fail)
+}
+
+// Search runs only the schedule search under ctx, guided by a
+// completed analysis. On cancellation the result is the best-so-far
+// deterministic prefix (SearchResult.Cancelled set) and the error
+// wraps ErrCancelled; a completed search that found no schedule
+// returns the exhausted result with an error wrapping
+// ErrScheduleNotFound.
+func (s *Session) Search(ctx context.Context, fail *FailureReport, an *AnalysisReport) (*SearchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := s.pipe.ReproduceContext(ctx, fail, an)
+	if err != nil {
+		return res, err
+	}
+	if !res.Found {
+		return res, fmt.Errorf("heisendump: %w after %d tries", ErrScheduleNotFound, res.Tries)
+	}
+	return res, nil
+}
