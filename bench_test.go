@@ -305,6 +305,56 @@ func BenchmarkSearchParallel(b *testing.B) {
 	}
 }
 
+// driveToCompletion steps m to completion under a minimal
+// lowest-runnable policy, bypassing the scheduler/Result plumbing so
+// the measurement isolates the interpreter's own per-step cost.
+func driveToCompletion(m *interp.Machine) int64 {
+	var steps int64
+	for !m.Crashed() && !m.Done() {
+		r := m.Runnable()
+		if len(r) == 0 {
+			break
+		}
+		ok, err := m.Step(r[0])
+		if err != nil || !ok {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// BenchmarkStepAllocs measures steady-state interpreter allocations:
+// one machine re-executes a Table 2 workload via Machine.Reset, the
+// regime of the schedule search's trial hot path. After the first run
+// populates the free lists, the slot-addressed interpreter performs
+// zero allocations per step — the "allocs/step" metric is what
+// cmd/benchgate gates (see the "interp" baseline section).
+func BenchmarkStepAllocs(b *testing.B) {
+	w := workloads.ByName("mysql-1")
+	cp, err := w.Compile(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := interp.New(cp, w.Input.Clone())
+	driveToCompletion(m) // warm the free lists
+	var steps int64
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset(m.Prog, m.SeedInput())
+		steps += driveToCompletion(m)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	if steps > 0 {
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(steps), "allocs/step")
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	}
+}
+
 // BenchmarkPipelineEndToEnd times the full pipeline on fig1, the
 // library's hot path.
 func BenchmarkPipelineEndToEnd(b *testing.B) {

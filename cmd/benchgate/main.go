@@ -3,12 +3,15 @@
 // baseline snapshot and fails when any deterministic search-outcome
 // field drifts. Gated fields are the row names and every Tries /
 // Found / Reproduced column — the values the determinism contract pins
-// for a given seed state. Cost fields (times, executed/pruned trial
-// counts, steps) are informational only and never gate.
+// for a given seed state — plus the interpreter's AllocsPerStep, which
+// gates as a ceiling: the baseline value is a budget, regressions
+// above it fail, improvements pass. Other cost fields (times,
+// executed/pruned trial counts, steps) are informational only and
+// never gate.
 //
 // Usage (what CI runs):
 //
-//	benchtab -table 4 -json | benchgate -baseline BENCH_baseline.json
+//	benchtab -table 4 -interp -json | benchgate -baseline BENCH_baseline.json
 //
 // Only the tables present on stdin are compared, so gating one table
 // against a full-run baseline works. When a PR intentionally moves the
@@ -110,12 +113,42 @@ func rowID(row map[string]any) any {
 }
 
 // gated reports whether a row field participates in the regression
-// gate: row identity plus every deterministic search-outcome column.
+// gate: row identity, every deterministic search-outcome column, and
+// the interpreter allocation-cost columns (see ceilingGated).
 func gated(key string) bool {
 	return key == "Name" || key == "Benchmark" ||
 		strings.Contains(key, "Tries") ||
 		strings.Contains(key, "Found") ||
-		key == "Reproduced"
+		key == "Reproduced" ||
+		ceilingGated(key)
+}
+
+// ceilingGated marks fields gated as a numeric ceiling rather than by
+// exact equality: the baseline is a budget, a fresh value above it
+// (beyond allocTolerance) is a regression, and an improvement passes.
+// Used for the interpreter's allocs/step, whose steady-state target is
+// zero but whose measurement carries runtime noise.
+func ceilingGated(key string) bool {
+	return strings.Contains(key, "Allocs")
+}
+
+// allocTolerance absorbs measurement noise in ceiling-gated fields
+// (GC bookkeeping allocations attributed to the measured loop).
+const allocTolerance = 0.01
+
+// ceilingOK compares a ceiling-gated field: ok when both values parse
+// as numbers and fresh is within tolerance of the baseline budget.
+func ceilingOK(got, want any) bool {
+	g, errG := toFloat(got)
+	w, errW := toFloat(want)
+	return errG == nil && errW == nil && g <= w+allocTolerance
+}
+
+func toFloat(v any) (float64, error) {
+	if n, ok := v.(json.Number); ok {
+		return n.Float64()
+	}
+	return 0, fmt.Errorf("not a number: %v", v)
 }
 
 // compare checks every gated field of every fresh table against the
@@ -167,6 +200,10 @@ func compare(fresh, baseline map[string][]map[string]any) (diffs []string, check
 					diffs = append(diffs, fmt.Sprintf("%s row %d (%v): gated field %s missing from fresh output (baseline %v)", name, i, rowID(base[i]), k, want))
 				case !inBase:
 					diffs = append(diffs, fmt.Sprintf("%s row %d (%v): gated field %s not in baseline", name, i, rowID(row), k))
+				case ceilingGated(k):
+					if !ceilingOK(got, want) {
+						diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v exceeds baseline budget %v", name, i, rowID(row), k, got, want))
+					}
 				case fmt.Sprint(got) != fmt.Sprint(want):
 					diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v, baseline %v", name, i, rowID(row), k, got, want))
 				}

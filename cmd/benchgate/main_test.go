@@ -80,6 +80,46 @@ func TestCompareSubsetOfBaselineTables(t *testing.T) {
 	}
 }
 
+const interpBaseline = `{"table":"interp","rows":[{"Name":"mysql-1","AllocsPerStep":0,"Steps":238}]}
+`
+
+// TestCompareAllocsCeiling: AllocsPerStep gates as a ceiling — noise
+// within the tolerance and genuine improvements pass, a regression
+// above the baseline budget fails.
+func TestCompareAllocsCeiling(t *testing.T) {
+	within := sections(t, strings.ReplaceAll(interpBaseline, `"AllocsPerStep":0`, `"AllocsPerStep":0.004`))
+	diffs, checked := compare(within, sections(t, interpBaseline))
+	if len(diffs) != 0 {
+		t.Fatalf("noise within tolerance gated: %v", diffs)
+	}
+	if checked != 2 { // Name + AllocsPerStep
+		t.Fatalf("checked %d gated fields, want 2", checked)
+	}
+
+	over := sections(t, strings.ReplaceAll(interpBaseline, `"AllocsPerStep":0`, `"AllocsPerStep":0.5`))
+	diffs, _ = compare(over, sections(t, interpBaseline))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "AllocsPerStep") || !strings.Contains(diffs[0], "budget") {
+		t.Fatalf("allocs regression not caught: %v", diffs)
+	}
+
+	baselineWithBudget := strings.ReplaceAll(interpBaseline, `"AllocsPerStep":0`, `"AllocsPerStep":0.5`)
+	improved := sections(t, interpBaseline)
+	diffs, _ = compare(improved, sections(t, baselineWithBudget))
+	if len(diffs) != 0 {
+		t.Fatalf("allocs improvement gated: %v", diffs)
+	}
+}
+
+// TestCompareAllocsNonNumeric: a ceiling-gated field that stops being
+// numeric is drift, not a silent pass.
+func TestCompareAllocsNonNumeric(t *testing.T) {
+	fresh := sections(t, strings.ReplaceAll(interpBaseline, `"AllocsPerStep":0`, `"AllocsPerStep":"n/a"`))
+	diffs, _ := compare(fresh, sections(t, interpBaseline))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "AllocsPerStep") {
+		t.Fatalf("non-numeric allocs field not caught: %v", diffs)
+	}
+}
+
 func TestCompareMissingTableAndRowCount(t *testing.T) {
 	fresh := sections(t, `{"table":"table9","rows":[{"Name":"x","Tries":1}]}`)
 	diffs, _ := compare(fresh, sections(t, baselineDoc))

@@ -12,6 +12,8 @@
 //	                          # fewer executed trials)
 //	benchtab -json > rows.json # machine-readable rows (one JSON object
 //	                           # per table/figure) for perf tracking
+//	benchtab -interp          # add the interpreter allocs/step section
+//	                          # (gated as a budget by cmd/benchgate)
 //	benchtab -timeout 2m      # give up after a wall-clock deadline
 //	benchtab -progress        # stream search heartbeats to stderr
 //
@@ -46,6 +48,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent workloads per table (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "enable equivalence pruning in the schedule searches (identical tries/found, fewer executed trials)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows, one object per table/figure")
+	interpCost := flag.Bool("interp", false, "also measure interpreter steady-state allocs/step (the \"interp\" section cmd/benchgate gates)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none)")
 	progress := flag.Bool("progress", false, "stream per-workload schedule-search heartbeats to stderr")
 	flag.Parse()
@@ -141,6 +144,13 @@ func main() {
 			fail(err)
 		}
 		emit("fig10", rows, func() { experiments.PrintFig10(out, rows) })
+	}
+	if all || *interpCost {
+		rows, err := experiments.InterpTable()
+		if err != nil {
+			fail(err)
+		}
+		emit("interp", rows, func() { experiments.PrintInterp(out, rows) })
 	}
 }
 

@@ -92,7 +92,7 @@ func (c *Candidate) AccessVars() map[interp.VarID]bool {
 // trace to tell successful acquisitions from blocked attempts.
 func DiscoverCandidates(prog *ir.Program, events []trace.Event) []Candidate {
 	var out []Candidate
-	lockHolder := map[string]int{}
+	lockHolder := map[int32]int{}
 	completed := map[int]int{}
 	started := map[int]bool{}
 
@@ -113,7 +113,7 @@ func DiscoverCandidates(prog *ir.Program, events []trace.Event) []Candidate {
 			}
 			out = append(out, Candidate{
 				ID: len(out), Thread: e.Thread, Kind: BeforeAcquire,
-				Seq: completed[e.Thread], Step: e.Step, Lock: in.Lock,
+				Seq: completed[e.Thread], Step: e.Step, Lock: in.LockName,
 			})
 			lockHolder[in.Lock] = e.Thread
 			completed[e.Thread]++
@@ -122,7 +122,7 @@ func DiscoverCandidates(prog *ir.Program, events []trace.Event) []Candidate {
 			completed[e.Thread]++
 			out = append(out, Candidate{
 				ID: len(out), Thread: e.Thread, Kind: AfterRelease,
-				Seq: completed[e.Thread], Step: e.Step, Lock: in.Lock,
+				Seq: completed[e.Thread], Step: e.Step, Lock: in.LockName,
 			})
 		}
 	}

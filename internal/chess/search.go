@@ -164,10 +164,11 @@ type Result struct {
 }
 
 // Searcher drives the schedule search. NewMachine must build a fresh
-// machine on the same program and input for every test run; it is
-// called from multiple goroutines when Workers > 1, so it must be safe
-// for concurrent use (share only the immutable compiled program and
-// clone any mutable input).
+// machine on the same program and input; the search calls it once per
+// worker (not per trial — each worker rewinds its machine with
+// Machine.Reset between test runs) from multiple goroutines when
+// Workers > 1, so it must be safe for concurrent use (share only the
+// immutable compiled program and clone any mutable input).
 type Searcher struct {
 	NewMachine func() *interp.Machine
 	Candidates []Candidate
@@ -286,7 +287,7 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 		// but not Tries — it is pruning overhead, not part of the
 		// sequential search.
 		probe := st.pruner.newProbe()
-		tr := s.runTrial(nil, nil, maxRun, probe)
+		tr := s.runTrial(s.NewMachine(), nil, nil, maxRun, probe)
 		st.tries.Add(1)
 		st.steps.Add(tr.steps)
 		st.pruner.record(nil, nil, &tr)
@@ -362,6 +363,12 @@ func (st *searchState) cancelled() bool {
 // such gap after the pool joins, so the guard never affects the
 // result.
 func (st *searchState) worker() {
+	// Each worker owns one machine for its whole claim stream: runTrial
+	// rewinds it with Machine.Reset, so the millions of re-executions
+	// recycle frames, threads and heap objects instead of rebuilding
+	// them per trial. Built lazily so a worker that never claims a rank
+	// costs nothing.
+	var m *interp.Machine
 	for {
 		if st.cancelled() {
 			return
@@ -394,7 +401,10 @@ func (st *searchState) worker() {
 				return // the fold has reached the cutoff
 			}
 		}
-		out := st.exploreCombo(r, cap)
+		if m == nil {
+			m = st.s.NewMachine()
+		}
+		out := st.exploreCombo(r, cap, m)
 		if out.foundAt >= 0 {
 			for {
 				cur := st.bestRank.Load()
@@ -417,6 +427,7 @@ func (st *searchState) worker() {
 // partial result, and repairing gaps would mean executing more trials
 // after the caller asked us to stop.
 func (st *searchState) finish() {
+	var m *interp.Machine
 	for {
 		st.mu.Lock()
 		if st.cancelled() || st.decided.Load() || st.committed >= len(st.wl) {
@@ -432,7 +443,10 @@ func (st *searchState) finish() {
 		}
 		st.mu.Unlock()
 
-		out := st.exploreCombo(r, rem)
+		if m == nil {
+			m = st.s.NewMachine()
+		}
+		out := st.exploreCombo(r, rem, m)
 		if out.foundAt >= 0 {
 			st.bestRank.Store(int64(r))
 		}
@@ -528,7 +542,7 @@ func (st *searchState) progressLocked() {
 // consumes it — or when the context is cancelled, which also stops the
 // fold before it could reach this rank. Aborted outcomes are marked so
 // the fold can never mistake them for completed explorations.
-func (st *searchState) exploreCombo(r, cap int) *comboOutcome {
+func (st *searchState) exploreCombo(r, cap int, m *interp.Machine) *comboOutcome {
 	combo := st.wl[r].combo
 	out := &comboOutcome{rank: r, foundAt: -1}
 	k := len(combo)
@@ -554,7 +568,7 @@ func (st *searchState) exploreCombo(r, cap int) *comboOutcome {
 			tr = rec.asResult()
 			st.pruned.Add(1)
 		} else {
-			tr = st.s.runTrial(combo, vec, st.maxRun, st.pruner.newProbe())
+			tr = st.s.runTrial(m, combo, vec, st.maxRun, st.pruner.newProbe())
 			st.tries.Add(1)
 			st.steps.Add(tr.steps)
 			st.pruner.record(combo, vec, &tr)

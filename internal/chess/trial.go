@@ -34,12 +34,13 @@ type comboOutcome struct {
 	aborted  bool
 }
 
-// runTrial is the pure trial executor: it builds a fresh machine and
-// executes one test run — a cooperative deterministic schedule with
-// the combination's preemptions injected, switching at each fired
-// preemption to the thread selected by the choice vector. It mutates
-// nothing on the Searcher, so any number of trials may run
-// concurrently as long as NewMachine is safe for concurrent use.
+// runTrial is the pure trial executor: it rewinds the caller's machine
+// to the initial state (Machine.Reset — same program, same seed input,
+// recycled storage) and executes one test run — a cooperative
+// deterministic schedule with the combination's preemptions injected,
+// switching at each fired preemption to the thread selected by the
+// choice vector. It mutates nothing on the Searcher, so any number of
+// trials may run concurrently as long as each worker owns its machine.
 //
 // A non-nil probe attaches the pruning layer's observers: the
 // streaming projection-fingerprint hooks, and fireability checks at
@@ -47,11 +48,13 @@ type comboOutcome struct {
 // a passed point is checked for eligible switch targets there, member
 // of the combination or not, so a candidate the probe never marks is
 // one whose addition could not have perturbed this run.
-func (s *Searcher) runTrial(combo []int, vec []int, maxRun int64, probe *pruneProbe) trialResult {
-	m := s.NewMachine()
+func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun int64, probe *pruneProbe) trialResult {
+	m.Reset(m.Prog, m.SeedInput())
 	out := trialResult{choiceCounts: make([]int, len(combo))}
 	if probe != nil {
 		m.Hooks = probe.fpr
+	} else {
+		m.Hooks = nil
 	}
 
 	fired := make([]bool, len(combo))

@@ -101,6 +101,12 @@ func (a *Analysis) Through(last Stage) error {
 // and a later call resumes at the first unfinished stage — this is
 // what makes an analysis resumable across cancelled runs.
 func (a *Analysis) ThroughContext(ctx context.Context, last Stage) error {
+	if err := a.Pipe.inputErr; err != nil {
+		// Every analysis stage re-executes on machines seeded from the
+		// pipeline's input; an input that disagrees with the program's
+		// declarations would diverge silently from the dump.
+		return err
+	}
 	for a.next <= last {
 		if err := ctx.Err(); err != nil {
 			return Cancelled(err)

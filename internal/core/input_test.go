@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"heisendump/internal/core"
+	"heisendump/internal/coredump"
+	"heisendump/internal/interp"
+	"heisendump/internal/workloads"
+)
+
+// TestPipelineSurfacesInputError: a pipeline built with an input that
+// disagrees with the program's declarations (here, an array seed of
+// the wrong length) fails up front with the typed *interp.InputError
+// instead of silently truncating the dump and diverging from it.
+func TestPipelineSurfacesInputError(t *testing.T) {
+	w := workloads.Fig1
+	prog, err := w.Compile(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &interp.Input{Arrays: map[string][]int64{"a": {0, 1, 1}}} // declared size is 8
+	p := core.NewPipeline(prog, bad, core.Config{MaxStressAttempts: 10})
+
+	_, err = p.ProvokeFailureContext(context.Background())
+	var ie *interp.InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("ProvokeFailure error = %v (%T), want *interp.InputError", err, err)
+	}
+	if ie.Name != "a" || ie.Got != 3 || ie.Want != 8 {
+		t.Fatalf("InputError = %+v, want name a, got 3, want 8", ie)
+	}
+
+	if rep, err := p.RunContext(context.Background()); !errors.As(err, &ie) {
+		t.Fatalf("RunContext error = %v, want *interp.InputError (report %+v)", err, rep)
+	}
+
+	// The stage-structured and search entry points guard too: an
+	// analysis or reproduction resumed against a saved failure report
+	// must not execute with a silently normalized input.
+	fail := &core.FailureReport{Dump: &coredump.Dump{}}
+	if err := p.NewAnalysis(fail).ThroughContext(context.Background(), core.StageCandidates); !errors.As(err, &ie) {
+		t.Fatalf("ThroughContext error = %v, want *interp.InputError", err)
+	}
+	if _, err := p.ReproduceContext(context.Background(), fail, &core.AnalysisReport{}); !errors.As(err, &ie) {
+		t.Fatalf("ReproduceContext error = %v, want *interp.InputError", err)
+	}
+}

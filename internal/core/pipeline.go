@@ -106,15 +106,26 @@ type Pipeline struct {
 	Input *interp.Input
 	PDeps *ctrldep.ProgramDeps
 	Cfg   Config
+
+	// inputErr records an input/declaration mismatch detected at
+	// construction (interp.ValidateInput); every run entry point
+	// surfaces it instead of executing with a silently normalized
+	// input.
+	inputErr error
 }
 
 // NewPipeline builds a pipeline, running the static analyses once.
+// The input is validated against the program's declarations here; a
+// mismatch (unknown or pointer-typed scalar seed, array seed whose
+// length disagrees with the declared size) is reported as a typed
+// *interp.InputError by the first phase that would execute.
 func NewPipeline(prog *ir.Program, input *interp.Input, cfg Config) *Pipeline {
 	return &Pipeline{
-		Prog:  prog,
-		Input: input,
-		PDeps: ctrldep.AnalyzeProgram(prog),
-		Cfg:   cfg.withDefaults(),
+		Prog:     prog,
+		Input:    input,
+		PDeps:    ctrldep.AnalyzeProgram(prog),
+		Cfg:      cfg.withDefaults(),
+		inputErr: interp.ValidateInput(prog, input),
 	}
 }
 
@@ -158,6 +169,9 @@ func (p *Pipeline) ProvokeFailure() (*FailureReport, error) {
 // exhausted attempt budget returns one wrapping ErrNoFailure. Seeds
 // are tried in a fixed order, so an uncancelled call is deterministic.
 func (p *Pipeline) ProvokeFailureContext(ctx context.Context) (*FailureReport, error) {
+	if p.inputErr != nil {
+		return nil, p.inputErr
+	}
 	m, st := sched.StressContext(ctx, p.NewMachine, p.Cfg.MaxStressAttempts)
 	if m == nil {
 		if err := ctx.Err(); err != nil {
@@ -284,6 +298,9 @@ func (p *Pipeline) Reproduce(fail *FailureReport, an *AnalysisReport) *chess.Res
 // finding a schedule is NOT an error here — callers that want
 // ErrScheduleNotFound semantics use RunContext.
 func (p *Pipeline) ReproduceContext(ctx context.Context, fail *FailureReport, an *AnalysisReport) (*chess.Result, error) {
+	if p.inputErr != nil {
+		return nil, p.inputErr
+	}
 	res := p.Searcher(fail, an).SearchContext(ctx)
 	if res.Cancelled {
 		return res, Cancelled(ctx.Err())

@@ -81,6 +81,10 @@ type Dump struct {
 // Capture snapshots m. The failing thread and PC identify the point
 // the dump describes: for a crash, pass the crash thread and PC; for
 // an aligned-point dump, the aligned thread and PC.
+//
+// The machine's slot-addressed storage is re-keyed by source name
+// through the program's name tables, so the dump format — and every
+// traversal path derived from it — is independent of the slot layout.
 func Capture(m *interp.Machine, failingThread int, pc ir.PC, reason string) *Dump {
 	d := &Dump{
 		Program:       m.Prog.Name,
@@ -94,11 +98,11 @@ func Capture(m *interp.Machine, failingThread int, pc ir.PC, reason string) *Dum
 		Output:        append([]int64(nil), m.Output...),
 		TotalSteps:    m.TotalSteps,
 	}
-	for k, v := range m.Globals {
-		d.Globals[k] = v
+	for slot, name := range m.Prog.ScalarNames {
+		d.Globals[name] = m.Globals[slot]
 	}
-	for k, v := range m.Arrays {
-		d.Arrays[k] = append([]int64(nil), v...)
+	for slot, name := range m.Prog.ArrayNames {
+		d.Arrays[name] = append([]int64(nil), m.Arrays[slot]...)
 	}
 	for id, obj := range m.Heap {
 		fields := make(map[string]interp.Value, len(obj.Fields))
@@ -107,22 +111,31 @@ func Capture(m *interp.Machine, failingThread int, pc ir.PC, reason string) *Dum
 		}
 		d.Heap[id] = fields
 	}
-	for k, v := range m.Locks {
-		d.Locks[k] = v
+	for id, name := range m.Prog.Locks {
+		d.Locks[name] = int(m.Locks[id])
 	}
 	for _, t := range m.Threads {
-		td := ThreadDump{ID: t.ID, Status: t.Status, WaitLock: t.WaitLock, Steps: t.Steps}
+		td := ThreadDump{ID: t.ID, Status: t.Status, Steps: t.Steps}
+		if t.Status == interp.Blocked && t.WaitLock >= 0 {
+			td.WaitLock = m.Prog.Locks[t.WaitLock]
+		}
 		for _, fr := range t.Frames {
+			fn := m.Prog.Funcs[fr.FuncIdx]
 			fd := FrameDump{
 				Func:     fr.FuncIdx,
-				FuncName: m.Prog.Funcs[fr.FuncIdx].Name,
+				FuncName: fn.Name,
 				PC:       fr.PC,
 				CallSite: fr.CallSite,
 				Locals:   make(map[string]interp.Value, len(fr.Locals)),
 				FrameID:  fr.ID,
 			}
-			for k, v := range fr.Locals {
-				fd.Locals[k] = v
+			// Only live (assigned or parameter-bound) locals enter the
+			// dump, matching the map-keyed machine that materialized
+			// names on first write.
+			for slot, live := range fr.Live {
+				if live {
+					fd.Locals[fn.Locals[slot]] = fr.Locals[slot]
+				}
 			}
 			td.Frames = append(td.Frames, fd)
 		}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/workloads"
+)
+
+// InterpRow reports the interpreter's steady-state per-step cost on
+// one workload under the re-execution regime of the schedule search:
+// a single machine rewound with Machine.Reset between deterministic
+// runs (the lowest-runnable stepping of runToCompletion, bypassing
+// the scheduler plumbing so the measurement isolates the
+// interpreter's own per-step cost). AllocsPerStep is the gated field
+// (cmd/benchgate fails when it regresses above the baseline); Steps
+// is the informational run length.
+type InterpRow struct {
+	Name          string
+	AllocsPerStep float64
+	Steps         int64
+}
+
+// interpReps is the number of measured re-executions per workload —
+// enough to amortize any residual warm-up allocation to well below
+// the gate's tolerance.
+const interpReps = 200
+
+// InterpTable measures steady-state interpreter allocations for a
+// fixed set of Table 2 workloads. The first run of each machine warms
+// the frame/thread/object free lists and is excluded; the slot
+// addressed interpreter then allocates nothing per step, so the
+// expected steady-state value is 0.
+func InterpTable() ([]InterpRow, error) {
+	var rows []InterpRow
+	for _, name := range []string{"mysql-1", "apache-1"} {
+		w := workloads.ByName(name)
+		cp, err := w.Compile(true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: interp %s: %w", name, err)
+		}
+		m := interp.New(cp, w.Input.Clone())
+		steps := runToCompletion(m) // warm-up run, excluded
+		if steps == 0 {
+			return nil, fmt.Errorf("experiments: interp %s: empty run", name)
+		}
+		var total int64
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for r := 0; r < interpReps; r++ {
+			m.Reset(m.Prog, m.SeedInput())
+			total += runToCompletion(m)
+		}
+		runtime.ReadMemStats(&ms1)
+		rows = append(rows, InterpRow{
+			Name:          name,
+			AllocsPerStep: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+			Steps:         steps,
+		})
+	}
+	return rows, nil
+}
+
+// PrintInterp renders the interpreter cost section.
+func PrintInterp(w io.Writer, rows []InterpRow) {
+	fmt.Fprintln(w, "Interpreter steady-state cost (per step, post-warm-up)")
+	fmt.Fprintf(w, "%-10s %14s %8s\n", "workload", "allocs/step", "steps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %14.6f %8d\n", r.Name, r.AllocsPerStep, r.Steps)
+	}
+}

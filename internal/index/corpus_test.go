@@ -103,6 +103,7 @@ func TestReverseOnCorpusCrashSites(t *testing.T) {
 		// Patch: crash when this statement executes.
 		in.Op = ir.OpAssert
 		in.Cond = falseExpr()
+		in.SrcCond = &lang.BoolLit{Value: false}
 		in.Msg = "injected"
 
 		tr := index.NewTracker(cp, pdeps)
@@ -174,7 +175,7 @@ func (c *execCounter) OnExitFunc(*interp.Thread, int)                       {}
 func (c *execCounter) OnRead(*interp.Thread, interp.VarID)                  {}
 func (c *execCounter) OnWrite(*interp.Thread, interp.VarID)                 {}
 
-func falseExpr() lang.Expr { return &lang.BoolLit{Value: false} }
+func falseExpr() *ir.Expr { return &ir.Expr{Kind: ir.EBool} }
 
 func captureCrash(t *testing.T, m *interp.Machine) *coredump.Dump {
 	t.Helper()

@@ -98,11 +98,19 @@ func MeasureCompiled(name string, base, instr *ir.Program, input *interp.Input, 
 		}
 	}
 
+	// One machine serves every rep of both compilations: Reset rebinds
+	// it to the program under measurement and rewinds all run state, so
+	// the repetitions measure interpretation, not machine construction.
+	var m *interp.Machine
 	run := func(p *ir.Program) (int64, time.Duration, error) {
 		var steps int64
 		times := make([]time.Duration, 0, reps)
 		for r := 0; r < reps; r++ {
-			m := interp.New(p, input)
+			if m == nil {
+				m = interp.New(p, input)
+			} else {
+				m.Reset(p, input)
+			}
 			m.MaxSteps = 50_000_000
 			t0 := time.Now()
 			res := sched.Run(m, sched.NewCooperative())

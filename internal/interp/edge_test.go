@@ -118,7 +118,7 @@ func main() {
 		Arrays:  map[string][]int64{"arr": {0, 0, 2, 0}},
 	})
 	sched.Run(m, sched.NewCooperative())
-	if got := m.Globals["out"]; got.Num != 42 {
+	if got := m.Global("out"); got.Num != 42 {
 		t.Fatalf("out = %v, want 42", got)
 	}
 }
@@ -138,7 +138,7 @@ func child(int v) {
 `)
 	m := interp.New(cp, nil)
 	sched.Run(m, sched.NewCooperative())
-	if got := m.Globals["seen"]; got.Num != 5 {
+	if got := m.Global("seen"); got.Num != 5 {
 		t.Fatalf("seen = %v, want 5 (call-by-value)", got)
 	}
 }
@@ -166,7 +166,7 @@ func sum(int n) {
 	if res.Crashed {
 		t.Fatalf("crashed: %v", res.Crash)
 	}
-	if got := m.Globals["total"]; got.Num != 5050 {
+	if got := m.Global("total"); got.Num != 5050 {
 		t.Fatalf("total = %v, want 5050", got)
 	}
 }
@@ -256,12 +256,12 @@ func main() {
 		if res.Crashed {
 			return false
 		}
-		ok := m.Globals["add"].Num == int64(a)+int64(b) &&
-			m.Globals["sub"].Num == int64(a)-int64(b) &&
-			m.Globals["mul"].Num == int64(a)*int64(b)
+		ok := m.Global("add").Num == int64(a)+int64(b) &&
+			m.Global("sub").Num == int64(a)-int64(b) &&
+			m.Global("mul").Num == int64(a)*int64(b)
 		if b != 0 {
-			ok = ok && m.Globals["div"].Num == int64(a)/int64(b) &&
-				m.Globals["mod"].Num == int64(a)%int64(b)
+			ok = ok && m.Global("div").Num == int64(a)/int64(b) &&
+				m.Global("mod").Num == int64(a)%int64(b)
 		}
 		return ok
 	}
@@ -296,7 +296,7 @@ func main() {
 		if res := sched.Run(m, sched.NewCooperative()); res.Crashed {
 			return false
 		}
-		g := func(name string) bool { return m.Globals[name].Num == 1 }
+		g := func(name string) bool { return m.Global(name).Num == 1 }
 		return g("lt") == (a < b) && g("le") == (a <= b) && g("gt") == (a > b) &&
 			g("ge") == (a >= b) && g("eq") == (a == b) && g("ne") == (a != b)
 	}
@@ -335,7 +335,7 @@ func main() {
 	if len(m.Heap) != 10 {
 		t.Fatalf("heap objects: %d, want 10", len(m.Heap))
 	}
-	if m.Globals["n"].Num != 10 {
-		t.Fatalf("n = %v", m.Globals["n"])
+	if m.Global("n").Num != 10 {
+		t.Fatalf("n = %v", m.Global("n"))
 	}
 }

@@ -3,34 +3,47 @@ package interp
 import (
 	"fmt"
 
-	"heisendump/internal/lang"
+	"heisendump/internal/ir"
 )
 
-// eval evaluates an expression in thread t's current frame. Reads are
-// reported to the hooks; faults surface as crashError.
-func (m *Machine) eval(t *Thread, e lang.Expr) (Value, error) {
-	switch e := e.(type) {
-	case *lang.IntLit:
-		return IntVal(e.Value), nil
+// eval evaluates a compiled expression in thread t's current frame.
+// Every variable operand was resolved to an integer slot by ir.Compile,
+// so evaluation never consults a name map; the slot name tables are
+// used only to label reads for the hooks. Reads are reported to the
+// hooks in source evaluation order; faults surface as crashError.
+func (m *Machine) eval(t *Thread, e *ir.Expr) (Value, error) {
+	switch e.Kind {
+	case ir.EInt:
+		return IntVal(e.Num), nil
 
-	case *lang.BoolLit:
-		return BoolVal(e.Value), nil
+	case ir.EBool:
+		return Value{Kind: KBool, Num: e.Num}, nil
 
-	case *lang.NullLit:
+	case ir.ENull:
 		return Null, nil
 
-	case *lang.VarRef:
-		return m.readVar(t, e.Name)
+	case ir.ELocal:
+		fr := t.Top()
+		if m.Hooks != nil {
+			m.Hooks.OnRead(t, VarID{Kind: VLocal, Name: e.Name, FrameID: fr.ID})
+		}
+		// An unassigned slot holds the zero Value, which is IntVal(0) —
+		// the declared-before-assignment read semantics of the name-map
+		// interpreter.
+		return fr.Locals[e.Slot], nil
 
-	case *lang.IndexExpr:
-		idx, err := m.eval(t, e.Index)
+	case ir.EGlobal:
+		if m.Hooks != nil {
+			m.Hooks.OnRead(t, VarID{Kind: VGlobal, Name: e.Name})
+		}
+		return m.Globals[e.Slot], nil
+
+	case ir.EIndex:
+		idx, err := m.eval(t, e.X)
 		if err != nil {
 			return Value{}, err
 		}
-		arr, ok := m.Arrays[e.Name]
-		if !ok {
-			return Value{}, crashError{fmt.Sprintf("no such array %q", e.Name)}
-		}
+		arr := m.Arrays[e.Slot]
 		if idx.Num < 0 || idx.Num >= int64(len(arr)) {
 			return Value{}, crashError{fmt.Sprintf("index %d out of bounds for %s[%d]", idx.Num, e.Name, len(arr))}
 		}
@@ -39,8 +52,8 @@ func (m *Machine) eval(t *Thread, e lang.Expr) (Value, error) {
 		}
 		return IntVal(arr[idx.Num]), nil
 
-	case *lang.FieldExpr:
-		obj, err := m.eval(t, e.Obj)
+	case ir.EField:
+		obj, err := m.eval(t, e.X)
 		if err != nil {
 			return Value{}, err
 		}
@@ -51,41 +64,40 @@ func (m *Machine) eval(t *Thread, e lang.Expr) (Value, error) {
 		if !ok {
 			return Value{}, crashError{fmt.Sprintf("dangling pointer obj#%d", obj.Obj())}
 		}
-		v, ok := o.Fields[e.Field]
+		v, ok := o.Fields[e.Name]
 		if !ok {
-			return Value{}, crashError{fmt.Sprintf("object has no field %q", e.Field)}
+			return Value{}, crashError{fmt.Sprintf("object has no field %q", e.Name)}
 		}
 		if m.Hooks != nil {
-			m.Hooks.OnRead(t, VarID{Kind: VField, Name: e.Field, Obj: obj.Obj()})
+			m.Hooks.OnRead(t, VarID{Kind: VField, Name: e.Name, Obj: obj.Obj()})
 		}
 		return v, nil
 
-	case *lang.NewExpr:
-		o := &Object{ID: m.nextObj, Fields: make(map[string]Value, len(e.Fields))}
-		m.nextObj++
+	case ir.ENew:
+		o := m.newObject(len(e.Fields))
 		for _, f := range e.Fields {
 			o.Fields[f] = IntVal(0)
 		}
 		m.Heap[o.ID] = o
 		return PtrVal(o.ID), nil
 
-	case *lang.UnaryExpr:
+	case ir.EUnary:
 		x, err := m.eval(t, e.X)
 		if err != nil {
 			return Value{}, err
 		}
 		switch e.Op {
-		case "!":
+		case ir.ExNot:
 			return BoolVal(!x.Bool()), nil
-		case "-":
+		case ir.ExNeg:
 			return IntVal(-x.Num), nil
 		}
-		return Value{}, fmt.Errorf("interp: unknown unary op %q", e.Op)
+		return Value{}, fmt.Errorf("interp: unknown unary op %v", e.Op)
 
-	case *lang.BinaryExpr:
+	case ir.EBinary:
 		// Short-circuit logical operators.
 		switch e.Op {
-		case "&&":
+		case ir.ExLAnd:
 			x, err := m.eval(t, e.X)
 			if err != nil {
 				return Value{}, err
@@ -98,7 +110,7 @@ func (m *Machine) eval(t *Thread, e lang.Expr) (Value, error) {
 				return Value{}, err
 			}
 			return BoolVal(y.Bool()), nil
-		case "||":
+		case ir.ExLOr:
 			x, err := m.eval(t, e.X)
 			if err != nil {
 				return Value{}, err
@@ -121,107 +133,86 @@ func (m *Machine) eval(t *Thread, e lang.Expr) (Value, error) {
 			return Value{}, err
 		}
 		switch e.Op {
-		case "+":
+		case ir.ExAdd:
 			return IntVal(x.Num + y.Num), nil
-		case "-":
+		case ir.ExSub:
 			return IntVal(x.Num - y.Num), nil
-		case "*":
+		case ir.ExMul:
 			return IntVal(x.Num * y.Num), nil
-		case "/":
+		case ir.ExDiv:
 			if y.Num == 0 {
 				return Value{}, crashError{"division by zero"}
 			}
 			return IntVal(x.Num / y.Num), nil
-		case "%":
+		case ir.ExMod:
 			if y.Num == 0 {
 				return Value{}, crashError{"division by zero"}
 			}
 			return IntVal(x.Num % y.Num), nil
-		case "==":
+		case ir.ExEq:
 			// Comparison is by numeric payload: ints compare as ints,
 			// pointers by identity, and `p == null` works because null
 			// carries payload 0.
 			return BoolVal(x.Num == y.Num), nil
-		case "!=":
+		case ir.ExNe:
 			return BoolVal(x.Num != y.Num), nil
-		case "<":
+		case ir.ExLt:
 			return BoolVal(x.Num < y.Num), nil
-		case "<=":
+		case ir.ExLe:
 			return BoolVal(x.Num <= y.Num), nil
-		case ">":
+		case ir.ExGt:
 			return BoolVal(x.Num > y.Num), nil
-		case ">=":
+		case ir.ExGe:
 			return BoolVal(x.Num >= y.Num), nil
 		}
-		return Value{}, fmt.Errorf("interp: unknown binary op %q", e.Op)
+		return Value{}, fmt.Errorf("interp: unknown binary op %v", e.Op)
 	}
-	return Value{}, fmt.Errorf("interp: unknown expression %T", e)
+	return Value{}, fmt.Errorf("interp: unknown expression kind %d", e.Kind)
 }
 
-// readVar resolves a scalar name, locals first, then globals.
-func (m *Machine) readVar(t *Thread, name string) (Value, error) {
-	fr := t.Top()
-	if v, ok := fr.Locals[name]; ok {
-		if m.Hooks != nil {
-			m.Hooks.OnRead(t, VarID{Kind: VLocal, Name: name, FrameID: fr.ID})
-		}
-		return v, nil
+// newObject draws a heap object from the free list (the Reset cycle
+// recycles them) or allocates a fresh one.
+func (m *Machine) newObject(nFields int) *Object {
+	var o *Object
+	if n := len(m.freeObjs); n > 0 {
+		o = m.freeObjs[n-1]
+		m.freeObjs = m.freeObjs[:n-1]
+	} else {
+		o = &Object{Fields: make(map[string]Value, nFields)}
 	}
-	if isLocalName(m, fr.FuncIdx, name) {
-		// Declared local read before any assignment: zero value.
-		if m.Hooks != nil {
-			m.Hooks.OnRead(t, VarID{Kind: VLocal, Name: name, FrameID: fr.ID})
-		}
-		return IntVal(0), nil
-	}
-	if v, ok := m.Globals[name]; ok {
-		if m.Hooks != nil {
-			m.Hooks.OnRead(t, VarID{Kind: VGlobal, Name: name})
-		}
-		return v, nil
-	}
-	return Value{}, crashError{fmt.Sprintf("undefined variable %q", name)}
+	o.ID = m.nextObj
+	m.nextObj++
+	return o
 }
 
-func isLocalName(m *Machine, fidx int, name string) bool {
-	for _, l := range m.Prog.Funcs[fidx].Locals {
-		if l == name {
-			return true
-		}
-	}
-	return false
-}
-
-// assign stores v into the lvalue. Writes are reported to the hooks.
-func (m *Machine) assign(t *Thread, lv lang.LValue, v Value) error {
-	switch lv := lv.(type) {
-	case *lang.VarLV:
+// assign stores v into the compiled lvalue. Writes are reported to the
+// hooks. Undeclared names cannot reach here: ir.Compile resolves every
+// assignment target or fails, so a workload typo is a compile error
+// rather than a silently materialized variable.
+func (m *Machine) assign(t *Thread, lv *ir.LValue, v Value) error {
+	switch lv.Kind {
+	case ir.LVLocal:
 		fr := t.Top()
-		if _, ok := fr.Locals[lv.Name]; ok || isLocalName(m, fr.FuncIdx, lv.Name) {
-			fr.Locals[lv.Name] = v
-			if m.Hooks != nil {
-				m.Hooks.OnWrite(t, VarID{Kind: VLocal, Name: lv.Name, FrameID: fr.ID})
-			}
-			return nil
+		fr.Locals[lv.Slot] = v
+		fr.Live[lv.Slot] = true
+		if m.Hooks != nil {
+			m.Hooks.OnWrite(t, VarID{Kind: VLocal, Name: lv.Name, FrameID: fr.ID})
 		}
-		if _, ok := m.Globals[lv.Name]; ok {
-			m.Globals[lv.Name] = v
-			if m.Hooks != nil {
-				m.Hooks.OnWrite(t, VarID{Kind: VGlobal, Name: lv.Name})
-			}
-			return nil
-		}
-		return crashError{fmt.Sprintf("assignment to undefined variable %q", lv.Name)}
+		return nil
 
-	case *lang.IndexLV:
+	case ir.LVGlobal:
+		m.Globals[lv.Slot] = v
+		if m.Hooks != nil {
+			m.Hooks.OnWrite(t, VarID{Kind: VGlobal, Name: lv.Name})
+		}
+		return nil
+
+	case ir.LVArray:
 		idx, err := m.eval(t, lv.Index)
 		if err != nil {
 			return err
 		}
-		arr, ok := m.Arrays[lv.Name]
-		if !ok {
-			return crashError{fmt.Sprintf("no such array %q", lv.Name)}
-		}
+		arr := m.Arrays[lv.Slot]
 		if idx.Num < 0 || idx.Num >= int64(len(arr)) {
 			return crashError{fmt.Sprintf("index %d out of bounds for %s[%d]", idx.Num, lv.Name, len(arr))}
 		}
@@ -231,7 +222,7 @@ func (m *Machine) assign(t *Thread, lv lang.LValue, v Value) error {
 		}
 		return nil
 
-	case *lang.FieldLV:
+	case ir.LVField:
 		obj, err := m.eval(t, lv.Obj)
 		if err != nil {
 			return err
@@ -243,11 +234,11 @@ func (m *Machine) assign(t *Thread, lv lang.LValue, v Value) error {
 		if !ok {
 			return crashError{fmt.Sprintf("dangling pointer obj#%d", obj.Obj())}
 		}
-		o.Fields[lv.Field] = v
+		o.Fields[lv.Name] = v
 		if m.Hooks != nil {
-			m.Hooks.OnWrite(t, VarID{Kind: VField, Name: lv.Field, Obj: obj.Obj()})
+			m.Hooks.OnWrite(t, VarID{Kind: VField, Name: lv.Name, Obj: obj.Obj()})
 		}
 		return nil
 	}
-	return fmt.Errorf("interp: unknown lvalue %T", lv)
+	return fmt.Errorf("interp: unknown lvalue kind %d", lv.Kind)
 }

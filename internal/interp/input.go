@@ -1,11 +1,19 @@
 package interp
 
+import (
+	"fmt"
+	"sort"
+
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+)
+
 // Clone returns a deep copy of the input. Every trial machine of a
 // parallel schedule search is built from its own clone, so no two
 // workers ever share mutable input state even if Input grows state
-// that machines retain or mutate — New only reads it today (the
-// compiled ir.Program, by contrast, is immutable and shared). A nil
-// input clones to nil.
+// that machines retain or mutate — New and Reset only read it today
+// (the compiled ir.Program, by contrast, is immutable and shared). A
+// nil input clones to nil.
 func (in *Input) Clone() *Input {
 	if in == nil {
 		return nil
@@ -24,4 +32,77 @@ func (in *Input) Clone() *Input {
 		}
 	}
 	return out
+}
+
+// InputError reports one way a seeded input disagrees with the
+// program's declarations. It is the typed error behind ValidateInput,
+// so callers (and tests) can inspect which variable was at fault
+// rather than string-matching.
+type InputError struct {
+	// Name is the offending input entry.
+	Name string
+	// Reason describes the disagreement.
+	Reason string
+	// Got and Want carry the element counts for array-length
+	// mismatches; zero otherwise.
+	Got, Want int
+}
+
+// Error implements error.
+func (e *InputError) Error() string {
+	return fmt.Sprintf("interp: input %q: %s", e.Name, e.Reason)
+}
+
+// ValidateInput checks in against prog's declarations and returns a
+// typed *InputError for the first disagreement (in deterministic name
+// order): a scalar seed naming an undeclared global, an array, or a
+// pointer-typed global; an array seed naming an undeclared array; or
+// an array seed whose length differs from the declared size — the case
+// that previously truncated or zero-padded silently and let a
+// reproduction run diverge from the core dump it was meant to replay.
+//
+// New and Reset degrade gracefully on invalid inputs (unknown names
+// and pointer seeds are ignored, long array seeds truncated); every
+// pipeline entry point validates once up front so those fallbacks are
+// never reached in normal operation. A nil input is always valid.
+func ValidateInput(prog *ir.Program, in *Input) error {
+	if in == nil {
+		return nil
+	}
+	for _, name := range sortedInputKeys(in.Scalars) {
+		slot := prog.GlobalSlot(name)
+		if slot < 0 {
+			if prog.ArraySlot(name) >= 0 {
+				return &InputError{Name: name, Reason: "is a global array; seed it via Arrays"}
+			}
+			return &InputError{Name: name, Reason: "no such global scalar"}
+		}
+		if prog.ScalarDecls[slot].Type == lang.TypePtr {
+			return &InputError{Name: name, Reason: "pointer globals cannot be seeded from an integer value"}
+		}
+	}
+	for _, name := range sortedInputKeys(in.Arrays) {
+		slot := prog.ArraySlot(name)
+		if slot < 0 {
+			return &InputError{Name: name, Reason: "no such global array"}
+		}
+		if got, want := len(in.Arrays[name]), prog.ArrayDecls[slot].ArraySize; got != want {
+			return &InputError{
+				Name:   name,
+				Reason: fmt.Sprintf("has %d elements, declared size is %d", got, want),
+				Got:    got,
+				Want:   want,
+			}
+		}
+	}
+	return nil
+}
+
+func sortedInputKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

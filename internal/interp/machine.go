@@ -25,8 +25,14 @@ type Frame struct {
 	FuncIdx int
 	// PC is the index of the next instruction to execute.
 	PC int
-	// Locals maps local names to values; parameters are bound at call.
-	Locals map[string]Value
+	// Locals holds local values by frame slot (the position of the name
+	// in the function's ir.Func.Locals table); parameters are bound at
+	// call. An unassigned slot reads as the zero value IntVal(0).
+	Locals []Value
+	// Live marks the slots that have been assigned (or parameter-bound)
+	// in this activation. Core dumps snapshot only live locals, matching
+	// the map-keyed interpreter that only materialized assigned names.
+	Live []bool
 	// CallSite is the caller's call instruction; the bottom frame has
 	// CallSite.I == -1.
 	CallSite ir.PC
@@ -43,8 +49,9 @@ type Thread struct {
 	EntryFunc int
 	Frames    []*Frame
 	Status    ThreadStatus
-	// WaitLock is the lock the thread is blocked on, when Blocked.
-	WaitLock string
+	// WaitLock is the id of the lock the thread is blocked on, when
+	// Blocked; -1 otherwise. Lock id i is named Prog.Locks[i].
+	WaitLock int32
 	// Steps counts instructions this thread has executed — the
 	// "thread-local instruction count" used by the Table 5 baseline.
 	Steps int64
@@ -106,6 +113,8 @@ type Hooks interface {
 // succeeds (a blocked attempt is visible as a BeforeInstr with no
 // matching OnAcquire); OnRelease fires on every release. Both fire
 // within the same Step as the BeforeInstr that opened the instruction.
+// Locks are identified by source name (the machine resolves its
+// integer lock ids through the program's name table before calling).
 // Implementations must not mutate the machine.
 type LockHooks interface {
 	// OnAcquire fires when t successfully acquires lock.
@@ -128,7 +137,10 @@ const (
 	VField
 )
 
-// VarID names one runtime storage location.
+// VarID names one runtime storage location. Identities are by source
+// name (recovered from the program's slot name tables), so traces,
+// slices and prune fingerprints are unchanged by the slot-addressed
+// storage layout.
 type VarID struct {
 	Kind VarKind
 	// Name is the global/local/field/array name.
@@ -163,19 +175,30 @@ func (v VarID) String() string {
 // Input provides the program's failure-inducing input: initial values
 // for global scalars and arrays, applied before the run starts. The
 // same Input drives the failing run and every re-execution.
+//
+// Seeded values are interpreted against the declared type of the
+// global: int globals take the value as-is, bool globals normalize any
+// non-zero value to true (so equality against BoolVal(true) behaves),
+// and pointer globals cannot be seeded (a seed cannot forge a heap
+// reference). Use ValidateInput to surface violations as typed errors
+// instead of relying on the normalization.
 type Input struct {
 	Scalars map[string]int64
 	Arrays  map[string][]int64
 }
 
-// Machine executes one program instance.
+// Machine executes one program instance. Storage is slot-addressed:
+// Globals[i] is the scalar named Prog.ScalarNames[i], Arrays[i] the
+// array named Prog.ArrayNames[i], and Locks[i] the holder of the lock
+// named Prog.Locks[i]. Use Global/ArrayByName/LockHolder for
+// name-keyed access in tests and tools.
 type Machine struct {
 	Prog *ir.Program
 
-	Globals map[string]Value
-	Arrays  map[string][]int64
+	Globals []Value
+	Arrays  [][]int64
 	Heap    map[ObjID]*Object
-	Locks   map[string]int // holder thread id, -1 when free
+	Locks   []int32 // holder thread id by lock id, -1 when free
 	Threads []*Thread
 
 	// Output collects values emitted by output statements.
@@ -190,12 +213,22 @@ type Machine struct {
 	// Hooks, when non-nil, observe execution.
 	Hooks Hooks
 
+	// MaxSteps aborts runaway executions; ErrStepLimit is reported once
+	// exceeded. Zero means no limit. Preserved across Reset.
+	MaxSteps int64
+
+	input     *Input
 	nextObj   ObjID
 	nextFrame int64
 
-	// MaxSteps aborts runaway executions; ErrStepLimit is reported once
-	// exceeded. Zero means no limit.
-	MaxSteps int64
+	// Free lists recycle the per-run allocations across Reset calls, so
+	// a machine re-executing millions of schedule-search trials reaches
+	// a steady state with zero per-step allocations.
+	freeFrames  []*Frame
+	freeThreads []*Thread
+	freeObjs    []*Object
+	argBuf      []Value
+	runnableBuf []int
 }
 
 // ErrStepLimit is returned by Step when MaxSteps is exceeded.
@@ -207,47 +240,118 @@ var ErrDeadlock = fmt.Errorf("interp: deadlock")
 
 // New creates a machine with the main thread ready to run.
 func New(prog *ir.Program, in *Input) *Machine {
-	m := &Machine{
-		Prog:    prog,
-		Globals: map[string]Value{},
-		Arrays:  map[string][]int64{},
-		Heap:    map[ObjID]*Object{},
-		Locks:   map[string]int{},
-		nextObj: 1,
+	m := &Machine{Heap: map[ObjID]*Object{}}
+	m.Reset(prog, in)
+	return m
+}
+
+// SeedInput returns the input the machine was last built (or Reset)
+// with; callers re-running the same configuration pass it back to
+// Reset. May be nil.
+func (m *Machine) SeedInput() *Input { return m.input }
+
+// Reset rebinds the machine to prog seeded with in and rewinds it to
+// the initial state: main thread ready, globals and arrays
+// re-initialized from the declarations and the input, heap and locks
+// cleared, step and output counters zeroed. MaxSteps and Hooks are
+// preserved. A Reset machine is observationally identical to
+// New(prog, in) — frame ids, object ids and thread ids restart — but
+// reuses all prior storage, so per-trial re-executions allocate
+// nothing in the steady state. Anything still aliasing that storage —
+// e.g. the Output slice a previous run's result captured — is
+// invalidated; snapshot before resetting. Reset only reads in (array
+// seeds are copied), so a shared Input may seed many machines
+// concurrently.
+func (m *Machine) Reset(prog *ir.Program, in *Input) {
+	m.Prog = prog
+	m.input = in
+
+	// Scalar globals: declared init, then input seed normalized per the
+	// declared type (see Input).
+	if cap(m.Globals) < len(prog.ScalarNames) {
+		m.Globals = make([]Value, len(prog.ScalarNames))
 	}
-	for _, g := range prog.Globals {
-		if g.ArraySize > 0 {
-			m.Arrays[g.Name] = make([]int64, g.ArraySize)
-		} else {
-			switch g.Type {
-			case lang.TypeBool:
-				m.Globals[g.Name] = BoolVal(g.Init != 0)
-			case lang.TypePtr:
-				m.Globals[g.Name] = Null
-			default:
-				m.Globals[g.Name] = IntVal(g.Init)
-			}
+	m.Globals = m.Globals[:len(prog.ScalarNames)]
+	for i, g := range prog.ScalarDecls {
+		switch g.Type {
+		case lang.TypeBool:
+			m.Globals[i] = BoolVal(g.Init != 0)
+		case lang.TypePtr:
+			m.Globals[i] = Null
+		default:
+			m.Globals[i] = IntVal(g.Init)
 		}
 	}
-	for _, l := range prog.Locks {
-		m.Locks[l] = -1
+
+	// Arrays: zeroed to the declared size, then seeded. A seed longer
+	// than the declared size is truncated here; ValidateInput reports
+	// the mismatch as a typed error before any pipeline run.
+	if cap(m.Arrays) < len(prog.ArrayNames) {
+		m.Arrays = make([][]int64, len(prog.ArrayNames))
 	}
+	m.Arrays = m.Arrays[:len(prog.ArrayNames)]
+	for i, g := range prog.ArrayDecls {
+		if cap(m.Arrays[i]) < g.ArraySize {
+			m.Arrays[i] = make([]int64, g.ArraySize)
+		}
+		m.Arrays[i] = m.Arrays[i][:g.ArraySize]
+		clear(m.Arrays[i])
+	}
+
 	if in != nil {
 		for name, v := range in.Scalars {
-			if cur, ok := m.Globals[name]; ok {
-				cur.Num = v
-				m.Globals[name] = cur
+			slot := prog.GlobalSlot(name)
+			if slot < 0 {
+				continue
+			}
+			switch prog.ScalarDecls[slot].Type {
+			case lang.TypeBool:
+				m.Globals[slot] = BoolVal(v != 0)
+			case lang.TypePtr:
+				// A pointer cannot be seeded from an integer dump value;
+				// keep the declared null rather than forging an object id.
+			default:
+				m.Globals[slot] = IntVal(v)
 			}
 		}
 		for name, vals := range in.Arrays {
-			if arr, ok := m.Arrays[name]; ok {
-				copy(arr, vals)
+			if slot := prog.ArraySlot(name); slot >= 0 {
+				copy(m.Arrays[slot], vals)
 			}
 		}
 	}
-	mainIdx := prog.FuncIndex("main")
-	m.spawnThread(mainIdx, nil)
-	return m
+
+	if cap(m.Locks) < len(prog.Locks) {
+		m.Locks = make([]int32, len(prog.Locks))
+	}
+	m.Locks = m.Locks[:len(prog.Locks)]
+	for i := range m.Locks {
+		m.Locks[i] = -1
+	}
+
+	// Recycle heap objects and threads (with their frames) into the
+	// free lists before clearing the run state.
+	for _, obj := range m.Heap {
+		clear(obj.Fields)
+		m.freeObjs = append(m.freeObjs, obj)
+	}
+	clear(m.Heap)
+	for _, t := range m.Threads {
+		for _, fr := range t.Frames {
+			m.freeFrames = append(m.freeFrames, fr)
+		}
+		t.Frames = t.Frames[:0]
+		m.freeThreads = append(m.freeThreads, t)
+	}
+	m.Threads = m.Threads[:0]
+
+	m.Output = m.Output[:0]
+	m.Crash = nil
+	m.TotalSteps = 0
+	m.nextObj = 1
+	m.nextFrame = 0
+
+	m.spawnThread(prog.FuncIndex("main"), nil)
 }
 
 // spawnThread creates a thread running function fidx with bound args.
@@ -255,34 +359,100 @@ func New(prog *ir.Program, in *Input) *Machine {
 // step, not here: the main thread is spawned inside New, before the
 // caller has had a chance to attach hooks.
 func (m *Machine) spawnThread(fidx int, args []Value) *Thread {
-	t := &Thread{ID: len(m.Threads), EntryFunc: fidx, Status: Runnable}
+	var t *Thread
+	if n := len(m.freeThreads); n > 0 {
+		t = m.freeThreads[n-1]
+		m.freeThreads = m.freeThreads[:n-1]
+		*t = Thread{Frames: t.Frames[:0]}
+	} else {
+		t = &Thread{}
+	}
+	t.ID = len(m.Threads)
+	t.EntryFunc = fidx
+	t.Status = Runnable
+	t.WaitLock = -1
 	t.Frames = append(t.Frames, m.newFrame(fidx, args, ir.PC{F: -1, I: -1}))
 	m.Threads = append(m.Threads, t)
 	return t
 }
 
+// newFrame builds an activation record for fidx, drawing from the
+// frame free list when possible.
 func (m *Machine) newFrame(fidx int, args []Value, callSite ir.PC) *Frame {
 	fn := m.Prog.Funcs[fidx]
-	fr := &Frame{FuncIdx: fidx, Locals: make(map[string]Value, len(fn.Locals)), CallSite: callSite}
+	nLocals := len(fn.Locals)
+	var fr *Frame
+	if n := len(m.freeFrames); n > 0 {
+		fr = m.freeFrames[n-1]
+		m.freeFrames = m.freeFrames[:n-1]
+	} else {
+		fr = &Frame{}
+	}
+	if cap(fr.Locals) < nLocals {
+		fr.Locals = make([]Value, nLocals)
+		fr.Live = make([]bool, nLocals)
+	}
+	fr.Locals = fr.Locals[:nLocals]
+	fr.Live = fr.Live[:nLocals]
+	clear(fr.Locals)
+	clear(fr.Live)
+	fr.FuncIdx = fidx
+	fr.PC = 0
+	fr.CallSite = callSite
 	m.nextFrame++
 	fr.ID = m.nextFrame
-	for i, p := range fn.Params {
+	for i := range fn.Params {
 		if i < len(args) {
-			fr.Locals[p] = args[i]
+			fr.Locals[i] = args[i]
+			fr.Live[i] = true
 		}
 	}
 	return fr
 }
 
+// freeFrame returns a popped frame to the free list.
+func (m *Machine) freeFrame(fr *Frame) {
+	m.freeFrames = append(m.freeFrames, fr)
+}
+
+// Global returns the value of the named global scalar, or the zero
+// Value when no such scalar exists.
+func (m *Machine) Global(name string) Value {
+	if slot := m.Prog.GlobalSlot(name); slot >= 0 {
+		return m.Globals[slot]
+	}
+	return Value{}
+}
+
+// ArrayByName returns the named global array's storage, or nil.
+func (m *Machine) ArrayByName(name string) []int64 {
+	if slot := m.Prog.ArraySlot(name); slot >= 0 {
+		return m.Arrays[slot]
+	}
+	return nil
+}
+
+// LockHolder returns the holder thread id of the named lock, or -1
+// when the lock is free or unknown.
+func (m *Machine) LockHolder(name string) int {
+	if id := m.Prog.LockID(name); id >= 0 {
+		return int(m.Locks[id])
+	}
+	return -1
+}
+
 // Runnable returns the ids of threads that can currently be stepped.
-// Threads blocked on a lock become runnable again when it frees.
+// Threads blocked on a lock become runnable again when it frees. The
+// returned slice is reused by the next Runnable call; callers that
+// retain it must copy.
 func (m *Machine) Runnable() []int {
-	var out []int
+	out := m.runnableBuf[:0]
 	for _, t := range m.Threads {
 		if m.threadRunnable(t) {
 			out = append(out, t.ID)
 		}
 	}
+	m.runnableBuf = out
 	return out
 }
 
@@ -394,18 +564,14 @@ func (m *Machine) Step(tid int) (bool, error) {
 		fr.PC = in.True
 
 	case ir.OpCall:
-		callee := m.Prog.FuncIndex(in.Callee)
-		if callee < 0 {
-			return fault(crashError{fmt.Sprintf("call to unknown function %q", in.Callee)})
-		}
 		args, err := m.evalArgs(t, in.Args)
 		if err != nil {
 			return fault(err)
 		}
 		fr.PC++ // resume after the call on return
-		t.Frames = append(t.Frames, m.newFrame(callee, args, pc))
+		t.Frames = append(t.Frames, m.newFrame(int(in.Callee), args, pc))
 		if m.Hooks != nil {
-			m.Hooks.OnEnterFunc(t, callee)
+			m.Hooks.OnEnterFunc(t, int(in.Callee))
 		}
 
 	case ir.OpReturn:
@@ -419,6 +585,7 @@ func (m *Machine) Step(tid int) (bool, error) {
 		}
 		exited := fr.FuncIdx
 		t.Frames = t.Frames[:len(t.Frames)-1]
+		m.freeFrame(fr)
 		if m.Hooks != nil {
 			m.Hooks.OnExitFunc(t, exited)
 		}
@@ -441,15 +608,15 @@ func (m *Machine) Step(tid int) (bool, error) {
 		holder := m.Locks[in.Lock]
 		switch holder {
 		case -1:
-			m.Locks[in.Lock] = t.ID
+			m.Locks[in.Lock] = int32(t.ID)
 			t.Status = Runnable
-			t.WaitLock = ""
+			t.WaitLock = -1
 			fr.PC++
 			if lh, ok := m.Hooks.(LockHooks); ok {
-				lh.OnAcquire(t, in.Lock)
+				lh.OnAcquire(t, m.Prog.Locks[in.Lock])
 			}
-		case t.ID:
-			return fault(crashError{fmt.Sprintf("recursive acquire of lock %q", in.Lock)})
+		case int32(t.ID):
+			return fault(crashError{fmt.Sprintf("recursive acquire of lock %q", m.Prog.Locks[in.Lock])})
 		default:
 			// The step observed the lock held; the thread blocks without
 			// advancing. The observation still counts as a step so
@@ -459,26 +626,22 @@ func (m *Machine) Step(tid int) (bool, error) {
 		}
 
 	case ir.OpRelease:
-		if m.Locks[in.Lock] != t.ID {
-			return fault(crashError{fmt.Sprintf("release of lock %q not held by thread %d", in.Lock, t.ID)})
+		if m.Locks[in.Lock] != int32(t.ID) {
+			return fault(crashError{fmt.Sprintf("release of lock %q not held by thread %d", m.Prog.Locks[in.Lock], t.ID)})
 		}
 		m.Locks[in.Lock] = -1
 		fr.PC++
 		if lh, ok := m.Hooks.(LockHooks); ok {
-			lh.OnRelease(t, in.Lock)
+			lh.OnRelease(t, m.Prog.Locks[in.Lock])
 		}
 
 	case ir.OpSpawn:
-		callee := m.Prog.FuncIndex(in.Callee)
-		if callee < 0 {
-			return fault(crashError{fmt.Sprintf("spawn of unknown function %q", in.Callee)})
-		}
 		args, err := m.evalArgs(t, in.Args)
 		if err != nil {
 			return fault(err)
 		}
 		fr.PC++
-		m.spawnThread(callee, args)
+		m.spawnThread(int(in.Callee), args)
 
 	case ir.OpAssert:
 		v, err := m.eval(t, in.Cond)
@@ -505,8 +668,11 @@ func (m *Machine) Step(tid int) (bool, error) {
 	return true, nil
 }
 
-func (m *Machine) evalArgs(t *Thread, args []lang.Expr) ([]Value, error) {
-	out := make([]Value, 0, len(args))
+// evalArgs evaluates a call or spawn argument list into the machine's
+// reusable argument buffer; the values are consumed (copied into the
+// callee frame's locals) before the next evalArgs call.
+func (m *Machine) evalArgs(t *Thread, args []*ir.Expr) ([]Value, error) {
+	out := m.argBuf[:0]
 	for _, a := range args {
 		v, err := m.eval(t, a)
 		if err != nil {
@@ -514,5 +680,6 @@ func (m *Machine) evalArgs(t *Thread, args []lang.Expr) ([]Value, error) {
 		}
 		out = append(out, v)
 	}
+	m.argBuf = out
 	return out, nil
 }

@@ -167,7 +167,7 @@ func main() {
 	if res.Crashed {
 		t.Fatalf("crashed: %v", res.Crash)
 	}
-	if got := m.Globals["done"]; got.Num != 5 {
+	if got := m.Global("done"); got.Num != 5 {
 		t.Fatalf("done = %v, want 5", got)
 	}
 }
@@ -200,7 +200,7 @@ func T() {
 		if res.Crashed || res.Deadlocked {
 			t.Fatalf("seed %d: crash=%v deadlock=%v", seed, res.Crash, res.Deadlocked)
 		}
-		if got := m.Globals["order"]; got.Num != 2 {
+		if got := m.Global("order"); got.Num != 2 {
 			t.Fatalf("seed %d: order = %v, want 2", seed, got)
 		}
 	}
@@ -223,6 +223,13 @@ func main() {
 	res := sched.Run(m, sched.NewCooperative())
 	if !res.Crashed {
 		t.Fatal("recursive acquire did not crash")
+	}
+	// The first acquisition is still held by the crashed main thread.
+	if got := m.LockHolder("L"); got != 0 {
+		t.Fatalf("LockHolder(L) = %d, want 0", got)
+	}
+	if got := m.LockHolder("nope"); got != -1 {
+		t.Fatalf("LockHolder(nope) = %d, want -1", got)
 	}
 }
 
@@ -247,7 +254,7 @@ func add(int a, int b) {
 	if res := sched.Run(m, sched.NewCooperative()); res.Crashed {
 		t.Fatalf("crashed: %v", res.Crash)
 	}
-	if got := m.Globals["r"]; got.Num != 5 {
+	if got := m.Global("r"); got.Num != 5 {
 		t.Fatalf("r = %v, want 5", got)
 	}
 }
@@ -273,7 +280,7 @@ func main() {
 	if res := sched.Run(m, sched.NewCooperative()); res.Crashed {
 		t.Fatalf("crashed: %v", res.Crash)
 	}
-	if got := m.Globals["sum"]; got.Num != 42 {
+	if got := m.Global("sum"); got.Num != 42 {
 		t.Fatalf("sum = %v, want 42", got)
 	}
 }
@@ -338,7 +345,7 @@ done:
 	if res := sched.Run(m, sched.NewCooperative()); res.Crashed {
 		t.Fatalf("crashed: %v", res.Crash)
 	}
-	if got := m.Globals["r"]; got.Num != 10 {
+	if got := m.Global("r"); got.Num != 10 {
 		t.Fatalf("r = %v, want 10 (goto must skip r=1)", got)
 	}
 }
@@ -368,7 +375,7 @@ func main() {
 	if res := sched.Run(m, sched.NewCooperative()); res.Crashed {
 		t.Fatalf("crashed: %v", res.Crash)
 	}
-	if got := m.Globals["evens"]; got.Num != 5 {
+	if got := m.Global("evens"); got.Num != 5 {
 		t.Fatalf("evens = %v, want 5", got)
 	}
 }

@@ -1,0 +1,666 @@
+package interp_test
+
+// The reference interpreter: a name-map execution mode that resolves
+// every local, global, array and lock through string-keyed maps at
+// run time — the semantics the slot-addressed machine compiled away.
+// It executes the Src* (source AST) operands that ir.Compile retains
+// on every instruction, so it shares nothing with the slot-addressed
+// evaluation path beyond the instruction stream itself.
+//
+// The round-trip tests below run every corpus workload under both
+// interpreters — same program, same input, same schedule — and assert
+// that the traces (including per-step reads/writes and lock events),
+// crashes, outputs and happens-before projection fingerprints are
+// identical. This pins the compile-time variable resolution to the
+// map-resolution semantics it replaced.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/sched"
+	"heisendump/internal/trace"
+	"heisendump/internal/workloads"
+)
+
+// refFrame is one activation record of the reference machine.
+type refFrame struct {
+	funcIdx int
+	pc      int
+	locals  map[string]interp.Value
+	id      int64
+}
+
+// refThread is one thread of the reference machine.
+type refThread struct {
+	id        int
+	entryFunc int
+	frames    []*refFrame
+	status    interp.ThreadStatus
+	waitLock  string
+	steps     int64
+}
+
+func (t *refThread) top() *refFrame {
+	if len(t.frames) == 0 {
+		return nil
+	}
+	return t.frames[len(t.frames)-1]
+}
+
+// refMachine executes a compiled program by re-resolving every name
+// through maps, as the interpreter did before slot compilation. It
+// drives the same interp.Hooks/interp.LockHooks interfaces, reporting
+// the same interp.VarID identities, so its traces are directly
+// comparable with the slot-addressed machine's.
+type refMachine struct {
+	prog    *ir.Program
+	globals map[string]interp.Value
+	arrays  map[string][]int64
+	heap    map[interp.ObjID]map[string]interp.Value
+	locks   map[string]int
+	threads []*refThread
+	output  []int64
+	crash   *interp.CrashInfo
+	hooks   interp.Hooks
+
+	nextObj   interp.ObjID
+	nextFrame int64
+
+	// hookThreads mirrors refThreads as interp.Thread values so hook
+	// implementations (recorders) see the same thread ids.
+	hookThreads []*interp.Thread
+}
+
+type refCrash struct{ reason string }
+
+func (e refCrash) Error() string { return e.reason }
+
+func newRefMachine(prog *ir.Program, in *interp.Input) *refMachine {
+	m := &refMachine{
+		prog:    prog,
+		globals: map[string]interp.Value{},
+		arrays:  map[string][]int64{},
+		heap:    map[interp.ObjID]map[string]interp.Value{},
+		locks:   map[string]int{},
+		nextObj: 1,
+	}
+	for _, g := range prog.Globals {
+		if g.ArraySize > 0 {
+			m.arrays[g.Name] = make([]int64, g.ArraySize)
+		} else {
+			switch g.Type {
+			case lang.TypeBool:
+				m.globals[g.Name] = interp.BoolVal(g.Init != 0)
+			case lang.TypePtr:
+				m.globals[g.Name] = interp.Null
+			default:
+				m.globals[g.Name] = interp.IntVal(g.Init)
+			}
+		}
+	}
+	for _, l := range prog.Locks {
+		m.locks[l] = -1
+	}
+	if in != nil {
+		for name, v := range in.Scalars {
+			if g := declOf(prog, name); g != nil && g.ArraySize == 0 {
+				switch g.Type {
+				case lang.TypeBool:
+					m.globals[name] = interp.BoolVal(v != 0)
+				case lang.TypePtr:
+					// Pointer seeds are rejected (kept null).
+				default:
+					m.globals[name] = interp.IntVal(v)
+				}
+			}
+		}
+		for name, vals := range in.Arrays {
+			if arr, ok := m.arrays[name]; ok {
+				copy(arr, vals)
+			}
+		}
+	}
+	m.spawn(prog.FuncIndex("main"), nil)
+	return m
+}
+
+func declOf(prog *ir.Program, name string) *lang.VarDecl {
+	for _, g := range prog.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+func (m *refMachine) spawn(fidx int, args []interp.Value) {
+	t := &refThread{id: len(m.threads), entryFunc: fidx, status: interp.Runnable}
+	t.frames = append(t.frames, m.newFrame(fidx, args))
+	m.threads = append(m.threads, t)
+	m.hookThreads = append(m.hookThreads, &interp.Thread{ID: t.id, EntryFunc: fidx})
+}
+
+func (m *refMachine) newFrame(fidx int, args []interp.Value) *refFrame {
+	fn := m.prog.Funcs[fidx]
+	fr := &refFrame{funcIdx: fidx, locals: map[string]interp.Value{}}
+	m.nextFrame++
+	fr.id = m.nextFrame
+	for i, p := range fn.Params {
+		if i < len(args) {
+			fr.locals[p] = args[i]
+		}
+	}
+	return fr
+}
+
+// ht returns the hook-facing interp.Thread mirror of thread tid,
+// updated with the fields recorders read.
+func (m *refMachine) ht(t *refThread) *interp.Thread {
+	h := m.hookThreads[t.id]
+	h.Steps = t.steps
+	return h
+}
+
+func (m *refMachine) runnable(t *refThread) bool {
+	switch t.status {
+	case interp.Runnable:
+		return true
+	case interp.Blocked:
+		return m.locks[t.waitLock] == -1
+	}
+	return false
+}
+
+func (m *refMachine) done() bool {
+	for _, t := range m.threads {
+		if t.status != interp.Done {
+			return false
+		}
+	}
+	return true
+}
+
+func isLocalName(fn *ir.Func, name string) bool {
+	return fn.LocalSlot(name) >= 0
+}
+
+// step executes one instruction of thread tid; the reference analogue
+// of Machine.Step, resolving names through maps.
+func (m *refMachine) step(tid int) bool {
+	if m.crash != nil {
+		return false
+	}
+	t := m.threads[tid]
+	if !m.runnable(t) {
+		return false
+	}
+	fr := t.top()
+	fn := m.prog.Funcs[fr.funcIdx]
+	pc := ir.PC{F: fr.funcIdx, I: fr.pc}
+	in := &fn.Instrs[fr.pc]
+
+	if m.hooks != nil {
+		if t.steps == 0 {
+			m.hooks.OnEnterFunc(m.ht(t), t.entryFunc)
+		}
+		m.hooks.BeforeInstr(m.ht(t), pc, in)
+	}
+	t.steps++
+
+	fault := func(err error) bool {
+		if ce, ok := err.(refCrash); ok {
+			m.crash = &interp.CrashInfo{ThreadID: t.id, PC: pc, Reason: ce.reason}
+			return true
+		}
+		panic(err)
+	}
+
+	switch in.Op {
+	case ir.OpAssign:
+		v, err := m.eval(t, in.SrcRHS)
+		if err != nil {
+			return fault(err)
+		}
+		if err := m.assign(t, in.SrcLHS, v); err != nil {
+			return fault(err)
+		}
+		fr.pc++
+
+	case ir.OpBranch:
+		v, err := m.eval(t, in.SrcCond)
+		if err != nil {
+			return fault(err)
+		}
+		taken := v.Bool()
+		if m.hooks != nil {
+			m.hooks.OnBranch(m.ht(t), pc, taken)
+		}
+		if taken {
+			fr.pc = in.True
+		} else {
+			fr.pc = in.False
+		}
+
+	case ir.OpJump:
+		fr.pc = in.True
+
+	case ir.OpCall:
+		callee := m.prog.FuncIndex(in.CalleeName)
+		args, err := m.evalArgs(t, in.SrcArgs)
+		if err != nil {
+			return fault(err)
+		}
+		fr.pc++
+		t.frames = append(t.frames, m.newFrame(callee, args))
+		if m.hooks != nil {
+			m.hooks.OnEnterFunc(m.ht(t), callee)
+		}
+
+	case ir.OpReturn:
+		var ret interp.Value
+		if in.SrcRHS != nil {
+			v, err := m.eval(t, in.SrcRHS)
+			if err != nil {
+				return fault(err)
+			}
+			ret = v
+		}
+		exited := fr.funcIdx
+		t.frames = t.frames[:len(t.frames)-1]
+		if m.hooks != nil {
+			m.hooks.OnExitFunc(m.ht(t), exited)
+		}
+		if len(t.frames) == 0 {
+			t.status = interp.Done
+			break
+		}
+		caller := t.top()
+		callIn := &m.prog.Funcs[caller.funcIdx].Instrs[caller.pc-1]
+		if callIn.Op == ir.OpCall && callIn.SrcLHS != nil {
+			if err := m.assign(t, callIn.SrcLHS, ret); err != nil {
+				return fault(err)
+			}
+		}
+
+	case ir.OpAcquire:
+		switch holder := m.locks[in.LockName]; holder {
+		case -1:
+			m.locks[in.LockName] = t.id
+			t.status = interp.Runnable
+			t.waitLock = ""
+			fr.pc++
+			if lh, ok := m.hooks.(interp.LockHooks); ok {
+				lh.OnAcquire(m.ht(t), in.LockName)
+			}
+		case t.id:
+			return fault(refCrash{fmt.Sprintf("recursive acquire of lock %q", in.LockName)})
+		default:
+			t.status = interp.Blocked
+			t.waitLock = in.LockName
+		}
+
+	case ir.OpRelease:
+		if m.locks[in.LockName] != t.id {
+			return fault(refCrash{fmt.Sprintf("release of lock %q not held by thread %d", in.LockName, t.id)})
+		}
+		m.locks[in.LockName] = -1
+		fr.pc++
+		if lh, ok := m.hooks.(interp.LockHooks); ok {
+			lh.OnRelease(m.ht(t), in.LockName)
+		}
+
+	case ir.OpSpawn:
+		args, err := m.evalArgs(t, in.SrcArgs)
+		if err != nil {
+			return fault(err)
+		}
+		fr.pc++
+		m.spawn(m.prog.FuncIndex(in.CalleeName), args)
+
+	case ir.OpAssert:
+		v, err := m.eval(t, in.SrcCond)
+		if err != nil {
+			return fault(err)
+		}
+		if !v.Bool() {
+			m.crash = &interp.CrashInfo{ThreadID: t.id, PC: pc, Reason: "assertion failed: " + in.Msg}
+			return true
+		}
+		fr.pc++
+
+	case ir.OpOutput:
+		v, err := m.eval(t, in.SrcRHS)
+		if err != nil {
+			return fault(err)
+		}
+		m.output = append(m.output, v.Num)
+		fr.pc++
+	}
+	return true
+}
+
+func (m *refMachine) evalArgs(t *refThread, args []lang.Expr) ([]interp.Value, error) {
+	out := make([]interp.Value, 0, len(args))
+	for _, a := range args {
+		v, err := m.eval(t, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (m *refMachine) eval(t *refThread, e lang.Expr) (interp.Value, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return interp.IntVal(e.Value), nil
+	case *lang.BoolLit:
+		return interp.BoolVal(e.Value), nil
+	case *lang.NullLit:
+		return interp.Null, nil
+	case *lang.VarRef:
+		return m.readVar(t, e.Name)
+	case *lang.IndexExpr:
+		idx, err := m.eval(t, e.Index)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		arr, ok := m.arrays[e.Name]
+		if !ok {
+			return interp.Value{}, refCrash{fmt.Sprintf("no such array %q", e.Name)}
+		}
+		if idx.Num < 0 || idx.Num >= int64(len(arr)) {
+			return interp.Value{}, refCrash{fmt.Sprintf("index %d out of bounds for %s[%d]", idx.Num, e.Name, len(arr))}
+		}
+		if m.hooks != nil {
+			m.hooks.OnRead(m.ht(t), interp.VarID{Kind: interp.VArrayElem, Name: e.Name, Idx: idx.Num})
+		}
+		return interp.IntVal(arr[idx.Num]), nil
+	case *lang.FieldExpr:
+		obj, err := m.eval(t, e.Obj)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		if obj.Kind != interp.KPtr || obj.Obj() == 0 {
+			return interp.Value{}, refCrash{"null pointer dereference"}
+		}
+		fields, ok := m.heap[obj.Obj()]
+		if !ok {
+			return interp.Value{}, refCrash{fmt.Sprintf("dangling pointer obj#%d", obj.Obj())}
+		}
+		v, ok := fields[e.Field]
+		if !ok {
+			return interp.Value{}, refCrash{fmt.Sprintf("object has no field %q", e.Field)}
+		}
+		if m.hooks != nil {
+			m.hooks.OnRead(m.ht(t), interp.VarID{Kind: interp.VField, Name: e.Field, Obj: obj.Obj()})
+		}
+		return v, nil
+	case *lang.NewExpr:
+		fields := make(map[string]interp.Value, len(e.Fields))
+		for _, f := range e.Fields {
+			fields[f] = interp.IntVal(0)
+		}
+		id := m.nextObj
+		m.nextObj++
+		m.heap[id] = fields
+		return interp.PtrVal(id), nil
+	case *lang.UnaryExpr:
+		x, err := m.eval(t, e.X)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		if e.Op == "!" {
+			return interp.BoolVal(!x.Bool()), nil
+		}
+		return interp.IntVal(-x.Num), nil
+	case *lang.BinaryExpr:
+		switch e.Op {
+		case "&&":
+			x, err := m.eval(t, e.X)
+			if err != nil || !x.Bool() {
+				return interp.BoolVal(false), err
+			}
+			y, err := m.eval(t, e.Y)
+			return interp.BoolVal(y.Bool()), err
+		case "||":
+			x, err := m.eval(t, e.X)
+			if err != nil || x.Bool() {
+				return interp.BoolVal(x.Bool()), err
+			}
+			y, err := m.eval(t, e.Y)
+			return interp.BoolVal(y.Bool()), err
+		}
+		x, err := m.eval(t, e.X)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		y, err := m.eval(t, e.Y)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		switch e.Op {
+		case "+":
+			return interp.IntVal(x.Num + y.Num), nil
+		case "-":
+			return interp.IntVal(x.Num - y.Num), nil
+		case "*":
+			return interp.IntVal(x.Num * y.Num), nil
+		case "/":
+			if y.Num == 0 {
+				return interp.Value{}, refCrash{"division by zero"}
+			}
+			return interp.IntVal(x.Num / y.Num), nil
+		case "%":
+			if y.Num == 0 {
+				return interp.Value{}, refCrash{"division by zero"}
+			}
+			return interp.IntVal(x.Num % y.Num), nil
+		case "==":
+			return interp.BoolVal(x.Num == y.Num), nil
+		case "!=":
+			return interp.BoolVal(x.Num != y.Num), nil
+		case "<":
+			return interp.BoolVal(x.Num < y.Num), nil
+		case "<=":
+			return interp.BoolVal(x.Num <= y.Num), nil
+		case ">":
+			return interp.BoolVal(x.Num > y.Num), nil
+		case ">=":
+			return interp.BoolVal(x.Num >= y.Num), nil
+		}
+	}
+	panic(fmt.Sprintf("ref: unknown expression %T", e))
+}
+
+func (m *refMachine) readVar(t *refThread, name string) (interp.Value, error) {
+	fr := t.top()
+	if v, ok := fr.locals[name]; ok {
+		if m.hooks != nil {
+			m.hooks.OnRead(m.ht(t), interp.VarID{Kind: interp.VLocal, Name: name, FrameID: fr.id})
+		}
+		return v, nil
+	}
+	if isLocalName(m.prog.Funcs[fr.funcIdx], name) {
+		if m.hooks != nil {
+			m.hooks.OnRead(m.ht(t), interp.VarID{Kind: interp.VLocal, Name: name, FrameID: fr.id})
+		}
+		return interp.IntVal(0), nil
+	}
+	if v, ok := m.globals[name]; ok {
+		if m.hooks != nil {
+			m.hooks.OnRead(m.ht(t), interp.VarID{Kind: interp.VGlobal, Name: name})
+		}
+		return v, nil
+	}
+	return interp.Value{}, refCrash{fmt.Sprintf("undefined variable %q", name)}
+}
+
+func (m *refMachine) assign(t *refThread, lv lang.LValue, v interp.Value) error {
+	switch lv := lv.(type) {
+	case *lang.VarLV:
+		fr := t.top()
+		if _, ok := fr.locals[lv.Name]; ok || isLocalName(m.prog.Funcs[fr.funcIdx], lv.Name) {
+			fr.locals[lv.Name] = v
+			if m.hooks != nil {
+				m.hooks.OnWrite(m.ht(t), interp.VarID{Kind: interp.VLocal, Name: lv.Name, FrameID: fr.id})
+			}
+			return nil
+		}
+		if _, ok := m.globals[lv.Name]; ok {
+			m.globals[lv.Name] = v
+			if m.hooks != nil {
+				m.hooks.OnWrite(m.ht(t), interp.VarID{Kind: interp.VGlobal, Name: lv.Name})
+			}
+			return nil
+		}
+		return refCrash{fmt.Sprintf("assignment to undefined variable %q", lv.Name)}
+	case *lang.IndexLV:
+		idx, err := m.eval(t, lv.Index)
+		if err != nil {
+			return err
+		}
+		arr, ok := m.arrays[lv.Name]
+		if !ok {
+			return refCrash{fmt.Sprintf("no such array %q", lv.Name)}
+		}
+		if idx.Num < 0 || idx.Num >= int64(len(arr)) {
+			return refCrash{fmt.Sprintf("index %d out of bounds for %s[%d]", idx.Num, lv.Name, len(arr))}
+		}
+		arr[idx.Num] = v.Num
+		if m.hooks != nil {
+			m.hooks.OnWrite(m.ht(t), interp.VarID{Kind: interp.VArrayElem, Name: lv.Name, Idx: idx.Num})
+		}
+		return nil
+	case *lang.FieldLV:
+		obj, err := m.eval(t, lv.Obj)
+		if err != nil {
+			return err
+		}
+		if obj.Kind != interp.KPtr || obj.Obj() == 0 {
+			return refCrash{"null pointer dereference"}
+		}
+		fields, ok := m.heap[obj.Obj()]
+		if !ok {
+			return refCrash{fmt.Sprintf("dangling pointer obj#%d", obj.Obj())}
+		}
+		fields[lv.Field] = v
+		if m.hooks != nil {
+			m.hooks.OnWrite(m.ht(t), interp.VarID{Kind: interp.VField, Name: lv.Field, Obj: obj.Obj()})
+		}
+		return nil
+	}
+	panic(fmt.Sprintf("ref: unknown lvalue %T", lv))
+}
+
+// replay drives the reference machine through a recorded schedule.
+func (m *refMachine) replay(schedule []int) {
+	for _, tid := range schedule {
+		if !m.step(tid) {
+			break
+		}
+	}
+}
+
+// refRun captures one reference execution for comparison.
+type refRun struct {
+	events []trace.Event
+	crash  *interp.CrashInfo
+	output []int64
+	fp     uint64
+}
+
+// runReference replays schedule on a fresh reference machine.
+func runReference(prog *ir.Program, in *interp.Input, schedule []int) refRun {
+	rec := trace.NewRecorder()
+	fpr := trace.NewFingerprintRecorder()
+	m := newRefMachine(prog, in)
+	m.hooks = trace.Multi{rec, fpr}
+	m.replay(schedule)
+	return refRun{events: rec.Events, crash: m.crash, output: m.output, fp: fpr.Fingerprint()}
+}
+
+// runSlot executes schedule on the slot-addressed machine. The machine
+// is built once and Reset before the run, so the round-trip also
+// exercises the reset/free-list lifecycle rather than only a virgin
+// machine.
+func runSlot(prog *ir.Program, in *interp.Input, schedule []int) refRun {
+	m := interp.New(prog, in)
+	// Burn one partial run, then rewind: the post-Reset state must be
+	// indistinguishable from a fresh machine.
+	sched.BoundedRun(m, sched.NewCooperative(), 25)
+	m.Reset(prog, in)
+	rec := trace.NewRecorder()
+	fpr := trace.NewFingerprintRecorder()
+	m.Hooks = trace.Multi{rec, fpr}
+	res := sched.Run(m, sched.NewReplayer(schedule))
+	_ = res
+	return refRun{events: rec.Events, crash: m.Crash, output: m.Output, fp: fpr.Fingerprint()}
+}
+
+// schedulesFor produces the deterministic and a handful of random
+// schedules of the workload, recorded from the slot machine (the
+// reference machine replays them; blocked-acquire steps count as steps
+// in both, so schedules transfer verbatim).
+func schedulesFor(t *testing.T, prog *ir.Program, in *interp.Input, seeds int) [][]int {
+	t.Helper()
+	var out [][]int
+	m := interp.New(prog, in)
+	m.MaxSteps = 1_000_000
+	res := sched.Run(m, sched.NewCooperative())
+	out = append(out, append([]int(nil), res.Schedule...))
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		m.Reset(prog, in)
+		res := sched.Run(m, sched.NewRandom(seed))
+		out = append(out, append([]int(nil), res.Schedule...))
+	}
+	return out
+}
+
+// TestSlotAndNameMapExecutionAgree is the round-trip pin: for every
+// corpus workload, under the deterministic schedule and a spread of
+// random interleavings, slot-compiled execution and name-map execution
+// produce identical traces (events with reads/writes/locks), crashes,
+// outputs and projection fingerprints.
+func TestSlotAndNameMapExecutionAgree(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w := workloads.ByName(name)
+		t.Run(name, func(t *testing.T) {
+			for _, instrument := range []bool{false, true} {
+				prog, err := w.Compile(instrument)
+				if err != nil {
+					t.Fatalf("compile(instrument=%v): %v", instrument, err)
+				}
+				for si, schedule := range schedulesFor(t, prog, w.Input, 5) {
+					slot := runSlot(prog, w.Input, schedule)
+					ref := runReference(prog, w.Input, schedule)
+					label := fmt.Sprintf("instrument=%v schedule=%d", instrument, si)
+					if len(slot.events) != len(ref.events) {
+						t.Fatalf("%s: %d events vs %d (ref)", label, len(slot.events), len(ref.events))
+					}
+					for i := range slot.events {
+						if !reflect.DeepEqual(slot.events[i], ref.events[i]) {
+							t.Fatalf("%s: event %d differs:\n slot: %+v\n ref:  %+v",
+								label, i, slot.events[i], ref.events[i])
+						}
+					}
+					if !reflect.DeepEqual(slot.crash, ref.crash) {
+						t.Fatalf("%s: crash differs: %v vs %v (ref)", label, slot.crash, ref.crash)
+					}
+					if !reflect.DeepEqual(slot.output, ref.output) && (len(slot.output) != 0 || len(ref.output) != 0) {
+						t.Fatalf("%s: output differs: %v vs %v (ref)", label, slot.output, ref.output)
+					}
+					if slot.fp != ref.fp {
+						t.Fatalf("%s: projection fingerprint differs: %#x vs %#x (ref)", label, slot.fp, ref.fp)
+					}
+				}
+			}
+		})
+	}
+}

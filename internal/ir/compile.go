@@ -26,14 +26,37 @@ func Compile(p *lang.Program, opts Options) (*Program, error) {
 		Globals:      p.Globals,
 		Locks:        p.Locks,
 		funcIndex:    make(map[string]int, len(p.Funcs)),
+		globalIndex:  map[string]int{},
+		arrayIndex:   map[string]int{},
+		lockIndex:    make(map[string]int, len(p.Locks)),
 		Instrumented: opts.InstrumentLoops,
 	}
 	for i, f := range p.Funcs {
 		out.funcIndex[f.Name] = i
 	}
+	// Intern globals, arrays and locks into the dense slot tables; the
+	// expression resolver below compiles every variable access down to
+	// an index into them.
+	for _, g := range p.Globals {
+		if g.ArraySize > 0 {
+			out.arrayIndex[g.Name] = len(out.ArrayNames)
+			out.ArrayNames = append(out.ArrayNames, g.Name)
+			out.ArrayDecls = append(out.ArrayDecls, g)
+		} else {
+			out.globalIndex[g.Name] = len(out.ScalarNames)
+			out.ScalarNames = append(out.ScalarNames, g.Name)
+			out.ScalarDecls = append(out.ScalarDecls, g)
+		}
+	}
+	for i, l := range p.Locks {
+		out.lockIndex[l] = i
+	}
 	for _, f := range p.Funcs {
 		cf, err := compileFunc(f, opts)
 		if err != nil {
+			return nil, fmt.Errorf("ir: %s: %w", f.Name, err)
+		}
+		if err := out.resolveFunc(cf); err != nil {
 			return nil, fmt.Errorf("ir: %s: %w", f.Name, err)
 		}
 		out.Funcs = append(out.Funcs, cf)
@@ -151,13 +174,13 @@ func (c *fcomp) stmt(s lang.Stmt) error {
 	case *lang.VarStmt:
 		c.addLocal(s.Name)
 		if s.Init != nil {
-			c.emit(Instr{Op: OpAssign, Line: s.Line(), LHS: &lang.VarLV{Name: s.Name}, RHS: s.Init})
+			c.emit(Instr{Op: OpAssign, Line: s.Line(), SrcLHS: &lang.VarLV{Name: s.Name}, SrcRHS: s.Init})
 		}
 		return nil
 
 	case *lang.AssignStmt:
 		c.noteLValue(s.LHS)
-		c.emit(Instr{Op: OpAssign, Line: s.Line(), LHS: s.LHS, RHS: s.RHS})
+		c.emit(Instr{Op: OpAssign, Line: s.Line(), SrcLHS: s.LHS, SrcRHS: s.RHS})
 		return nil
 
 	case *lang.IfStmt:
@@ -194,31 +217,31 @@ func (c *fcomp) stmt(s lang.Stmt) error {
 		if s.Result != nil {
 			c.noteLValue(s.Result)
 		}
-		c.emit(Instr{Op: OpCall, Line: s.Line(), Callee: s.Name, Args: s.Args, LHS: s.Result})
+		c.emit(Instr{Op: OpCall, Line: s.Line(), CalleeName: s.Name, SrcArgs: s.Args, SrcLHS: s.Result})
 		return nil
 
 	case *lang.ReturnStmt:
-		c.emit(Instr{Op: OpReturn, Line: s.Line(), RHS: s.Value})
+		c.emit(Instr{Op: OpReturn, Line: s.Line(), SrcRHS: s.Value})
 		return nil
 
 	case *lang.AcquireStmt:
-		c.emit(Instr{Op: OpAcquire, Line: s.Line(), Lock: s.Lock})
+		c.emit(Instr{Op: OpAcquire, Line: s.Line(), LockName: s.Lock})
 		return nil
 
 	case *lang.ReleaseStmt:
-		c.emit(Instr{Op: OpRelease, Line: s.Line(), Lock: s.Lock})
+		c.emit(Instr{Op: OpRelease, Line: s.Line(), LockName: s.Lock})
 		return nil
 
 	case *lang.SpawnStmt:
-		c.emit(Instr{Op: OpSpawn, Line: s.Line(), Callee: s.Func, Args: s.Args})
+		c.emit(Instr{Op: OpSpawn, Line: s.Line(), CalleeName: s.Func, SrcArgs: s.Args})
 		return nil
 
 	case *lang.AssertStmt:
-		c.emit(Instr{Op: OpAssert, Line: s.Line(), Cond: s.Cond, Msg: s.Msg})
+		c.emit(Instr{Op: OpAssert, Line: s.Line(), SrcCond: s.Cond, Msg: s.Msg})
 		return nil
 
 	case *lang.OutputStmt:
-		c.emit(Instr{Op: OpOutput, Line: s.Line(), RHS: s.Value})
+		c.emit(Instr{Op: OpOutput, Line: s.Line(), SrcRHS: s.Value})
 		return nil
 
 	case *lang.LabelStmt:
@@ -294,22 +317,22 @@ func (c *fcomp) whileLoop(s *lang.WhileStmt) error {
 		c.addLocal(counter)
 		loop.CounterVar = counter
 		c.emit(Instr{Op: OpAssign, Line: s.Line(), Synth: true,
-			LHS: &lang.VarLV{Name: counter}, RHS: &lang.IntLit{Value: 0}})
+			SrcLHS: &lang.VarLV{Name: counter}, SrcRHS: &lang.IntLit{Value: 0}})
 	}
 
 	head := c.here()
 	loop.HeadPC = head
 	group := c.nextGroup
 	c.nextGroup++
-	branch := c.emit(Instr{Op: OpBranch, Line: s.Line(), Cond: s.Cond,
+	branch := c.emit(Instr{Op: OpBranch, Line: s.Line(), SrcCond: s.Cond,
 		PredGroup: group, LoopID: id})
 	c.instrs[branch].True = c.here()
 
 	if loop.CounterVar != "" {
 		cv := loop.CounterVar
 		c.emit(Instr{Op: OpAssign, Line: s.Line(), Synth: true,
-			LHS: &lang.VarLV{Name: cv},
-			RHS: &lang.BinaryExpr{Op: "+", X: &lang.VarRef{Name: cv}, Y: &lang.IntLit{Value: 1}}})
+			SrcLHS: &lang.VarLV{Name: cv},
+			SrcRHS: &lang.BinaryExpr{Op: "+", X: &lang.VarRef{Name: cv}, Y: &lang.IntLit{Value: 1}}})
 	}
 
 	c.loops = append(c.loops, &loopCtx{})
@@ -352,15 +375,15 @@ func (c *fcomp) forLoop(s *lang.ForStmt) error {
 	c.addLocal(fromVar)
 	c.addLocal(toVar)
 
-	c.emit(Instr{Op: OpAssign, Line: s.Line(), LHS: &lang.VarLV{Name: fromVar}, RHS: s.From})
-	c.emit(Instr{Op: OpAssign, Line: s.Line(), LHS: &lang.VarLV{Name: s.Var}, RHS: &lang.VarRef{Name: fromVar}})
-	c.emit(Instr{Op: OpAssign, Line: s.Line(), LHS: &lang.VarLV{Name: toVar}, RHS: s.To})
+	c.emit(Instr{Op: OpAssign, Line: s.Line(), SrcLHS: &lang.VarLV{Name: fromVar}, SrcRHS: s.From})
+	c.emit(Instr{Op: OpAssign, Line: s.Line(), SrcLHS: &lang.VarLV{Name: s.Var}, SrcRHS: &lang.VarRef{Name: fromVar}})
+	c.emit(Instr{Op: OpAssign, Line: s.Line(), SrcLHS: &lang.VarLV{Name: toVar}, SrcRHS: s.To})
 
 	head := c.here()
 	group := c.nextGroup
 	c.nextGroup++
 	cond := &lang.BinaryExpr{Op: "<=", X: &lang.VarRef{Name: s.Var}, Y: &lang.VarRef{Name: toVar}}
-	branch := c.emit(Instr{Op: OpBranch, Line: s.Line(), Cond: cond, PredGroup: group, LoopID: id})
+	branch := c.emit(Instr{Op: OpBranch, Line: s.Line(), SrcCond: cond, PredGroup: group, LoopID: id})
 	c.instrs[branch].True = c.here()
 
 	c.loops = append(c.loops, &loopCtx{})
@@ -372,8 +395,8 @@ func (c *fcomp) forLoop(s *lang.ForStmt) error {
 	}
 	inc := c.here()
 	c.patch(ctx.continues, inc)
-	c.emit(Instr{Op: OpAssign, Line: s.Line(), LHS: &lang.VarLV{Name: s.Var},
-		RHS: &lang.BinaryExpr{Op: "+", X: &lang.VarRef{Name: s.Var}, Y: &lang.IntLit{Value: 1}}})
+	c.emit(Instr{Op: OpAssign, Line: s.Line(), SrcLHS: &lang.VarLV{Name: s.Var},
+		SrcRHS: &lang.BinaryExpr{Op: "+", X: &lang.VarRef{Name: s.Var}, Y: &lang.IntLit{Value: 1}}})
 	c.emit(Instr{Op: OpJump, Line: s.Line(), True: head})
 	exit := c.here()
 	c.instrs[branch].False = exit
@@ -415,6 +438,6 @@ func (c *fcomp) condJump(e lang.Expr, group, line int) (tRefs, fRefs []patchRef)
 			return f, t
 		}
 	}
-	idx := c.emit(Instr{Op: OpBranch, Line: line, Cond: e, PredGroup: group, LoopID: -1})
+	idx := c.emit(Instr{Op: OpBranch, Line: line, SrcCond: e, PredGroup: group, LoopID: -1})
 	return []patchRef{{idx: idx}}, []patchRef{{idx: idx, isFalse: true}}
 }

@@ -1,0 +1,350 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"heisendump/internal/lang"
+)
+
+// This file defines the compiled expression form the interpreter
+// executes. Compile lowers every lang.Expr / lang.LValue appearing in
+// an instruction into these nodes, resolving each variable name to an
+// integer slot at compile time:
+//
+//   - function locals resolve to an index into Func.Locals,
+//   - global scalars to an index into Program.ScalarNames,
+//   - global arrays to an index into Program.ArrayNames,
+//   - locks to an index into Program.Locks.
+//
+// The trial hot path of the schedule search therefore never consults a
+// string-keyed map: every access is a slice index. The name tables on
+// Program and Func map slots back to source names, so traces, crash
+// reports and core dumps keep printing (and comparing) exactly the
+// names the string-keyed interpreter produced.
+
+// ExprKind discriminates compiled expression nodes.
+type ExprKind uint8
+
+const (
+	// EInt is an integer literal; Num carries the value.
+	EInt ExprKind = iota
+	// EBool is a boolean literal; Num is 0 or 1.
+	EBool
+	// ENull is the null pointer literal.
+	ENull
+	// ELocal reads the current frame's local at Slot.
+	ELocal
+	// EGlobal reads the global scalar at Slot.
+	EGlobal
+	// EIndex reads element X of the global array at Slot.
+	EIndex
+	// EField reads field Name of the object X evaluates to.
+	EField
+	// ENew allocates a heap object with the named Fields.
+	ENew
+	// EUnary applies Op to X.
+	EUnary
+	// EBinary applies Op to X and Y (short-circuit for ExLAnd/ExLOr).
+	EBinary
+)
+
+// ExprOp enumerates unary and binary operators in the compiled form,
+// replacing the source-level operator strings so the interpreter
+// dispatches on an integer.
+type ExprOp uint8
+
+const (
+	ExNot ExprOp = iota
+	ExNeg
+	ExAdd
+	ExSub
+	ExMul
+	ExDiv
+	ExMod
+	ExEq
+	ExNe
+	ExLt
+	ExLe
+	ExGt
+	ExGe
+	ExLAnd
+	ExLOr
+)
+
+var exprOpNames = [...]string{"!", "-", "+", "-", "*", "/", "%",
+	"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+// String returns the surface-syntax operator.
+func (o ExprOp) String() string {
+	if int(o) < len(exprOpNames) {
+		return exprOpNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Expr is one compiled expression node. Field use by kind:
+//
+//	EInt, EBool : Num
+//	ELocal      : Slot (index into Func.Locals), Name for diagnostics
+//	EGlobal     : Slot (index into Program.ScalarNames), Name
+//	EIndex      : Slot (index into Program.ArrayNames), Name, X = index
+//	EField      : X = object, Name = field
+//	ENew        : Fields
+//	EUnary      : Op, X
+//	EBinary     : Op, X, Y
+type Expr struct {
+	Kind ExprKind
+	Op   ExprOp
+	// Num is the literal payload for EInt/EBool.
+	Num int64
+	// Slot is the resolved storage index for ELocal/EGlobal/EIndex.
+	Slot int32
+	// Name preserves the source name (variable, array, or field) for
+	// diagnostics; the interpreter never resolves through it.
+	Name string
+	X, Y *Expr
+	// Fields lists the field names of an ENew allocation.
+	Fields []string
+}
+
+// LVKind discriminates compiled lvalue targets.
+type LVKind uint8
+
+const (
+	// LVLocal writes the current frame's local at Slot.
+	LVLocal LVKind = iota
+	// LVGlobal writes the global scalar at Slot.
+	LVGlobal
+	// LVArray writes element Index of the global array at Slot.
+	LVArray
+	// LVField writes field Name of the object Obj evaluates to.
+	LVField
+)
+
+// LValue is one compiled assignment target.
+type LValue struct {
+	Kind LVKind
+	// Slot is the resolved storage index for LVLocal/LVGlobal/LVArray.
+	Slot int32
+	// Name preserves the source name (variable, array, or field).
+	Name string
+	// Index is the element expression for LVArray.
+	Index *Expr
+	// Obj is the object expression for LVField.
+	Obj *Expr
+}
+
+// resolveFunc compiles every source expression of fn's instructions
+// into the slot-addressed form, using fn's final local table and the
+// program's global/array/lock tables. It runs once per function at the
+// end of compilation, after all locals (including instrumentation
+// counters and loop temporaries) are known.
+func (p *Program) resolveFunc(fn *Func) error {
+	fn.localIndex = make(map[string]int, len(fn.Locals))
+	for i, name := range fn.Locals {
+		fn.localIndex[name] = i
+	}
+	r := &resolver{prog: p, fn: fn}
+	for i := range fn.Instrs {
+		in := &fn.Instrs[i]
+		var err error
+		switch in.Op {
+		case OpAssign:
+			if in.LHS, err = r.lvalue(in.SrcLHS); err == nil {
+				in.RHS, err = r.expr(in.SrcRHS)
+			}
+		case OpBranch, OpAssert:
+			in.Cond, err = r.expr(in.SrcCond)
+		case OpReturn, OpOutput:
+			if in.SrcRHS != nil {
+				in.RHS, err = r.expr(in.SrcRHS)
+			}
+		case OpCall, OpSpawn:
+			if in.Callee = int32(p.FuncIndex(in.CalleeName)); in.Callee < 0 {
+				err = fmt.Errorf("unresolved function %q", in.CalleeName)
+				break
+			}
+			if len(in.SrcArgs) > 0 {
+				in.Args = make([]*Expr, len(in.SrcArgs))
+				for j, a := range in.SrcArgs {
+					if in.Args[j], err = r.expr(a); err != nil {
+						break
+					}
+				}
+			}
+			if err == nil && in.SrcLHS != nil {
+				in.LHS, err = r.lvalue(in.SrcLHS)
+			}
+		case OpAcquire, OpRelease:
+			if in.Lock = int32(p.LockID(in.LockName)); in.Lock < 0 {
+				err = fmt.Errorf("unresolved lock %q", in.LockName)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("instr %d (line %d): %w", i, in.Line, err)
+		}
+	}
+	return nil
+}
+
+// resolver compiles lang AST expressions for one function.
+type resolver struct {
+	prog *Program
+	fn   *Func
+}
+
+// variable resolves a scalar name: locals shadow nothing (lang.Check
+// rejects shadowing), so a name is a local of the enclosing function
+// or a global scalar; anything else is a compile-time error — the
+// slot-addressed interpreter has no fallback path that could silently
+// invent storage for a typo.
+func (r *resolver) variable(name string) (*Expr, error) {
+	if slot, ok := r.fn.localIndex[name]; ok {
+		return &Expr{Kind: ELocal, Slot: int32(slot), Name: name}, nil
+	}
+	if slot := r.prog.GlobalSlot(name); slot >= 0 {
+		return &Expr{Kind: EGlobal, Slot: int32(slot), Name: name}, nil
+	}
+	return nil, fmt.Errorf("unresolved variable %q", name)
+}
+
+func (r *resolver) expr(e lang.Expr) (*Expr, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return &Expr{Kind: EInt, Num: e.Value}, nil
+	case *lang.BoolLit:
+		out := &Expr{Kind: EBool}
+		if e.Value {
+			out.Num = 1
+		}
+		return out, nil
+	case *lang.NullLit:
+		return &Expr{Kind: ENull}, nil
+	case *lang.VarRef:
+		return r.variable(e.Name)
+	case *lang.IndexExpr:
+		slot := r.prog.ArraySlot(e.Name)
+		if slot < 0 {
+			return nil, fmt.Errorf("unresolved array %q", e.Name)
+		}
+		idx, err := r.expr(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EIndex, Slot: int32(slot), Name: e.Name, X: idx}, nil
+	case *lang.FieldExpr:
+		obj, err := r.expr(e.Obj)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EField, Name: e.Field, X: obj}, nil
+	case *lang.NewExpr:
+		return &Expr{Kind: ENew, Fields: e.Fields}, nil
+	case *lang.UnaryExpr:
+		x, err := r.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "!":
+			return &Expr{Kind: EUnary, Op: ExNot, X: x}, nil
+		case "-":
+			return &Expr{Kind: EUnary, Op: ExNeg, X: x}, nil
+		}
+		return nil, fmt.Errorf("unknown unary op %q", e.Op)
+	case *lang.BinaryExpr:
+		op, ok := binOps[e.Op]
+		if !ok {
+			return nil, fmt.Errorf("unknown binary op %q", e.Op)
+		}
+		x, err := r.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := r.expr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EBinary, Op: op, X: x, Y: y}, nil
+	}
+	return nil, fmt.Errorf("cannot compile expression %T", e)
+}
+
+var binOps = map[string]ExprOp{
+	"+": ExAdd, "-": ExSub, "*": ExMul, "/": ExDiv, "%": ExMod,
+	"==": ExEq, "!=": ExNe, "<": ExLt, "<=": ExLe, ">": ExGt, ">=": ExGe,
+	"&&": ExLAnd, "||": ExLOr,
+}
+
+func (r *resolver) lvalue(lv lang.LValue) (*LValue, error) {
+	switch lv := lv.(type) {
+	case *lang.VarLV:
+		if slot, ok := r.fn.localIndex[lv.Name]; ok {
+			return &LValue{Kind: LVLocal, Slot: int32(slot), Name: lv.Name}, nil
+		}
+		if slot := r.prog.GlobalSlot(lv.Name); slot >= 0 {
+			return &LValue{Kind: LVGlobal, Slot: int32(slot), Name: lv.Name}, nil
+		}
+		return nil, fmt.Errorf("unresolved variable %q in assignment", lv.Name)
+	case *lang.IndexLV:
+		slot := r.prog.ArraySlot(lv.Name)
+		if slot < 0 {
+			return nil, fmt.Errorf("unresolved array %q in assignment", lv.Name)
+		}
+		idx, err := r.expr(lv.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &LValue{Kind: LVArray, Slot: int32(slot), Name: lv.Name, Index: idx}, nil
+	case *lang.FieldLV:
+		obj, err := r.expr(lv.Obj)
+		if err != nil {
+			return nil, err
+		}
+		return &LValue{Kind: LVField, Name: lv.Field, Obj: obj}, nil
+	}
+	return nil, fmt.Errorf("cannot compile lvalue %T", lv)
+}
+
+// String renders the compiled expression in surface syntax, for
+// diagnostics and IR dumps.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case EInt:
+		return fmt.Sprintf("%d", e.Num)
+	case EBool:
+		if e.Num != 0 {
+			return "true"
+		}
+		return "false"
+	case ENull:
+		return "null"
+	case ELocal, EGlobal:
+		return e.Name
+	case EIndex:
+		return fmt.Sprintf("%s[%s]", e.Name, e.X)
+	case EField:
+		return fmt.Sprintf("%s.%s", e.X, e.Name)
+	case ENew:
+		return fmt.Sprintf("new(%s)", strings.Join(e.Fields, ", "))
+	case EUnary:
+		return fmt.Sprintf("%s%s", e.Op, e.X)
+	case EBinary:
+		return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+	}
+	return "expr?"
+}
+
+// String renders the compiled lvalue in surface syntax.
+func (lv *LValue) String() string {
+	switch lv.Kind {
+	case LVLocal, LVGlobal:
+		return lv.Name
+	case LVArray:
+		return fmt.Sprintf("%s[%s]", lv.Name, lv.Index)
+	case LVField:
+		return fmt.Sprintf("%s.%s", lv.Obj, lv.Name)
+	}
+	return "lvalue?"
+}

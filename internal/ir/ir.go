@@ -67,20 +67,35 @@ func (o Op) String() string {
 //	OpSpawn  : Callee, Args
 //	OpAssert : Cond, Msg
 //	OpOutput : RHS
+//
+// LHS/RHS/Cond/Args are the compiled slot-addressed forms the
+// interpreter executes; Callee is a function index and Lock a lock id.
+// The Src* fields retain the source AST the instruction was lowered
+// from — the reference (name-map) interpreter in the interp tests
+// executes those, and they keep IR dumps readable.
 type Instr struct {
 	Op   Op
 	Line int
 
-	LHS  lang.LValue
-	RHS  lang.Expr
-	Cond lang.Expr
+	// Compiled operands: every variable, array, lock and callee is
+	// resolved to an integer slot (see expr.go). Filled by Compile.
+	LHS    *LValue
+	RHS    *Expr
+	Cond   *Expr
+	Args   []*Expr
+	Callee int32 // index into Program.Funcs
+	Lock   int32 // index into Program.Locks
 
 	True, False int
 
-	Callee string
-	Args   []lang.Expr
-	Lock   string
-	Msg    string
+	// Source operands, as lowered from the AST.
+	SrcLHS     lang.LValue
+	SrcRHS     lang.Expr
+	SrcCond    lang.Expr
+	SrcArgs    []lang.Expr
+	CalleeName string
+	LockName   string
+	Msg        string
 
 	// PredGroup groups the branch instructions lowered from one source
 	// conditional (short-circuit && / ||). Statements control dependent
@@ -141,12 +156,25 @@ type Func struct {
 	Name   string
 	Params []string
 	// Locals lists every local name (params first, then declared locals
-	// and compiler temporaries), in a deterministic order.
+	// and compiler temporaries), in a deterministic order. The position
+	// of a name is its frame slot: the interpreter stores frame locals
+	// in a []Value indexed by it, and this table maps slots back to
+	// names for traces, dumps and crash reports.
 	Locals []string
 	Instrs []Instr
 	Loops  []*Loop
 	// Groups maps a PredGroup id to its decided-outcome targets.
 	Groups map[int]GroupInfo
+
+	localIndex map[string]int
+}
+
+// LocalSlot returns the frame slot of the named local, or -1.
+func (f *Func) LocalSlot(name string) int {
+	if i, ok := f.localIndex[name]; ok {
+		return i
+	}
+	return -1
 }
 
 // LoopByHead returns the loop whose head branch is at pc, or nil.
@@ -180,7 +208,26 @@ type Program struct {
 	Locks   []string
 	Funcs   []*Func
 
-	funcIndex map[string]int
+	// Dense storage tables: Compile interns every global scalar, global
+	// array and lock into these slot-indexed name tables. The
+	// interpreter's machine state is laid out by slot ([]Value for
+	// scalars, [][]int64 for arrays, []int32 holders for locks — see
+	// interp), and the tables map slots back to source names so every
+	// externally visible artifact (traces, dumps, crash reports, prune
+	// fingerprints) still speaks names.
+	//
+	// ScalarNames[i]/ScalarDecls[i] describe scalar-global slot i;
+	// ArrayNames[i]/ArrayDecls[i] describe array slot i. Lock id i is
+	// named Locks[i]. All tables are in declaration order.
+	ScalarNames []string
+	ScalarDecls []*lang.VarDecl
+	ArrayNames  []string
+	ArrayDecls  []*lang.VarDecl
+
+	funcIndex   map[string]int
+	globalIndex map[string]int
+	arrayIndex  map[string]int
+	lockIndex   map[string]int
 
 	// Instrumented records whether while loops carry synthetic counters.
 	Instrumented bool
@@ -189,6 +236,32 @@ type Program struct {
 // FuncIndex returns the index of the named function, or -1.
 func (p *Program) FuncIndex(name string) int {
 	if i, ok := p.funcIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// GlobalSlot returns the storage slot of the named global scalar, or
+// -1 (the name is an array, a lock, or undeclared).
+func (p *Program) GlobalSlot(name string) int {
+	if i, ok := p.globalIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ArraySlot returns the storage slot of the named global array, or -1.
+func (p *Program) ArraySlot(name string) int {
+	if i, ok := p.arrayIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// LockID returns the id of the named lock, or -1. Lock id i is named
+// Locks[i].
+func (p *Program) LockID(name string) int {
+	if i, ok := p.lockIndex[name]; ok {
 		return i
 	}
 	return -1

@@ -125,8 +125,16 @@ func (c *checker) checkStmt(s Stmt, loopDepth int) error {
 		}
 		return c.checkBlock(s.Body, loopDepth+1)
 	case *ForStmt:
-		if _, ok := c.varType(s.Var); !ok {
-			// The loop variable may be declared implicitly.
+		// The loop variable is always a local of the enclosing function
+		// (compilation lowers it to a frame slot), declared implicitly by
+		// the loop when no `var` introduced it. A global of the same name
+		// would be silently shadowed — the loop would count in a local
+		// while readers of the global saw nothing — so that is an error
+		// here, exactly like an explicit `var` shadowing a global.
+		if _, ok := c.locals[s.Var]; !ok {
+			if _, clash := c.globals[s.Var]; clash {
+				return fmt.Errorf("line %d: loop variable %q shadows a global", s.Line(), s.Var)
+			}
 			c.locals[s.Var] = TypeInt
 		}
 		if err := c.checkExpr(s.From, s.Line()); err != nil {

@@ -1,0 +1,62 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"heisendump/internal/lang"
+)
+
+// TestCheckRejectsUndeclaredWrites pins the loud-failure contract for
+// workload typos: a name that is neither a declared local nor a global
+// cannot be written (or read) — it is a check-time error, never a
+// silently materialized variable at run time.
+func TestCheckRejectsUndeclaredWrites(t *testing.T) {
+	_, err := lang.Parse(`
+program typo;
+global int count;
+func main() {
+    cuont = 1;
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("undeclared write: err = %v, want undeclared-variable error", err)
+	}
+}
+
+// TestCheckRejectsLoopVarShadowingGlobal: the counted-loop variable is
+// always a frame local; letting it name a global would silently shadow
+// it (compilation lowers the counter to a local slot while check
+// resolved the name to the global). The audit makes this a check-time
+// error, consistent with `var` shadowing.
+func TestCheckRejectsLoopVarShadowingGlobal(t *testing.T) {
+	_, err := lang.Parse(`
+program shadow;
+global int i;
+func main() {
+    for i = 1 .. 3 {
+        output i;
+    }
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "shadows a global") {
+		t.Fatalf("loop-var shadow: err = %v, want shadows-a-global error", err)
+	}
+}
+
+// TestCheckAllowsDeclaredLoopVar: an explicitly declared local loop
+// variable keeps working.
+func TestCheckAllowsDeclaredLoopVar(t *testing.T) {
+	_, err := lang.Parse(`
+program ok;
+func main() {
+    var int i;
+    for i = 1 .. 3 {
+        output i;
+    }
+}
+`)
+	if err != nil {
+		t.Fatalf("declared loop var rejected: %v", err)
+	}
+}

@@ -223,12 +223,24 @@ func Stress(newMachine func() *interp.Machine, maxAttempts int) (*interp.Machine
 // from an exhausted budget via ctx.Err(). Seeds are tried in the same
 // fixed order, so an uncancelled StressContext is bit-identical to
 // Stress.
+//
+// The factory is called once: subsequent attempts rewind the same
+// machine with Machine.Reset (which is observationally identical to a
+// fresh build and recycles all per-run storage), so a long stress
+// campaign stops paying an allocation per attempt. On a crash the
+// machine is returned still holding the crashed state for dump
+// capture.
 func StressContext(ctx context.Context, newMachine func() *interp.Machine, maxAttempts int) (*interp.Machine, *StressResult) {
+	var m *interp.Machine
 	for i := 0; i < maxAttempts; i++ {
 		if ctx != nil && ctx.Err() != nil {
 			return nil, nil
 		}
-		m := newMachine()
+		if m == nil {
+			m = newMachine()
+		} else {
+			m.Reset(m.Prog, m.SeedInput())
+		}
 		res := Runner{Ctx: ctx}.Run(m, NewRandom(int64(i)))
 		if res.Cancelled {
 			return nil, nil

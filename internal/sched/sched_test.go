@@ -82,7 +82,7 @@ func TestQuickRandomSchedulesAlwaysComplete(t *testing.T) {
 		if res.Crashed || res.Deadlocked {
 			return false
 		}
-		return m.Globals["a"].Num == 5 && m.Globals["b"].Num == 5
+		return m.Global("a").Num == 5 && m.Global("b").Num == 5
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestQuickReplayReproducesState(t *testing.T) {
 		if r1.Steps != r2.Steps || r1.Crashed != r2.Crashed {
 			return false
 		}
-		return m1.Globals["a"] == m2.Globals["a"] && m1.Globals["b"] == m2.Globals["b"]
+		return m1.Global("a") == m2.Global("a") && m1.Global("b") == m2.Global("b")
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
