@@ -10,6 +10,8 @@
 //	benchtab -workers 8       # run up to 8 workloads concurrently
 //	benchtab -prune           # equivalence-pruned searches (same rows,
 //	                          # fewer executed trials)
+//	benchtab -generated       # add the curated generator-derived
+//	                          # workloads as extra rows in tables 2-6
 //	benchtab -json > rows.json # machine-readable rows (one JSON object
 //	                           # per table/figure) for perf tracking
 //	benchtab -interp          # add the interpreter allocs/step section
@@ -47,6 +49,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions for overhead timing")
 	workers := flag.Int("workers", 0, "concurrent workloads per table (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "enable equivalence pruning in the schedule searches (identical tries/found, fewer executed trials)")
+	generated := flag.Bool("generated", false, "add the curated generator-derived workloads (internal/gen) as extra rows in tables 2-6")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows, one object per table/figure")
 	interpCost := flag.Bool("interp", false, "also measure interpreter steady-state allocs/step (the \"interp\" section cmd/benchgate gates)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none)")
@@ -55,6 +58,7 @@ func main() {
 
 	experiments.Workers = *workers
 	experiments.Prune = *prune
+	experiments.IncludeGenerated = *generated
 	if *progress {
 		experiments.Progress = progressPrinter()
 	}

@@ -220,6 +220,13 @@ func Bugs() []*Workload { return workloads.Bugs() }
 // SplashKernels returns the Fig. 10 overhead-measurement kernels.
 func SplashKernels() []*Workload { return workloads.SplashKernels() }
 
+// GeneratedWorkloads returns the curated generator-derived bug
+// workloads (internal/gen): machine-manufactured concurrency bugs with
+// known ground truth, continuously re-validated by cmd/fuzz's
+// differential oracle. They appear in the experiment tables via
+// cmd/benchtab -generated.
+func GeneratedWorkloads() []*Workload { return workloads.Generated() }
+
 // MeasureOverhead measures the loop-counter instrumentation overhead
 // of a workload on a single deterministic core (Fig. 10). Both
 // compilations go through Workload.Compile — the same compile path as

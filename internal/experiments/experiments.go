@@ -51,6 +51,26 @@ var Prune = false
 // must be safe for concurrent use and fast. Set it once at startup.
 var Progress func(subject string, p chess.Progress)
 
+// IncludeGenerated appends the curated generator-derived workloads
+// (workloads.Generated()) to the subjects of Tables 2–6, so the
+// machine-manufactured bugs report rows alongside the paper's seven.
+// Off by default: the benchmark-regression baseline
+// (BENCH_baseline.json) pins the original rows, and the generated rows
+// are additive (cmd/benchtab's -generated flag sets this). Set it once
+// at startup.
+var IncludeGenerated = false
+
+// subjects returns the bug workloads the tables run over: the paper's
+// Table 2 seven, plus the curated generated corpus when
+// IncludeGenerated is set.
+func subjects() []*workloads.Workload {
+	bugs := workloads.Bugs()
+	if !IncludeGenerated {
+		return bugs
+	}
+	return append(append([]*workloads.Workload(nil), bugs...), workloads.Generated()...)
+}
+
 // observerFor adapts the Progress hook into a per-subject pipeline
 // observer, or nil when no hook is installed.
 func observerFor(subject string) core.Observer {
@@ -131,7 +151,7 @@ type Table2Row struct {
 
 // Table2 describes the studied bugs.
 func Table2(ctx context.Context) ([]Table2Row, error) {
-	bugs := workloads.Bugs()
+	bugs := subjects()
 	rows := make([]Table2Row, len(bugs))
 	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
@@ -201,7 +221,7 @@ type Table3Row struct {
 
 // Table3 runs the analysis phase on every bug.
 func Table3(ctx context.Context) ([]Table3Row, error) {
-	bugs := workloads.Bugs()
+	bugs := subjects()
 	rows := make([]Table3Row, len(bugs))
 	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
@@ -298,7 +318,7 @@ func Table4(ctx context.Context, plainCap int) ([]Table4Row, error) {
 	if plainCap == 0 {
 		plainCap = 2000
 	}
-	bugs := workloads.Bugs()
+	bugs := subjects()
 	rows := make([]Table4Row, len(bugs))
 	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
@@ -416,7 +436,7 @@ func Table5(ctx context.Context, cap int) ([]Table5Row, error) {
 	if cap == 0 {
 		cap = 2000
 	}
-	bugs := workloads.Bugs()
+	bugs := subjects()
 	rows := make([]Table5Row, len(bugs))
 	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
@@ -479,7 +499,7 @@ type Table6Row struct {
 
 // Table6 measures the one-time analysis costs per bug.
 func Table6(ctx context.Context) ([]Table6Row, error) {
-	bugs := workloads.Bugs()
+	bugs := subjects()
 	rows := make([]Table6Row, len(bugs))
 	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Corpus persistence. A corpus file is JSON lines — one Entry per line
+// — so corpora concatenate, diff and grep cleanly. Expensive
+// discoveries (the witness interleaving, the pipeline outcome) travel
+// with the program that produced them, ShareJIT-style: a later run —
+// CI, another developer's machine — replays the same corpus and
+// cross-checks the recorded artifacts instead of re-discovering them,
+// and VerifyEntry makes every entry self-checking against the
+// generator (byte-identical regeneration) and the interpreter (the
+// witness still crashes at the recorded site).
+
+// Entry is one persisted generated program with its ground truth and
+// the oracle artifacts that were expensive to discover.
+type Entry struct {
+	// Seed regenerates the program: Generate(Seed) must be
+	// byte-identical to Source.
+	Seed int64 `json:"seed"`
+	// Name, Kind and Threads mirror the generated Program.
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Threads int    `json:"threads"`
+	// Source is the rendered program, stored so a corpus survives
+	// generator evolution: a mismatch against regeneration is detected
+	// (VerifyEntry), not silently absorbed.
+	Source string `json:"source"`
+	// Reason and SiteFunc are the seeded failure's ground truth.
+	Reason   string `json:"reason"`
+	SiteFunc string `json:"site_func"`
+	// WitnessSeed and Witness are the ground-truth crashing
+	// interleaving.
+	WitnessSeed int64 `json:"witness_seed"`
+	Witness     []int `json:"witness"`
+	// Found, Tries and Schedule record the pipeline outcome (the
+	// deterministic fingerprint all configurations agreed on), and
+	// TrialBudget/StressBudget the budgets it was produced under — a
+	// replay must use the same budgets, or a truncated search would
+	// read as outcome drift.
+	Found        bool   `json:"found"`
+	Tries        int    `json:"tries"`
+	Schedule     string `json:"schedule,omitempty"`
+	TrialBudget  int    `json:"trial_budget,omitempty"`
+	StressBudget int    `json:"stress_budget,omitempty"`
+}
+
+// EntryFor packages a verdict into a persistable corpus entry.
+func EntryFor(v *Verdict) Entry {
+	e := Entry{
+		Seed:     v.Program.Seed,
+		Name:     v.Program.Name,
+		Kind:     v.Program.Kind.String(),
+		Threads:  v.Program.Threads,
+		Source:   v.Program.Source,
+		Reason:   v.Program.Reason,
+		SiteFunc: v.Program.SiteFunc,
+	}
+	if v.Witness != nil {
+		e.WitnessSeed = v.Witness.Seed
+		e.Witness = v.Witness.Schedule
+	}
+	if len(v.Outcomes) > 0 {
+		e.Found = v.Outcomes[0].Found
+		e.Tries = v.Outcomes[0].Tries
+		e.Schedule = v.Outcomes[0].Schedule
+		e.TrialBudget = v.TrialBudget
+		e.StressBudget = v.StressBudget
+	}
+	return e
+}
+
+// WriteCorpus writes entries as JSON lines.
+func WriteCorpus(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("gen: corpus entry %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus reads a JSON-lines corpus. Blank lines are skipped, so
+// concatenated corpora parse.
+func ReadCorpus(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("gen: corpus line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyEntry checks a corpus entry against the current tree: the
+// generator still produces the byte-identical program for the seed,
+// the program still compiles, and the recorded witness still crashes
+// at the recorded site. It returns the regenerated program on success
+// so callers can run further checks (e.g. a full oracle pass) without
+// regenerating.
+func VerifyEntry(e Entry) (*Program, error) {
+	p := Generate(e.Seed)
+	if p.Source != e.Source {
+		return nil, fmt.Errorf("gen: corpus %s: regenerated source differs from the recorded one (generator changed under the corpus; regenerate it with cmd/fuzz -out)", e.Name)
+	}
+	if p.Reason != e.Reason || p.SiteFunc != e.SiteFunc {
+		return nil, fmt.Errorf("gen: corpus %s: ground truth differs (reason %q/%q, site %q/%q)",
+			e.Name, p.Reason, e.Reason, p.SiteFunc, e.SiteFunc)
+	}
+	prog, err := p.Compile(true)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.Witness) > 0 {
+		w := &Witness{Seed: e.WitnessSeed, Schedule: e.Witness}
+		if err := ReplayWitness(p, prog, w); err != nil {
+			return nil, fmt.Errorf("gen: corpus %s: recorded witness no longer crashes: %w", e.Name, err)
+		}
+	}
+	return p, nil
+}

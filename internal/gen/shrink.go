@@ -1,0 +1,77 @@
+package gen
+
+// Shrink greedily minimizes a failing spec while the failure persists:
+// keep must report whether the rendered candidate still exhibits the
+// property being shrunk (a pipeline miss, a determinism divergence).
+// Moves are tried in a fixed order — drop a filler instance, then
+// reduce filler thread counts, then filler iterations, then the bug's
+// pad and iteration parameters — and every accepted move restarts the
+// scan, so the result is a deterministic local minimum: no single
+// remaining move preserves the failure. The shrunken spec renders
+// through the ordinary Build path, so the counterexample cmd/fuzz
+// reports is itself a valid generator product (and registrable as a
+// workload).
+//
+// keep is invoked once per candidate; each call typically re-runs the
+// oracle, so the move list is kept small and monotone (every move
+// strictly shrinks the spec, bounding the total number of calls).
+func Shrink(spec Spec, keep func(*Program) bool) Spec {
+	try := func(cand Spec) bool { return keep(Build(cand)) }
+restart:
+	for {
+		// Drop whole filler instances first: the largest single
+		// reduction, and the most common irrelevant structure.
+		for i := range spec.Fillers {
+			cand := spec
+			cand.Fillers = append(append([]FillerSpec(nil), spec.Fillers[:i]...), spec.Fillers[i+1:]...)
+			if try(cand) {
+				spec = cand
+				continue restart
+			}
+		}
+		// Thin the surviving fillers. Only Mill honors Threads (the
+		// other templates are structurally two-threaded), so the
+		// decrement move would render a byte-identical program — and
+		// cost a full oracle pass — on any other kind.
+		for i := range spec.Fillers {
+			if spec.Fillers[i].Kind == Mill && spec.Fillers[i].Threads > 1 {
+				cand := spec
+				cand.Fillers = append([]FillerSpec(nil), spec.Fillers...)
+				cand.Fillers[i].Threads--
+				if try(cand) {
+					spec = cand
+					continue restart
+				}
+			}
+			if spec.Fillers[i].Iters > 1 {
+				cand := spec
+				cand.Fillers = append([]FillerSpec(nil), spec.Fillers...)
+				cand.Fillers[i].Iters--
+				if try(cand) {
+					spec = cand
+					continue restart
+				}
+			}
+		}
+		// Narrow the bug itself last: the window padding, then the
+		// iteration count (at least one iteration must remain for the
+		// bug to exist at all).
+		if spec.Bug.Pad > 1 {
+			cand := spec
+			cand.Bug.Pad--
+			if try(cand) {
+				spec = cand
+				continue restart
+			}
+		}
+		if spec.Bug.Iters > 1 {
+			cand := spec
+			cand.Bug.Iters--
+			if try(cand) {
+				spec = cand
+				continue restart
+			}
+		}
+		return spec
+	}
+}

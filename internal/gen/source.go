@@ -1,0 +1,352 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"heisendump/internal/interp"
+)
+
+// Build renders a Spec into program source, deterministically: the
+// output is a pure function of the Spec value. Naming conventions (see
+// docs/LANG.md): bug globals are g-prefixed, the bug lock is G<tag>,
+// filler instance i owns the f<i>-prefixed namespace, and every seeded
+// failure site is an assert whose message starts "genbug-<kind>:" —
+// which is what the witness search and the oracle match crashes
+// against.
+func Build(spec Spec) *Program {
+	p := &Program{
+		Name:  fmt.Sprintf("gen-%s-%s", spec.Bug.Kind, seedTag(spec.Seed)),
+		Seed:  spec.Seed,
+		Spec:  spec,
+		Input: &interp.Input{},
+		Kind:  spec.Bug.Kind,
+	}
+
+	var decls, funcs, spawns strings.Builder
+
+	// The bug goes first: its threads are spawned before the fillers,
+	// so the deterministic cooperative order runs them in the safe
+	// sequence (writer to completion before reader).
+	renderBug(p, spec.Bug, &decls, &funcs, &spawns)
+	for i, f := range spec.Fillers {
+		renderFiller(p, i, f, &decls, &funcs, &spawns)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program gen_%s_s%s;\n\n", spec.Bug.Kind, seedTag(spec.Seed))
+	sb.WriteString(decls.String())
+	sb.WriteString("\nfunc main() {\n")
+	sb.WriteString(spawns.String())
+	sb.WriteString("}\n")
+	sb.WriteString(funcs.String())
+
+	p.Source = sb.String()
+	p.Threads++ // main
+	return p
+}
+
+// seedTag renders a seed as an identifier fragment: negative seeds get
+// an "n" prefix ("n10"), so seeds n and -n never collide in program
+// headers or generated Go identifiers.
+func seedTag(v int64) string {
+	if v < 0 {
+		return fmt.Sprintf("n%d", -v)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// renderBug emits the injected bug's declarations, functions and
+// spawns, and records the ground truth (Reason, SiteFunc) on p. Every
+// pattern is a Heisenbug by construction: the deterministic
+// cooperative run — spawn order, each thread to completion — passes,
+// and only specific interleavings reach the seeded assert. Each
+// pattern also places a lock-protected operation inside its
+// vulnerability window, so the passing run contains the
+// before-acquire/after-release preemption points the schedule search
+// needs to inject the failing switch.
+func renderBug(p *Program, b BugSpec, decls, funcs, spawns *strings.Builder) {
+	switch b.Kind {
+	case Atomicity:
+		msg := "genbug-atom: reserved slot already written"
+		p.Reason = "assertion failed: " + msg
+		p.SiteFunc = "racer"
+		slots := 2 * b.Iters
+		fmt.Fprintf(decls, `global int gpos = -1;
+global int gbuf[%d];
+global int gseq;
+global int gown;
+global int gwork;
+global int gscrub;
+lock GB;
+`, slots)
+		fmt.Fprintf(funcs, `
+// Seeded atomicity violation: the slot reservation (gpos bump) and the
+// slot write re-reading gpos are split across the sequencing lock.
+// The closing scrub pass reads every slot, which puts the whole buffer
+// into each racer's future-CSV set (and into its last schedule block):
+// the conflicted slot is always a critical shared variable, so the
+// guided search always has an eligible racer-to-racer switch at a
+// single preemption point, whichever thread the stress crash landed
+// in.
+func racer(int n, int tag) {
+    var int i;
+    var int w;
+    for i = 1 .. n {
+        gpos = gpos + 1;
+        gown = tag + i;
+        acquire(GB);
+        gseq = gseq + 1;
+        release(GB);
+        for w = 1 .. %d {
+            gwork = gwork + 1;
+        }
+        assert(gbuf[gpos] == 0, %q);
+        gbuf[gpos] = tag + i;
+    }
+    for w = 1 .. %d {
+        gscrub = gscrub + gbuf[w - 1];
+    }
+}
+`, b.Pad, msg, slots)
+		fmt.Fprintf(spawns, "    spawn racer(%d, 100);\n    spawn racer(%d, 200);\n", b.Iters, b.Iters)
+		p.Threads += 2
+
+	case OrderViolation:
+		msg := "genbug-order: flag observed before initialization"
+		p.Reason = "assertion failed: " + msg
+		p.SiteFunc = "user"
+		fmt.Fprintf(decls, `global int gready;
+global int gstat;
+global int gwork;
+global ptr gcfg;
+lock GO;
+`)
+		fmt.Fprintf(funcs, `
+// Seeded order violation: the ready flag is published before the
+// config object it guards exists.
+func setup(int pad) {
+    var int i;
+    gready = 1;
+    acquire(GO);
+    gstat = gstat + 1;
+    release(GO);
+    for i = 1 .. pad {
+        gwork = gwork + 1;
+    }
+    gcfg = new(val);
+    gcfg.val = 1;
+}
+
+func user(int n) {
+    var int i;
+    for i = 1 .. n {
+        acquire(GO);
+        gstat = gstat + 1;
+        release(GO);
+        if (gready == 1) {
+            assert(gcfg != null, %q);
+            gcfg.val = gcfg.val + 1;
+        }
+    }
+}
+`, msg)
+		fmt.Fprintf(spawns, "    spawn setup(%d);\n    spawn user(%d);\n", b.Pad, b.Iters)
+		p.Threads += 2
+
+	case LostUpdate:
+		msg := "genbug-lost: concurrent increments were lost"
+		p.Reason = "assertion failed: " + msg
+		p.SiteFunc = "audit"
+		expect := 2 * b.Iters
+		polls := 6*b.Iters + 2
+		fmt.Fprintf(decls, `global int gslot[2];
+global int gseq;
+global int gdone;
+global int gpad;
+lock GL;
+`)
+		fmt.Fprintf(funcs, `
+// Seeded lost update: the read and the write of the slot increment are
+// split across the audit-log lock, so a concurrent bump in the window
+// is overwritten. The audit thread checks the total only once both
+// bumpers have announced completion, so it never fires spuriously.
+func bumper(int r) {
+    var int i;
+    var int tmp;
+    for i = 1 .. r {
+        tmp = gslot[1];
+        acquire(GL);
+        gseq = gseq + 1;
+        release(GL);
+        gslot[1] = tmp + 1;
+    }
+    acquire(GL);
+    gdone = gdone + 1;
+    release(GL);
+}
+
+func audit(int b, int expect) {
+    var int i;
+    for i = 1 .. b {
+        acquire(GL);
+        if (gdone == 2) {
+            assert(gslot[1] == expect, %q);
+        }
+        release(GL);
+        gpad = gpad + 1;
+    }
+}
+`, msg)
+		fmt.Fprintf(spawns, "    spawn bumper(%d);\n    spawn bumper(%d);\n    spawn audit(%d, %d);\n",
+			b.Iters, b.Iters, polls, expect)
+		p.Threads += 3
+
+	case DoubleCheck:
+		msg := "genbug-dcl: fast path saw the flag before the object"
+		p.Reason = "assertion failed: " + msg
+		p.SiteFunc = "fastpath"
+		fmt.Fprintf(decls, `global int ginit;
+global int gprep;
+global int gmiss;
+global ptr gobj;
+lock GD;
+`)
+		fmt.Fprintf(funcs, `
+// Seeded broken double-checked flag: the init flag is published in a
+// first critical section, the object only in a second one; the fast
+// path checks the flag without the lock.
+func initer(int pad) {
+    var int i;
+    acquire(GD);
+    ginit = 1;
+    release(GD);
+    for i = 1 .. pad {
+        gprep = gprep + 1;
+    }
+    acquire(GD);
+    gobj = new(val);
+    release(GD);
+}
+
+func fastpath(int n) {
+    var int i;
+    for i = 1 .. n {
+        if (ginit == 1) {
+            assert(gobj != null, %q);
+            gobj.val = gobj.val + 1;
+        } else {
+            gmiss = gmiss + 1;
+        }
+    }
+}
+`, msg)
+		fmt.Fprintf(spawns, "    spawn initer(%d);\n    spawn fastpath(%d);\n", b.Pad, b.Iters)
+		p.Threads += 2
+	}
+}
+
+// renderFiller emits one benign template instance into the f<idx>
+// namespace. Fillers never crash and never block unboundedly: all
+// loops are counted, every wait is a bounded poll, and every lock is
+// only ever held across straight-line code — so a filler can perturb
+// schedules (and inflate the preemption-candidate count) but never
+// introduces a second bug.
+//
+// Templates are written with @p (the instance's lower-case name
+// prefix), @P (its upper-case lock prefix) and @n (the instance's
+// iteration/capacity parameter) placeholders, expanded by fill.
+func renderFiller(p *Program, idx int, f FillerSpec, decls, funcs, spawns *strings.Builder) {
+	pre := fmt.Sprintf("f%d", idx)
+	fill := func(template string) string {
+		r := strings.NewReplacer("@p", pre, "@P", strings.ToUpper(pre), "@n", fmt.Sprintf("%d", f.Iters))
+		return r.Replace(template)
+	}
+	switch f.Kind {
+	case Mill:
+		decls.WriteString(fill("global int @ppool;\nlock @PW;\n"))
+		funcs.WriteString(fill(`
+func @pmill(int k) {
+    var int j;
+    for j = 1 .. k {
+        acquire(@PW);
+        @ppool = @ppool + 1;
+        release(@PW);
+    }
+}
+`))
+		for t := 0; t < f.Threads; t++ {
+			spawns.WriteString(fill("    spawn @pmill(@n);\n"))
+		}
+		p.Threads += f.Threads
+
+	case ProducerConsumer:
+		decls.WriteString(fill("global int @pq[@n];\nglobal int @phead;\nglobal int @ptail;\nglobal int @pgot;\nlock @PQ;\n"))
+		funcs.WriteString(fill(`
+func @pprod(int k) {
+    var int j;
+    for j = 1 .. k {
+        acquire(@PQ);
+        if (@ptail < @n) {
+            @pq[@ptail] = j;
+            @ptail = @ptail + 1;
+        }
+        release(@PQ);
+    }
+}
+
+func @pcons(int k) {
+    var int j;
+    for j = 1 .. k {
+        acquire(@PQ);
+        if (@phead < @ptail) {
+            @pgot = @pgot + @pq[@phead];
+            @phead = @phead + 1;
+        }
+        release(@PQ);
+    }
+}
+`))
+		spawns.WriteString(fill("    spawn @pprod(@n);\n    spawn @pcons(@n);\n"))
+		p.Threads += 2
+
+	case LockStripe:
+		decls.WriteString(fill("global int @parr[2];\nlock @PS0;\nlock @PS1;\n"))
+		funcs.WriteString(fill(`
+func @pstripe(int s, int k) {
+    var int j;
+    for j = 1 .. k {
+        if (s == 0) {
+            acquire(@PS0);
+            @parr[0] = @parr[0] + 1;
+            release(@PS0);
+        } else {
+            acquire(@PS1);
+            @parr[1] = @parr[1] + 1;
+            release(@PS1);
+        }
+    }
+}
+`))
+		spawns.WriteString(fill("    spawn @pstripe(0, @n);\n    spawn @pstripe(1, @n);\n"))
+		p.Threads += 2
+
+	case BarrierPhase:
+		decls.WriteString(fill("global int @parrived;\nglobal int @pph;\nlock @PB;\n"))
+		funcs.WriteString(fill(`
+func @pphase(int k) {
+    var int j;
+    acquire(@PB);
+    @parrived = @parrived + 1;
+    release(@PB);
+    for j = 1 .. k {
+        if (@parrived == 2) {
+            @pph = @pph + 1;
+        }
+    }
+}
+`))
+		spawns.WriteString(fill("    spawn @pphase(@n);\n    spawn @pphase(@n);\n"))
+		p.Threads += 2
+	}
+}

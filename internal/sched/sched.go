@@ -8,7 +8,10 @@ package sched
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"heisendump/internal/interp"
 )
@@ -34,12 +37,238 @@ type Result struct {
 	Schedule []int
 	// Output is the run's output log.
 	Output []int64
-	// StepLimited is true when the run was cut off by the machine's
-	// step limit.
+	// StepLimited is true when the run was cut off by a step bound —
+	// the machine's MaxSteps limit, or the Runner's own budget (in
+	// which case Budgeted is also set).
 	StepLimited bool
+	// Budgeted is true when the Runner's own MaxSteps budget (a
+	// caller-chosen policy, e.g. BoundedRun's exact dump-capture
+	// budget) cut the run, as opposed to the machine's step limit
+	// (the livelock guard). Budgeted stops classify as OutcomeStopped
+	// with a nil Err; machine-limit stops as OutcomeStepLimited.
+	Budgeted bool
 	// Cancelled is true when the run was cut off by the Runner's
 	// context.
 	Cancelled bool
+	// Stalled is true when the scheduler chose a thread that could not
+	// be stepped — a replayed schedule that no longer applies to the
+	// program (the named thread was blocked or done at that point).
+	// StallThread is the unsteppable thread. Generated-workload
+	// replays surface this instead of silently stopping mid-schedule.
+	Stalled     bool
+	StallThread int
+	// Finished is true when every thread returned from its entry
+	// function — the run ran the program to completion.
+	Finished bool
+	// CancelCause records the Runner context's error when Cancelled is
+	// set (context.Canceled or context.DeadlineExceeded), so Err
+	// reports the actual cause.
+	CancelCause error
+	// StepError records an internal interpreter error (anything other
+	// than a crash or the step limit — e.g. corrupted IR) that stopped
+	// the run. OutcomeError classifies it; Err returns it.
+	StepError error
+	// Deadlock carries the wait-for diagnosis when Deadlocked is true.
+	Deadlock *DeadlockInfo
+}
+
+// Outcome classifies a completed run for callers that need a typed
+// result — the generative-workload oracle replays schedules nobody
+// hand-tuned, and a pathological one must surface as a diagnosis, not
+// a silently short run.
+type Outcome int
+
+const (
+	// OutcomeDone: every thread returned from its entry function.
+	OutcomeDone Outcome = iota
+	// OutcomeCrashed: the run faulted (Result.Crash has the details).
+	OutcomeCrashed
+	// OutcomeDeadlocked: unfinished threads remained but none was
+	// runnable (Result.Deadlock has the wait-for diagnosis).
+	OutcomeDeadlocked
+	// OutcomeStalled: the scheduler named an unsteppable thread (a
+	// stale replay schedule).
+	OutcomeStalled
+	// OutcomeCancelled: the Runner's context stopped the run.
+	OutcomeCancelled
+	// OutcomeStepLimited: the machine's step limit stopped the run — a
+	// livelock, or a limit too tight for the program.
+	OutcomeStepLimited
+	// OutcomeStopped: the run stopped by caller policy with threads
+	// still live — the scheduler yielded (a Replayer that consumed its
+	// schedule mid-run), or the Runner's own step budget was reached
+	// (a BoundedRun's exact dump-capture budget; Result.Budgeted).
+	OutcomeStopped
+	// OutcomeError: an internal interpreter error stopped the run
+	// (Result.StepError — e.g. corrupted IR), distinct from a subject
+	// crash.
+	OutcomeError
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDone:
+		return "done"
+	case OutcomeCrashed:
+		return "crashed"
+	case OutcomeDeadlocked:
+		return "deadlocked"
+	case OutcomeStalled:
+		return "stalled"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomeStepLimited:
+		return "step-limited"
+	case OutcomeStopped:
+		return "stopped"
+	case OutcomeError:
+		return "error"
+	}
+	return "?"
+}
+
+// ErrStalled is the sentinel wrapped by Result.Err when a replayed
+// schedule named a thread that could not be stepped.
+var ErrStalled = errors.New("sched: schedule stalled on an unsteppable thread")
+
+// Outcome classifies the run. Crash wins over everything (the faulting
+// step ended the run); the pathological stops (deadlock, stall,
+// cancellation, step limit) come before the benign ones.
+func (r *Result) Outcome() Outcome {
+	switch {
+	case r.Crashed:
+		return OutcomeCrashed
+	case r.StepError != nil:
+		return OutcomeError
+	case r.Deadlocked:
+		return OutcomeDeadlocked
+	case r.Stalled:
+		return OutcomeStalled
+	case r.Cancelled:
+		return OutcomeCancelled
+	case r.StepLimited && !r.Budgeted:
+		return OutcomeStepLimited
+	case r.Finished:
+		return OutcomeDone
+	}
+	return OutcomeStopped
+}
+
+// Err returns a typed error for pathological outcomes, nil otherwise.
+// A completed run, a crashed run and a scheduler-stopped run all
+// return nil — a crash is the subject program's outcome, and a
+// scheduler yielding early (a consumed replay schedule, an exact
+// bounded budget) is the caller's own policy, not a pathology. Deadlocks
+// wrap interp.ErrDeadlock (with the wait-for diagnosis in the
+// message), step-limit stops wrap interp.ErrStepLimit (the livelock
+// diagnostic: the bound, and how far each thread got), stalls wrap
+// ErrStalled, and cancellations wrap context.Canceled; all are
+// matchable with errors.Is.
+func (r *Result) Err() error {
+	switch {
+	case r.Crashed:
+		return nil
+	case r.StepError != nil:
+		return fmt.Errorf("sched: run stopped by interpreter error after %d steps: %w", r.Steps, r.StepError)
+	case r.Deadlocked:
+		if r.Deadlock != nil {
+			return fmt.Errorf("%w after %d steps: %s", interp.ErrDeadlock, r.Steps, r.Deadlock)
+		}
+		return fmt.Errorf("%w after %d steps", interp.ErrDeadlock, r.Steps)
+	case r.Stalled:
+		return fmt.Errorf("%w: thread %d at schedule position %d", ErrStalled, r.StallThread, len(r.Schedule))
+	case r.Cancelled:
+		cause := r.CancelCause
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return fmt.Errorf("sched: run cancelled after %d steps: %w", r.Steps, cause)
+	case r.StepLimited && !r.Budgeted:
+		return fmt.Errorf("%w: no progress decision within %d steps (livelock or limit too tight)", interp.ErrStepLimit, r.Steps)
+	}
+	return nil
+}
+
+// WaitEdge is one blocked thread's wait-for edge.
+type WaitEdge struct {
+	// Thread waits for Lock, currently held by Holder (-1 if free —
+	// possible only transiently, never in a deadlock diagnosis).
+	Thread int
+	Lock   string
+	Holder int
+}
+
+// DeadlockInfo diagnoses a deadlocked machine: every blocked thread's
+// wait-for edge, and the wait cycle if one exists (a deadlock among
+// non-reentrant locks always has one unless a holder simply exited
+// without releasing).
+type DeadlockInfo struct {
+	Waiters []WaitEdge
+	// Cycle lists thread ids forming a wait-for cycle, in wait order,
+	// or nil when the blockage is acyclic (a lock's holder finished
+	// without releasing it).
+	Cycle []int
+}
+
+// String renders the diagnosis for error messages.
+func (d *DeadlockInfo) String() string {
+	var sb strings.Builder
+	for i, w := range d.Waiters {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "thread %d waits for lock %q held by thread %d", w.Thread, w.Lock, w.Holder)
+	}
+	if len(d.Cycle) > 0 {
+		fmt.Fprintf(&sb, " (cycle: %v)", d.Cycle)
+	}
+	return sb.String()
+}
+
+// DiagnoseDeadlock inspects a machine with no runnable threads and
+// returns the wait-for diagnosis: each blocked thread's edge, plus the
+// first wait cycle found by following holder edges. Returns nil when
+// no thread is blocked (the machine is done, not deadlocked).
+func DiagnoseDeadlock(m *interp.Machine) *DeadlockInfo {
+	waitsFor := map[int]int{} // blocked thread -> holder thread
+	var d DeadlockInfo
+	for _, t := range m.Threads {
+		if t.Status != interp.Blocked {
+			continue
+		}
+		holder := int(m.Locks[t.WaitLock])
+		d.Waiters = append(d.Waiters, WaitEdge{
+			Thread: t.ID,
+			Lock:   m.Prog.Locks[t.WaitLock],
+			Holder: holder,
+		})
+		waitsFor[t.ID] = holder
+	}
+	if len(d.Waiters) == 0 {
+		return nil
+	}
+	// Follow wait-for edges from each blocked thread; a revisit within
+	// one walk is a cycle.
+	for _, w := range d.Waiters {
+		seen := map[int]int{} // thread -> position in walk
+		var walk []int
+		cur := w.Thread
+		for {
+			if at, ok := seen[cur]; ok {
+				d.Cycle = append([]int(nil), walk[at:]...)
+				return &d
+			}
+			seen[cur] = len(walk)
+			walk = append(walk, cur)
+			next, blocked := waitsFor[cur]
+			if !blocked || next < 0 {
+				break // chain ends at a runnable/done holder: acyclic
+			}
+			cur = next
+		}
+	}
+	return &d
 }
 
 // Runner executes machines under a scheduler with a uniform run
@@ -76,14 +305,26 @@ func (r Runner) Run(m *interp.Machine, s Scheduler) *Result {
 	for !m.Crashed() && !m.Done() {
 		if r.Ctx != nil && int64(len(res.Schedule))&ctxPollMask == 0 && r.Ctx.Err() != nil {
 			res.Cancelled = true
+			res.CancelCause = r.Ctx.Err()
 			break
 		}
 		if r.MaxSteps != 0 && int64(len(res.Schedule)) >= r.MaxSteps {
 			res.StepLimited = true
+			res.Budgeted = true
 			break
 		}
 		tid := s.Next(m)
-		if tid < 0 {
+		if tid == -1 {
+			break // the scheduler's yield sentinel
+		}
+		if tid < 0 || tid >= len(m.Threads) {
+			// The scheduler named a thread that does not exist at this
+			// point of the run — a corrupted or stale replay schedule.
+			// Same typed stall as an unsteppable thread, instead of an
+			// index panic inside the machine (or a corrupt negative id
+			// masquerading as the yield sentinel).
+			res.Stalled = true
+			res.StallThread = tid
 			break
 		}
 		ok, err := m.Step(tid)
@@ -91,18 +332,36 @@ func (r Runner) Run(m *interp.Machine, s Scheduler) *Result {
 			res.StepLimited = true
 			break
 		}
-		if err != nil || !ok {
+		if err != nil {
+			// An internal interpreter error (corrupted IR, unknown
+			// opcode) — not a subject crash. Record it so the typed
+			// outcome carries the diagnosis instead of reading as a
+			// benign stop.
+			res.StepError = err
+			break
+		}
+		if !ok {
+			// The scheduler named a thread the machine could not step
+			// (blocked or done): the schedule being driven no longer
+			// applies to this program. Surface it as a typed stall
+			// instead of silently stopping mid-schedule — replayed
+			// witness schedules from the generative workloads rely on
+			// the distinction.
+			res.Stalled = true
+			res.StallThread = tid
 			break
 		}
 		res.Schedule = append(res.Schedule, tid)
 	}
 	res.Steps = m.TotalSteps
 	res.Output = m.Output
+	res.Finished = m.Done()
 	if m.Crashed() {
 		res.Crashed = true
 		res.Crash = m.Crash
 	} else if !m.Done() && len(m.Runnable()) == 0 {
 		res.Deadlocked = true
+		res.Deadlock = DiagnoseDeadlock(m)
 	}
 	return res
 }

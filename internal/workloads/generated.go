@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"fmt"
+
+	"heisendump/internal/gen"
+)
+
+// generatedSeeds pins the curated generator-derived corpus: two
+// programs per bug pattern of internal/gen's library (atomicity
+// violation, order violation, lost update, broken double-checked
+// flag), chosen so every pattern is represented and the pipeline
+// reproduces each bug within the ordinary test budgets. The programs
+// are regenerated at init — gen.Generate is deterministic, so these
+// registrations are stable byte-for-byte — and cmd/fuzz continuously
+// re-validates the surrounding seed space.
+//
+// To curate a new one: find a seed (go run ./cmd/fuzz -n ... -v), add
+// it here, and extend the pinned counts in the tests.
+var generatedSeeds = []int64{
+	3, 6, // gen-atom-*: reserve/use split across a sync point
+	1, 4, // gen-order-*: flag published before the object
+	2, 5, // gen-lost-*: RMW split across a sync point
+	15, 18, // gen-dcl-*: flag and object in separate critical sections
+}
+
+var generatedList []*Workload
+
+func init() {
+	for _, seed := range generatedSeeds {
+		p := gen.Generate(seed)
+		generatedList = append(generatedList, register(&Workload{
+			Name:        p.Name,
+			BugID:       fmt.Sprintf("gen-%d", p.Seed),
+			Kind:        p.Kind.String(),
+			Description: p.Description(),
+			Threads:     p.Threads,
+			Source:      p.Source,
+			Input:       p.Input,
+		}))
+	}
+}
+
+// Generated returns the curated generator-derived bug workloads, in
+// registration order (pattern-grouped). They join the hand-written
+// Table 2 bugs in the experiment tables when
+// experiments.IncludeGenerated is set (cmd/benchtab -generated) and
+// are always visible to ByName/Names (and so to reprod -list).
+func Generated() []*Workload {
+	return append([]*Workload(nil), generatedList...)
+}

@@ -12,7 +12,9 @@ import (
 // run of every bug workload must complete cleanly — the bugs are
 // Heisenbugs, absent from the canonical schedule.
 func TestAllWorkloadsPassDeterministically(t *testing.T) {
-	for _, w := range append(workloads.Bugs(), workloads.ByName("fig1")) {
+	subjects := append(workloads.Bugs(), workloads.ByName("fig1"))
+	subjects = append(subjects, workloads.Generated()...)
+	for _, w := range subjects {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			prog, err := w.Compile(true)
@@ -41,7 +43,9 @@ func TestAllWorkloadsPassDeterministically(t *testing.T) {
 // dumps from).
 func TestAllWorkloadsCrashUnderStress(t *testing.T) {
 	const seeds = 3000
-	for _, w := range append(workloads.Bugs(), workloads.ByName("fig1")) {
+	subjects := append(workloads.Bugs(), workloads.ByName("fig1"))
+	subjects = append(subjects, workloads.Generated()...)
+	for _, w := range subjects {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			prog, err := w.Compile(true)
@@ -72,10 +76,10 @@ func TestAllWorkloadsCrashUnderStress(t *testing.T) {
 	}
 }
 
-// TestWorkloadThreadCounts checks the Table 2 metadata agrees with the
-// programs.
+// TestWorkloadThreadCounts checks the Table 2 (and generated-corpus)
+// metadata agrees with the programs.
 func TestWorkloadThreadCounts(t *testing.T) {
-	for _, w := range workloads.Bugs() {
+	for _, w := range append(workloads.Bugs(), workloads.Generated()...) {
 		prog, err := w.Compile(true)
 		if err != nil {
 			t.Fatalf("%s: compile: %v", w.Name, err)
@@ -99,5 +103,27 @@ func TestByNameAndNames(t *testing.T) {
 	names := workloads.Names()
 	if len(names) < 8 {
 		t.Fatalf("expected at least 8 workloads, got %v", names)
+	}
+}
+
+// TestGeneratedCorpusPinned pins the curated generator-derived corpus:
+// eight workloads, two per bug pattern, every one registered and
+// discoverable by name (so reprod -list shows them).
+func TestGeneratedCorpusPinned(t *testing.T) {
+	gens := workloads.Generated()
+	if len(gens) != 8 {
+		t.Fatalf("curated generated corpus has %d workloads, want 8", len(gens))
+	}
+	kinds := map[string]int{}
+	for _, w := range gens {
+		kinds[w.Kind]++
+		if workloads.ByName(w.Name) != w {
+			t.Errorf("%s: not discoverable via ByName", w.Name)
+		}
+	}
+	for _, k := range []string{"atom", "order", "lost", "dcl"} {
+		if kinds[k] != 2 {
+			t.Errorf("pattern %q has %d curated workloads, want 2 (got %v)", k, kinds[k], kinds)
+		}
 	}
 }
