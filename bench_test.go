@@ -267,10 +267,38 @@ func BenchmarkSearchParallel(b *testing.B) {
 	}
 	cands := chess.DiscoverCandidates(cp, rec.Events)
 	chess.Annotate(cands, nil)
-	mk := func() *interp.Machine {
-		mm := interp.New(cp, w.Input.Clone())
-		mm.MaxSteps = 1_000_000
-		return mm
+	mkEng := func(eng interp.Engine) func() *interp.Machine {
+		return func() *interp.Machine {
+			mm := interp.New(cp, w.Input.Clone())
+			mm.MaxSteps = 1_000_000
+			mm.Engine = eng
+			return mm
+		}
+	}
+
+	run := func(b *testing.B, workers int, eng interp.Engine) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := &chess.Searcher{
+				NewMachine: mkEng(eng),
+				Candidates: cands,
+				Target:     chess.FailureSignature{Reason: "never matches"},
+				Opts: chess.Options{
+					Bound:        2,
+					MaxTries:     400,
+					Workers:      workers,
+					PassingSteps: int64(len(rec.Events)),
+				},
+			}
+			res := s.Search()
+			if res.Found {
+				b.Fatal("found an unmatchable signature")
+			}
+			if i == 0 {
+				b.Logf("tries=%d executed=%d combos=%d steps=%d",
+					res.Tries, res.TrialsExecuted, res.CombinationsGenerated, res.StepsExecuted)
+			}
+		}
 	}
 
 	counts := []int{1}
@@ -278,31 +306,17 @@ func BenchmarkSearchParallel(b *testing.B) {
 		counts = append(counts, n)
 	}
 	for _, workers := range counts {
+		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				s := &chess.Searcher{
-					NewMachine: mk,
-					Candidates: cands,
-					Target:     chess.FailureSignature{Reason: "never matches"},
-					Opts: chess.Options{
-						Bound:        2,
-						MaxTries:     400,
-						Workers:      workers,
-						PassingSteps: int64(len(rec.Events)),
-					},
-				}
-				res := s.Search()
-				if res.Found {
-					b.Fatal("found an unmatchable signature")
-				}
-				if i == 0 {
-					b.Logf("tries=%d executed=%d combos=%d steps=%d",
-						res.Tries, res.TrialsExecuted, res.CombinationsGenerated, res.StepsExecuted)
-				}
-			}
+			run(b, workers, interp.EngineAuto)
 		})
 	}
+	// The engine A/B at workers=1: the same search forced onto the tree
+	// walker, so the bytecode engine's speedup is measurable on one
+	// runner regardless of machine noise between benchmark sessions.
+	b.Run("workers=1/engine=tree", func(b *testing.B) {
+		run(b, 1, interp.EngineTree)
+	})
 }
 
 // driveToCompletion steps m to completion under a minimal

@@ -1,13 +1,23 @@
 // Command benchgate is the benchmark-regression gate: it compares a
 // fresh `benchtab -json` stream (stdin) against the checked-in
 // baseline snapshot and fails when any deterministic search-outcome
-// field drifts. Gated fields are the row names and every Tries /
-// Found / Reproduced column — the values the determinism contract pins
-// for a given seed state — plus the interpreter's AllocsPerStep, which
-// gates as a ceiling: the baseline value is a budget, regressions
-// above it fail, improvements pass. Other cost fields (times,
-// executed/pruned trial counts, steps) are informational only and
-// never gate.
+// field drifts. Gated fields are the row names (and, for the interp
+// section, the engine) and every Tries / Found / Reproduced column —
+// the values the determinism contract pins for a given seed state —
+// plus two classes of cost ceiling:
+//
+//   - AllocsPerStep gates as an exact-ish ceiling: the baseline value
+//     is a budget, a regression beyond a small noise tolerance fails,
+//     improvements pass.
+//   - NsPerStep and SearchNs gate as headroom ceilings: a fresh value
+//     above baseline × timeHeadroom fails. The generous factor absorbs
+//     machine-speed differences between the baseline runner and CI
+//     while still catching a gross dispatch-loop regression (an
+//     accidental per-step allocation, a lost superinstruction, a
+//     de-inlined hot call — each worth far more than the headroom).
+//
+// Other cost fields (table times, executed/pruned trial counts, steps)
+// are informational only and never gate.
 //
 // Usage (what CI runs):
 //
@@ -113,14 +123,17 @@ func rowID(row map[string]any) any {
 }
 
 // gated reports whether a row field participates in the regression
-// gate: row identity, every deterministic search-outcome column, and
-// the interpreter allocation-cost columns (see ceilingGated).
+// gate: row identity (including the interp section's engine column —
+// an engine leg silently vanishing from the table is drift), every
+// deterministic search-outcome column, and the interpreter cost
+// ceilings (see ceilingGated and budgetGated).
 func gated(key string) bool {
-	return key == "Name" || key == "Benchmark" ||
+	return key == "Name" || key == "Benchmark" || key == "Engine" ||
 		strings.Contains(key, "Tries") ||
 		strings.Contains(key, "Found") ||
 		key == "Reproduced" ||
-		ceilingGated(key)
+		ceilingGated(key) ||
+		budgetGated(key)
 }
 
 // ceilingGated marks fields gated as a numeric ceiling rather than by
@@ -142,6 +155,28 @@ func ceilingOK(got, want any) bool {
 	g, errG := toFloat(got)
 	w, errW := toFloat(want)
 	return errG == nil && errW == nil && g <= w+allocTolerance
+}
+
+// budgetGated marks timing fields gated as multiplicative-headroom
+// ceilings: ns/step and search wall time, whose absolute values depend
+// on the machine but whose order of magnitude is a property of the
+// code.
+func budgetGated(key string) bool {
+	return strings.Contains(key, "NsPerStep") || strings.Contains(key, "SearchNs")
+}
+
+// timeHeadroom is the multiplicative budget for budget-gated timing
+// fields: fresh ≤ baseline × timeHeadroom passes. Sized to absorb a
+// slow CI runner, not a slow interpreter — the regressions this gate
+// exists to catch (a per-step allocation on the dispatch path, a
+// reversion to per-instruction trial stepping) cost well over 3×.
+const timeHeadroom = 3.0
+
+// budgetOK compares a budget-gated field.
+func budgetOK(got, want any) bool {
+	g, errG := toFloat(got)
+	w, errW := toFloat(want)
+	return errG == nil && errW == nil && g <= w*timeHeadroom
 }
 
 func toFloat(v any) (float64, error) {
@@ -203,6 +238,10 @@ func compare(fresh, baseline map[string][]map[string]any) (diffs []string, check
 				case ceilingGated(k):
 					if !ceilingOK(got, want) {
 						diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v exceeds baseline budget %v", name, i, rowID(row), k, got, want))
+					}
+				case budgetGated(k):
+					if !budgetOK(got, want) {
+						diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v exceeds baseline %v × headroom %.1f", name, i, rowID(row), k, got, want, timeHeadroom))
 					}
 				case fmt.Sprint(got) != fmt.Sprint(want):
 					diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v, baseline %v", name, i, rowID(row), k, got, want))

@@ -120,6 +120,53 @@ func TestCompareAllocsNonNumeric(t *testing.T) {
 	}
 }
 
+const interpEngineBaseline = `{"table":"interp","rows":[{"Name":"mysql-1","Engine":"bytecode","AllocsPerStep":0,"NsPerStep":20,"StepsPerSec":50000000,"SearchNs":2500000,"Steps":238}]}
+`
+
+// TestCompareTimingHeadroom: NsPerStep and SearchNs gate as headroom
+// ceilings — a slower machine (within the factor) and improvements
+// pass, a gross regression fails.
+func TestCompareTimingHeadroom(t *testing.T) {
+	slower := strings.ReplaceAll(interpEngineBaseline, `"NsPerStep":20`, `"NsPerStep":55`)
+	slower = strings.ReplaceAll(slower, `"SearchNs":2500000`, `"SearchNs":7000000`)
+	diffs, checked := compare(sections(t, slower), sections(t, interpEngineBaseline))
+	if len(diffs) != 0 {
+		t.Fatalf("timing within headroom gated: %v", diffs)
+	}
+	if checked != 5 { // Name, Engine, AllocsPerStep, NsPerStep, SearchNs
+		t.Fatalf("checked %d gated fields, want 5", checked)
+	}
+
+	gross := sections(t, strings.ReplaceAll(interpEngineBaseline, `"NsPerStep":20`, `"NsPerStep":65`))
+	diffs, _ = compare(gross, sections(t, interpEngineBaseline))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "NsPerStep") || !strings.Contains(diffs[0], "headroom") {
+		t.Fatalf("ns/step regression not caught: %v", diffs)
+	}
+
+	grossSearch := sections(t, strings.ReplaceAll(interpEngineBaseline, `"SearchNs":2500000`, `"SearchNs":9000000`))
+	diffs, _ = compare(grossSearch, sections(t, interpEngineBaseline))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "SearchNs") {
+		t.Fatalf("search-time regression not caught: %v", diffs)
+	}
+
+	improved := sections(t, strings.ReplaceAll(interpEngineBaseline, `"NsPerStep":20`, `"NsPerStep":5`))
+	diffs, _ = compare(improved, sections(t, interpEngineBaseline))
+	if len(diffs) != 0 {
+		t.Fatalf("timing improvement gated: %v", diffs)
+	}
+}
+
+// TestCompareEngineIsIdentity: the interp section's Engine column is a
+// gated identity field — a leg swapping engines (or vanishing into a
+// different engine's row) is drift, not a timing question.
+func TestCompareEngineIsIdentity(t *testing.T) {
+	fresh := sections(t, strings.ReplaceAll(interpEngineBaseline, `"Engine":"bytecode"`, `"Engine":"tree"`))
+	diffs, _ := compare(fresh, sections(t, interpEngineBaseline))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "Engine") {
+		t.Fatalf("engine drift not caught: %v", diffs)
+	}
+}
+
 func TestCompareMissingTableAndRowCount(t *testing.T) {
 	fresh := sections(t, `{"table":"table9","rows":[{"Name":"x","Tries":1}]}`)
 	diffs, _ := compare(fresh, sections(t, baselineDoc))

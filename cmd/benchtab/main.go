@@ -14,10 +14,17 @@
 //	                          # workloads as extra rows in tables 2-6
 //	benchtab -json > rows.json # machine-readable rows (one JSON object
 //	                           # per table/figure) for perf tracking
-//	benchtab -interp          # add the interpreter allocs/step section
-//	                          # (gated as a budget by cmd/benchgate)
+//	benchtab -interp          # add the per-engine interpreter cost
+//	                          # section: allocs/step, ns/step, steps/s
+//	                          # and search wall time for the bytecode
+//	                          # and tree engines (gated as budgets by
+//	                          # cmd/benchgate)
 //	benchtab -timeout 2m      # give up after a wall-clock deadline
 //	benchtab -progress        # stream search heartbeats to stderr
+//	benchtab -interp -cpuprofile cpu.pprof
+//	                          # write a CPU profile of the run; with
+//	                          # -interp alone this profiles the trial
+//	                          # hot path (go tool pprof cpu.pprof)
 //
 // Ctrl-C (or the -timeout deadline) cancels cooperatively: in-flight
 // searches stop within one trial, completed tables have already been
@@ -33,6 +40,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 	"time"
@@ -51,9 +59,10 @@ func main() {
 	prune := flag.Bool("prune", false, "enable equivalence pruning in the schedule searches (identical tries/found, fewer executed trials)")
 	generated := flag.Bool("generated", false, "add the curated generator-derived workloads (internal/gen) as extra rows in tables 2-6")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows, one object per table/figure")
-	interpCost := flag.Bool("interp", false, "also measure interpreter steady-state allocs/step (the \"interp\" section cmd/benchgate gates)")
+	interpCost := flag.Bool("interp", false, "also measure per-engine interpreter cost: allocs/step, ns/step, steps/s and search wall time (the \"interp\" section cmd/benchgate gates)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none)")
 	progress := flag.Bool("progress", false, "stream per-workload schedule-search heartbeats to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected sections to this file")
 	flag.Parse()
 
 	experiments.Workers = *workers
@@ -61,6 +70,24 @@ func main() {
 	experiments.IncludeGenerated = *generated
 	if *progress {
 		experiments.Progress = progressPrinter()
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		// Stop via defer so the profile is flushed on the normal exit
+		// path (LIFO: stop and flush, then close); fail() below exits
+		// directly, abandoning a partial profile, which is the right
+		// trade for a gate failure.
+		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

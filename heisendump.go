@@ -156,6 +156,18 @@ const (
 	Dependence = slicing.Dependence
 )
 
+// Engine selects the interpreter execution engine.
+type Engine = interp.Engine
+
+// Interpreter engines. EngineAuto (the default) runs the bytecode
+// dispatch loop; EngineTree forces the tree walker. Every observable
+// result is engine-independent.
+const (
+	EngineAuto     = interp.EngineAuto
+	EngineBytecode = interp.EngineBytecode
+	EngineTree     = interp.EngineTree
+)
+
 // Workload is a subject program with its failure-inducing input.
 type Workload = workloads.Workload
 

@@ -58,8 +58,17 @@ func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun in
 	}
 
 	fired := make([]bool, len(combo))
-	completed := map[int]int{} // sync ops completed per thread
-	cur := 0                   // current thread id
+	// completed counts sync ops completed per thread id; thread ids are
+	// dense creation-order so a slice (grown on demand as spawns land)
+	// replaces the per-step map the trial loop used to pay for.
+	completed := make([]int, 1, 8)
+	completedOf := func(tid int) int {
+		if tid < len(completed) {
+			return completed[tid]
+		}
+		return 0
+	}
+	cur := 0 // current thread id
 
 	pickLowest := func() int {
 		r := m.Runnable()
@@ -90,7 +99,7 @@ func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun in
 				// future CSV set overlaps the preempted block's
 				// accesses.
 				overlap := false
-				for v := range s.futureCSVsOf(t.ID, completed[t.ID]) {
+				for v := range s.futureCSVsOf(t.ID, completedOf(t.ID)) {
 					if blockVars[v] {
 						overlap = true
 						break
@@ -167,10 +176,14 @@ func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun in
 			continue
 		}
 
-		// Preemption points that fire before the next instruction.
-		pc := t.PC()
-		if pc.I >= 0 {
-			in := m.Prog.InstrAt(pc)
+		// Preemption points that fire before the next instruction. The
+		// instruction is fetched once; the point checks mutate nothing,
+		// so it stays current across them.
+		wasAcquire, wasRelease := false, false
+		if fr := t.Top(); fr != nil {
+			in := &m.Prog.Funcs[fr.FuncIdx].Instrs[fr.PC]
+			wasAcquire = in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1
+			wasRelease = in.Op == ir.OpRelease
 			if t.Steps == 0 {
 				observePoint(ThreadStart, 0)
 				if ci := matchCandidate(cur, ThreadStart, 0); ci >= 0 {
@@ -179,9 +192,9 @@ func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun in
 					}
 				}
 			}
-			if in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1 {
-				observePoint(BeforeAcquire, completed[cur])
-				if ci := matchCandidate(cur, BeforeAcquire, completed[cur]); ci >= 0 {
+			if wasAcquire {
+				observePoint(BeforeAcquire, completedOf(cur))
+				if ci := matchCandidate(cur, BeforeAcquire, completedOf(cur)); ci >= 0 {
 					if firePreemption(ci) {
 						continue
 					}
@@ -189,13 +202,21 @@ func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun in
 			}
 		}
 
-		wasAcquire, wasRelease := false, false
-		if pc.I >= 0 {
-			in := m.Prog.InstrAt(pc)
-			wasAcquire = in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1
-			wasRelease = in.Op == ir.OpRelease
+		// Sync instructions step singly — their completion feeds the
+		// preemption-point bookkeeping right after. Everything else runs
+		// as a burst: the machine executes straight-line work up to the
+		// next sync boundary (or block/finish/fault/budget) without
+		// returning control, which removes this loop's per-step
+		// re-inspection from the trial hot path. A burst completes no
+		// sync ops by construction, so the bookkeeping below is
+		// untouched by it.
+		var ok bool
+		var err error
+		if wasAcquire || wasRelease {
+			ok, err = m.Step(cur)
+		} else {
+			ok, err = m.RunBurst(cur, maxRun)
 		}
-		ok, err := m.Step(cur)
 		if err != nil || !ok {
 			if t.Status == interp.Blocked {
 				continue // re-dispatch
@@ -203,6 +224,9 @@ func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun in
 			break
 		}
 		if wasAcquire || wasRelease {
+			for len(completed) <= cur {
+				completed = append(completed, 0)
+			}
 			completed[cur]++
 		}
 		if wasRelease {

@@ -22,13 +22,23 @@ type rankedCombo struct {
 // priority), keeping generation order as the tiebreak. The returned
 // slice order is the exploration order; rank is the index within it.
 func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo {
-	var wl []rankedCombo
 	n := len(cands)
+	total := 0
 	for size := 1; size <= bound; size++ {
-		var gsize func(startIdx int, cur []int)
-		gsize = func(startIdx int, cur []int) {
+		total += binomial(n, size)
+	}
+	wl := make([]rankedCombo, 0, total)
+	cur := make([]int, 0, bound)
+	for size := 1; size <= bound; size++ {
+		// All size-subsets share one exactly-sized backing array; each
+		// combo is an append-then-reslice into it, so enumeration costs
+		// two allocations per size instead of one per combination.
+		arena := make([]int, 0, binomial(n, size)*size)
+		var gsize func(startIdx int)
+		gsize = func(startIdx int) {
 			if len(cur) == size {
-				combo := append([]int(nil), cur...)
+				arena = append(arena, cur...)
+				combo := arena[len(arena)-size : len(arena) : len(arena)]
 				w := 0
 				for _, ci := range combo {
 					w += cands[ci].MinPriority()
@@ -37,10 +47,12 @@ func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo
 				return
 			}
 			for i := startIdx; i < n; i++ {
-				gsize(i+1, append(cur, i))
+				cur = append(cur, i)
+				gsize(i + 1)
+				cur = cur[:len(cur)-1]
 			}
 		}
-		gsize(0, nil)
+		gsize(0)
 	}
 	if weighted {
 		sort.SliceStable(wl, func(i, j int) bool {
@@ -54,4 +66,17 @@ func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo
 		wl[i].rank = i
 	}
 	return wl
+}
+
+// binomial is C(n, k) without overflow for the small k the preemption
+// bound allows.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
 }

@@ -69,6 +69,13 @@ type Config struct {
 	TraceWindow int
 	// StepLimit bounds each execution (0 = a generous default).
 	StepLimit int64
+	// Engine selects the interpreter engine every machine this
+	// pipeline builds runs on. The zero value (interp.EngineAuto)
+	// runs the bytecode dispatch loop — the fast path the schedule
+	// search defaults to; interp.EngineTree forces the tree walker
+	// (differential testing, per-engine benchmarks). Every observable
+	// (Found, Schedule, Tries, traces, dumps) is engine-independent.
+	Engine interp.Engine
 	// Workers is the schedule-search worker-pool width (0 =
 	// GOMAXPROCS). The search result is deterministic for any value:
 	// the winning schedule is always the lowest-ranked one.
@@ -138,6 +145,7 @@ func NewPipeline(prog *ir.Program, input *interp.Input, cfg Config) *Pipeline {
 func (p *Pipeline) NewMachine() *interp.Machine {
 	m := interp.New(p.Prog, p.Input.Clone())
 	m.MaxSteps = p.Cfg.StepLimit
+	m.Engine = p.Cfg.Engine
 	return m
 }
 

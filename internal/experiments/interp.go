@@ -4,35 +4,71 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
+	"heisendump/internal/chess"
 	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/sched"
+	"heisendump/internal/trace"
 	"heisendump/internal/workloads"
 )
 
-// InterpRow reports the interpreter's steady-state per-step cost on
-// one workload under the re-execution regime of the schedule search:
+// InterpRow reports the interpreter's per-step cost on one workload
+// under one engine, in the re-execution regime of the schedule search:
 // a single machine rewound with Machine.Reset between deterministic
-// runs (the lowest-runnable stepping of runToCompletion, bypassing
-// the scheduler plumbing so the measurement isolates the
-// interpreter's own per-step cost). AllocsPerStep is the gated field
-// (cmd/benchgate fails when it regresses above the baseline); Steps
-// is the informational run length.
+// runs and driven in sync-boundary bursts (Machine.RunBurst under a
+// lowest-runnable policy — exactly how chess trials execute, bypassing
+// the scheduler plumbing so the measurement isolates the interpreter's
+// own per-step cost), plus one full plain-CHESS schedule search as the
+// end-to-end latency probe.
+//
+// Gated fields (see cmd/benchgate): AllocsPerStep as an exact-ish
+// ceiling (budget 0 plus noise tolerance), NsPerStep and SearchNs as
+// headroom ceilings — the baseline value is a budget, and a fresh
+// value beyond the headroom factor fails CI. That catches a gross
+// dispatch-loop regression (an accidental allocation, a lost
+// superinstruction, a de-inlined hot call) without flaking on
+// machine-speed differences between the baseline runner and CI.
+// StepsPerSec and Steps are informational.
 type InterpRow struct {
 	Name          string
+	Engine        string
 	AllocsPerStep float64
+	NsPerStep     float64
+	StepsPerSec   float64
+	SearchNs      int64
 	Steps         int64
 }
 
 // interpReps is the number of measured re-executions per workload —
 // enough to amortize any residual warm-up allocation to well below
-// the gate's tolerance.
-const interpReps = 200
+// the gate's tolerance. The reps are timed in interpBlocks equal
+// blocks and NsPerStep is the fastest block: like SearchNs's
+// min-of-reps, the minimum is the low-noise estimator for a
+// deterministic workload (scheduling and frequency noise only ever
+// adds time).
+const (
+	interpReps   = 200
+	interpBlocks = 5
+)
 
-// InterpTable measures steady-state interpreter allocations for a
-// fixed set of Table 2 workloads. The first run of each machine warms
-// the frame/thread/object free lists and is excluded; the slot
-// addressed interpreter then allocates nothing per step, so the
-// expected steady-state value is 0.
+// searchReps is the number of timed schedule searches per engine; the
+// minimum wall time is reported (the standard low-noise estimator for
+// a deterministic workload).
+const searchReps = 3
+
+// interpEngines is the engine axis of the interp section: the bytecode
+// dispatch loop the search runs on by default, and the tree walker it
+// replaced — so every regeneration of the table is also an A/B of the
+// two engines on the same machine.
+var interpEngines = []interp.Engine{interp.EngineBytecode, interp.EngineTree}
+
+// InterpTable measures steady-state interpreter cost for a fixed set
+// of Table 2 workloads under both engines. The first run of each
+// machine warms the frame/thread/object free lists and is excluded;
+// the machines then allocate nothing per step, so the expected
+// steady-state allocs/step is 0 for both engines.
 func InterpTable() ([]InterpRow, error) {
 	var rows []InterpRow
 	for _, name := range []string{"mysql-1", "apache-1"} {
@@ -41,33 +77,118 @@ func InterpTable() ([]InterpRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: interp %s: %w", name, err)
 		}
-		m := interp.New(cp, w.Input.Clone())
-		steps := runToCompletion(m) // warm-up run, excluded
-		if steps == 0 {
-			return nil, fmt.Errorf("experiments: interp %s: empty run", name)
+		// Preemption candidates for the search probe, discovered once
+		// per workload from the cooperative passing run (the discovery
+		// is engine-independent by the determinism contract).
+		rec := trace.NewRecorder()
+		mt := interp.New(cp, w.Input.Clone())
+		mt.MaxSteps = 1_000_000
+		mt.Hooks = rec
+		if res := sched.Run(mt, sched.NewCooperative()); res.Crashed {
+			return nil, fmt.Errorf("experiments: interp %s: passing run crashed: %v", name, res.Crash)
 		}
-		var total int64
-		var ms0, ms1 runtime.MemStats
-		runtime.ReadMemStats(&ms0)
-		for r := 0; r < interpReps; r++ {
-			m.Reset(m.Prog, m.SeedInput())
-			total += runToCompletion(m)
+		cands := chess.DiscoverCandidates(cp, rec.Events)
+		chess.Annotate(cands, nil)
+
+		for _, eng := range interpEngines {
+			m := interp.New(cp, w.Input.Clone())
+			m.Engine = eng
+			steps := runToCompletion(m) // warm-up run, excluded
+			if steps == 0 {
+				return nil, fmt.Errorf("experiments: interp %s: empty run", name)
+			}
+			var total int64
+			bestBlock := float64(0)
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for b := 0; b < interpBlocks; b++ {
+				var blockSteps int64
+				start := time.Now()
+				for r := 0; r < interpReps/interpBlocks; r++ {
+					m.Reset(m.Prog, m.SeedInput())
+					blockSteps += burstToCompletion(m)
+				}
+				perStep := float64(time.Since(start).Nanoseconds()) / float64(blockSteps)
+				if bestBlock == 0 || perStep < bestBlock {
+					bestBlock = perStep
+				}
+				total += blockSteps
+			}
+			runtime.ReadMemStats(&ms1)
+			nsPerStep := bestBlock
+			rows = append(rows, InterpRow{
+				Name:          name,
+				Engine:        eng.String(),
+				AllocsPerStep: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+				NsPerStep:     nsPerStep,
+				StepsPerSec:   1e9 / nsPerStep,
+				SearchNs:      searchLatency(cp, w, cands, int64(len(rec.Events)), eng),
+				Steps:         steps,
+			})
 		}
-		runtime.ReadMemStats(&ms1)
-		rows = append(rows, InterpRow{
-			Name:          name,
-			AllocsPerStep: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
-			Steps:         steps,
-		})
 	}
 	return rows, nil
 }
 
+// burstToCompletion drives m to completion the way a chess trial does:
+// sync-boundary bursts on the lowest runnable thread. This is the
+// regime NsPerStep is defined over — per-Step calls would re-enter the
+// dispatch loop once per ir instruction and hide the burst win.
+func burstToCompletion(m *interp.Machine) int64 {
+	start := m.TotalSteps
+	for !m.Crashed() && !m.Done() {
+		r := m.Runnable()
+		if len(r) == 0 {
+			break
+		}
+		ok, err := m.RunBurst(r[0], 0)
+		if err != nil || !ok {
+			break
+		}
+	}
+	return m.TotalSteps - start
+}
+
+// searchLatency times a deterministic plain-CHESS schedule search
+// (unweighted, unguided, bound 2, 400 tries, one worker, unmatchable
+// target — the BenchmarkSearchParallel regime) forced onto the given
+// engine, returning the minimum wall time over searchReps runs.
+func searchLatency(cp *ir.Program, w *workloads.Workload, cands []chess.Candidate, passingSteps int64, eng interp.Engine) int64 {
+	best := int64(0)
+	for r := 0; r < searchReps; r++ {
+		s := &chess.Searcher{
+			NewMachine: func() *interp.Machine {
+				m := interp.New(cp, w.Input.Clone())
+				m.MaxSteps = 1_000_000
+				m.Engine = eng
+				return m
+			},
+			Candidates: cands,
+			Target:     chess.FailureSignature{Reason: "never matches"},
+			Opts: chess.Options{
+				Bound:        2,
+				MaxTries:     400,
+				Workers:      1,
+				PassingSteps: passingSteps,
+			},
+		}
+		start := time.Now()
+		s.Search()
+		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 // PrintInterp renders the interpreter cost section.
 func PrintInterp(w io.Writer, rows []InterpRow) {
-	fmt.Fprintln(w, "Interpreter steady-state cost (per step, post-warm-up)")
-	fmt.Fprintf(w, "%-10s %14s %8s\n", "workload", "allocs/step", "steps")
+	fmt.Fprintln(w, "Interpreter steady-state cost (per step, post-warm-up; search = plain CHESS, 400 tries)")
+	fmt.Fprintf(w, "%-10s %-9s %12s %9s %12s %10s %7s\n",
+		"workload", "engine", "allocs/step", "ns/step", "steps/s", "search-ms", "steps")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %14.6f %8d\n", r.Name, r.AllocsPerStep, r.Steps)
+		fmt.Fprintf(w, "%-10s %-9s %12.6f %9.1f %12.0f %10.2f %7d\n",
+			r.Name, r.Engine, r.AllocsPerStep, r.NsPerStep, r.StepsPerSec,
+			float64(r.SearchNs)/1e6, r.Steps)
 	}
 }

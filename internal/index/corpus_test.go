@@ -105,6 +105,7 @@ func TestReverseOnCorpusCrashSites(t *testing.T) {
 		in.Cond = falseExpr()
 		in.SrcCond = &lang.BoolLit{Value: false}
 		in.Msg = "injected"
+		cp.RefreshBytecode() // keep the bytecode engine in sync with the patch
 
 		tr := index.NewTracker(cp, pdeps)
 		m := interp.New(cp, nil)
@@ -125,6 +126,7 @@ func TestReverseOnCorpusCrashSites(t *testing.T) {
 			checked++
 		}
 		*in = saved
+		cp.RefreshBytecode()
 	}
 	if checked < 20 {
 		t.Fatalf("only %d crash sites checked", checked)

@@ -1,0 +1,759 @@
+package interp
+
+import (
+	"fmt"
+
+	"heisendump/internal/ir"
+)
+
+// This file is the bytecode execution engine: a dispatch loop over the
+// flat ir.Bytecode image that Compile lowers every program to. It is
+// semantically identical to the tree walker in machine.go/eval.go —
+// same values, same crash messages and positions, same hook events in
+// the same order — and the three-way reference oracle in
+// reference_test.go pins that equivalence. The difference is purely
+// mechanical: one step is a tight for/switch over fixed-width ops
+// indexed by a bytecode pc, instead of a recursive walk over Expr
+// nodes, so the trial hot path of the schedule search spends its time
+// in one branch-predictable loop with no pointer chasing and no
+// per-node call overhead.
+//
+// Engine contract (shared with the tree walker):
+//
+//   - Frame.PC stays an ir-level instruction index. A step enters the
+//     code array at Entry[fr.PC] and runs to the instruction's BEnd*
+//     terminal, which writes the next ir-level PC. Scheduling
+//     granularity, traces, crash PCs and candidate sites are therefore
+//     byte-for-byte those of the tree walker.
+//
+//   - The value stack is scratch space within one step: it is empty at
+//     every instruction boundary, so it lives on the Machine (sized
+//     once from the compile-time Bytecode.MaxStack) and a steady-state
+//     step allocates nothing.
+//
+//   - Hooks fire exactly where the tree walker fires them, including
+//     from inside superinstructions: a fused compare still reports both
+//     operand reads, a fused store still reports the read(s) then the
+//     write. The prune fingerprint recorder runs hooked on the hot
+//     path, so hook-order identity is a correctness requirement, not a
+//     nicety.
+
+// Engine selects the execution engine a Machine steps with.
+type Engine uint8
+
+const (
+	// EngineAuto runs bytecode when the program carries a bytecode
+	// image (every Compile-produced program does) and falls back to
+	// the tree walker otherwise. This is the default: search workers
+	// run bytecode without any caller opting in.
+	EngineAuto Engine = iota
+	// EngineBytecode forces the dispatch-loop engine.
+	EngineBytecode
+	// EngineTree forces the tree-walking engine (the PR 4 slot
+	// interpreter) — used by the differential oracle and per-engine
+	// benchmarks.
+	EngineTree
+)
+
+var engineNames = [...]string{"auto", "bytecode", "tree"}
+
+// String returns the engine name.
+func (e Engine) String() string {
+	if int(e) < len(engineNames) {
+		return engineNames[e]
+	}
+	return "engine?"
+}
+
+// Step executes one instruction of thread tid on the selected engine.
+// It returns false when the thread could not be stepped (blocked,
+// done, or machine crashed). Runtime faults crash the machine and
+// return true: the faulting instruction was the step.
+func (m *Machine) Step(tid int) (bool, error) {
+	if m.Engine != EngineTree && m.Prog.BC != nil {
+		return m.stepBytecode(tid)
+	}
+	return m.stepTree(tid)
+}
+
+// ensureStack sizes the per-step value stack for prog's deepest
+// instruction; called from Reset so a rebound machine always has
+// enough scratch space.
+func (m *Machine) ensureStack(prog *ir.Program) {
+	if prog.BC == nil {
+		return
+	}
+	need := int(prog.BC.MaxStack)
+	if need < 8 {
+		need = 8
+	}
+	if cap(m.stack) < need {
+		m.stack = make([]Value, need)
+	}
+	m.stack = m.stack[:cap(m.stack)]
+}
+
+// stepBytecode is the dispatch-loop engine's single-step entry.
+func (m *Machine) stepBytecode(tid int) (bool, error) {
+	if m.Crashed() {
+		return false, nil
+	}
+	if m.MaxSteps > 0 && m.TotalSteps >= m.MaxSteps {
+		return false, ErrStepLimit
+	}
+	t := m.Threads[tid]
+	if !m.threadRunnable(t) {
+		return false, nil
+	}
+	return m.execBC(t)
+}
+
+// RunBurst executes consecutive instructions of thread tid until a
+// scheduling-relevant boundary: the thread's next instruction is an
+// acquire or release (the schedule search's preemption points — the
+// burst stops before it), the thread blocks, finishes or faults, a
+// step errors, or the machine's TotalSteps reaches limit (0 = no
+// limit; MaxSteps still applies). At least one instruction is
+// attempted. The return contract is Step's, covering the last step
+// taken; per-step accounting and hook events are identical to calling
+// Step in a loop — RunBurst only removes the caller's per-step
+// re-inspection of the machine, which is what makes the trial hot
+// path fast between sync points.
+func (m *Machine) RunBurst(tid int, limit int64) (bool, error) {
+	if m.Crashed() {
+		return false, nil
+	}
+	if m.MaxSteps > 0 && m.TotalSteps >= m.MaxSteps {
+		return false, ErrStepLimit
+	}
+	t := m.Threads[tid]
+	if !m.threadRunnable(t) {
+		return false, nil
+	}
+	if m.Engine != EngineTree && m.Prog.BC != nil {
+		return m.burstBytecode(t, limit)
+	}
+	return m.burstTree(t, limit)
+}
+
+// burstBytecode runs the dispatch engine to the next boundary. The
+// boundary test reads one opcode: an acquire or release instruction
+// lowers to a single BEndAcquire/BEndRelease op, so the first op at
+// Entry[fr.PC] identifies a sync point without touching the ir. The
+// per-instruction dispatch stays a separate call on purpose — merging
+// it into this loop (label + backward goto) makes the frame state
+// loop-carried across the whole opcode switch and costs ~25% in
+// register spills.
+func (m *Machine) burstBytecode(t *Thread, limit int64) (bool, error) {
+	bc := m.Prog.BC
+	for {
+		ok, err := m.execBC(t)
+		if !ok || err != nil {
+			return ok, err
+		}
+		if m.Crash != nil || t.Status != Runnable {
+			return true, nil
+		}
+		if limit > 0 && m.TotalSteps >= limit {
+			return true, nil
+		}
+		if m.MaxSteps > 0 && m.TotalSteps >= m.MaxSteps {
+			return true, nil
+		}
+		fr := t.Frames[len(t.Frames)-1]
+		bf := bc.Funcs[fr.FuncIdx]
+		op := bf.Code[bf.Entry[fr.PC]].Op
+		if op == ir.BEndAcquire || op == ir.BEndRelease {
+			return true, nil
+		}
+	}
+}
+
+// burstTree is RunBurst on the tree engine: the same boundary
+// conditions, stepping via stepTree, so differential runs of the two
+// engines agree under burst-driven schedulers too.
+func (m *Machine) burstTree(t *Thread, limit int64) (bool, error) {
+	for {
+		ok, err := m.stepTree(t.ID)
+		if !ok || err != nil {
+			return ok, err
+		}
+		if m.Crash != nil || t.Status != Runnable {
+			return true, nil
+		}
+		if limit > 0 && m.TotalSteps >= limit {
+			return true, nil
+		}
+		if m.MaxSteps > 0 && m.TotalSteps >= m.MaxSteps {
+			return true, nil
+		}
+		fr := t.Frames[len(t.Frames)-1]
+		op := m.Prog.Funcs[fr.FuncIdx].Instrs[fr.PC].Op
+		if op == ir.OpAcquire || op == ir.OpRelease {
+			return true, nil
+		}
+	}
+}
+
+// execBC runs the current instruction of t, which the caller has
+// checked is steppable, through the dispatch loop.
+func (m *Machine) execBC(t *Thread) (bool, error) {
+	fr := t.Top()
+	fn := m.Prog.Funcs[fr.FuncIdx]
+	bf := m.Prog.BC.Funcs[fr.FuncIdx]
+	pc := ir.PC{F: fr.FuncIdx, I: fr.PC}
+	hooks := m.Hooks
+
+	if hooks != nil {
+		if t.Steps == 0 {
+			// The thread's entry-function region opens at its first step
+			// (see spawnThread).
+			hooks.OnEnterFunc(t, t.EntryFunc)
+		}
+		hooks.BeforeInstr(t, pc, &fn.Instrs[fr.PC])
+	}
+	t.Steps++
+	m.TotalSteps++
+
+	code := bf.Code
+	cpc := bf.Entry[fr.PC]
+	consts := m.Prog.BC.Consts
+	st := m.stack
+	sp := 0
+
+	for {
+		c := code[cpc]
+		cpc++
+		switch c.Op {
+
+		// ---- pushes ----
+
+		case ir.BConstInt:
+			st[sp] = IntVal(consts[c.A])
+			sp++
+
+		case ir.BConstBool:
+			st[sp] = Value{Kind: KBool, Num: int64(c.A)}
+			sp++
+
+		case ir.BConstNull:
+			st[sp] = Null
+			sp++
+
+		case ir.BLoadLocal:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+			}
+			st[sp] = fr.Locals[c.A]
+			sp++
+
+		case ir.BLoadGlobal:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+			}
+			st[sp] = m.Globals[c.A]
+			sp++
+
+		case ir.BLoadIndex:
+			idx := st[sp-1].Num
+			arr := m.Arrays[c.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.crash(t, pc, fmt.Sprintf("index %d out of bounds for %s[%d]", idx, m.Prog.ArrayNames[c.A], len(arr)))
+				return true, nil
+			}
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VArrayElem, Name: m.Prog.ArrayNames[c.A], Idx: idx})
+			}
+			st[sp-1] = IntVal(arr[idx])
+
+		case ir.BLoadIndexLocal:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			idx := fr.Locals[c.B].Num
+			arr := m.Arrays[c.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.crash(t, pc, fmt.Sprintf("index %d out of bounds for %s[%d]", idx, m.Prog.ArrayNames[c.A], len(arr)))
+				return true, nil
+			}
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VArrayElem, Name: m.Prog.ArrayNames[c.A], Idx: idx})
+			}
+			st[sp] = IntVal(arr[idx])
+			sp++
+
+		case ir.BLoadField:
+			obj := st[sp-1]
+			name := m.Prog.BC.Names[c.A]
+			if obj.Kind != KPtr || obj.Obj() == 0 {
+				m.crash(t, pc, "null pointer dereference")
+				return true, nil
+			}
+			o, ok := m.Heap[obj.Obj()]
+			if !ok {
+				m.crash(t, pc, fmt.Sprintf("dangling pointer obj#%d", obj.Obj()))
+				return true, nil
+			}
+			v, ok := o.Fields[name]
+			if !ok {
+				m.crash(t, pc, fmt.Sprintf("object has no field %q", name))
+				return true, nil
+			}
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VField, Name: name, Obj: obj.Obj()})
+			}
+			st[sp-1] = v
+
+		case ir.BNew:
+			fields := m.Prog.BC.FieldSets[c.A]
+			o := m.newObject(len(fields))
+			for _, f := range fields {
+				o.Fields[f] = IntVal(0)
+			}
+			m.Heap[o.ID] = o
+			st[sp] = PtrVal(o.ID)
+			sp++
+
+		// ---- operators ----
+
+		case ir.BNot:
+			st[sp-1] = BoolVal(!st[sp-1].Bool())
+
+		case ir.BNeg:
+			st[sp-1] = IntVal(-st[sp-1].Num)
+
+		case ir.BBinop:
+			y := st[sp-1]
+			sp--
+			x := st[sp-1]
+			switch ir.ExprOp(c.A) {
+			case ir.ExAdd:
+				st[sp-1] = IntVal(x.Num + y.Num)
+			case ir.ExSub:
+				st[sp-1] = IntVal(x.Num - y.Num)
+			case ir.ExMul:
+				st[sp-1] = IntVal(x.Num * y.Num)
+			case ir.ExDiv:
+				if y.Num == 0 {
+					m.crash(t, pc, "division by zero")
+					return true, nil
+				}
+				st[sp-1] = IntVal(x.Num / y.Num)
+			case ir.ExMod:
+				if y.Num == 0 {
+					m.crash(t, pc, "division by zero")
+					return true, nil
+				}
+				st[sp-1] = IntVal(x.Num % y.Num)
+			default:
+				st[sp-1] = BoolVal(cmpVals(ir.ExprOp(c.A), x.Num, y.Num))
+			}
+
+		case ir.BCmpLL:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			st[sp] = BoolVal(cmpVals(ir.ExprOp(c.C), fr.Locals[c.A].Num, fr.Locals[c.B].Num))
+			sp++
+
+		case ir.BCmpLC:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+			}
+			st[sp] = BoolVal(cmpVals(ir.ExprOp(c.C), fr.Locals[c.A].Num, consts[c.B]))
+			sp++
+
+		case ir.BCmpLG:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.B]})
+			}
+			st[sp] = BoolVal(cmpVals(ir.ExprOp(c.C), fr.Locals[c.A].Num, m.Globals[c.B].Num))
+			sp++
+
+		case ir.BCmpGL:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			st[sp] = BoolVal(cmpVals(ir.ExprOp(c.C), m.Globals[c.A].Num, fr.Locals[c.B].Num))
+			sp++
+
+		case ir.BCmpGC:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+			}
+			st[sp] = BoolVal(cmpVals(ir.ExprOp(c.C), m.Globals[c.A].Num, consts[c.B]))
+			sp++
+
+		case ir.BCmpGG:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.B]})
+			}
+			st[sp] = BoolVal(cmpVals(ir.ExprOp(c.C), m.Globals[c.A].Num, m.Globals[c.B].Num))
+			sp++
+
+		// ---- short-circuit control flow ----
+
+		case ir.BAndCheck:
+			v := st[sp-1]
+			sp--
+			if !v.Bool() {
+				st[sp] = BoolVal(false)
+				sp++
+				cpc = c.A
+			}
+
+		case ir.BOrCheck:
+			v := st[sp-1]
+			sp--
+			if v.Bool() {
+				st[sp] = BoolVal(true)
+				sp++
+				cpc = c.A
+			}
+
+		case ir.BBool:
+			st[sp-1] = BoolVal(st[sp-1].Bool())
+
+		// ---- terminals ----
+
+		case ir.BEndAssignLocal:
+			fr.Locals[c.A] = st[sp-1]
+			fr.Live[c.A] = true
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndAssignGlobal:
+			m.Globals[c.A] = st[sp-1]
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndAssignArray:
+			idx := st[sp-1].Num
+			v := st[sp-2]
+			arr := m.Arrays[c.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.crash(t, pc, fmt.Sprintf("index %d out of bounds for %s[%d]", idx, m.Prog.ArrayNames[c.A], len(arr)))
+				return true, nil
+			}
+			arr[idx] = v.Num
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VArrayElem, Name: m.Prog.ArrayNames[c.A], Idx: idx})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndAssignArrayLocal:
+			v := st[sp-1]
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			idx := fr.Locals[c.B].Num
+			arr := m.Arrays[c.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.crash(t, pc, fmt.Sprintf("index %d out of bounds for %s[%d]", idx, m.Prog.ArrayNames[c.A], len(arr)))
+				return true, nil
+			}
+			arr[idx] = v.Num
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VArrayElem, Name: m.Prog.ArrayNames[c.A], Idx: idx})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndAssignField:
+			obj := st[sp-1]
+			v := st[sp-2]
+			name := m.Prog.BC.Names[c.A]
+			if obj.Kind != KPtr || obj.Obj() == 0 {
+				m.crash(t, pc, "null pointer dereference")
+				return true, nil
+			}
+			o, ok := m.Heap[obj.Obj()]
+			if !ok {
+				m.crash(t, pc, fmt.Sprintf("dangling pointer obj#%d", obj.Obj()))
+				return true, nil
+			}
+			o.Fields[name] = v
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VField, Name: name, Obj: obj.Obj()})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndMoveLL:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			fr.Locals[c.A] = fr.Locals[c.B]
+			fr.Live[c.A] = true
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndMoveLG:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.B]})
+			}
+			fr.Locals[c.A] = m.Globals[c.B]
+			fr.Live[c.A] = true
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndMoveGL:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			m.Globals[c.A] = fr.Locals[c.B]
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndMoveGG:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.B]})
+			}
+			m.Globals[c.A] = m.Globals[c.B]
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndConstL:
+			fr.Locals[c.A] = IntVal(consts[c.B])
+			fr.Live[c.A] = true
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndConstG:
+			m.Globals[c.A] = IntVal(consts[c.B])
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndIncL:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			fr.Locals[c.A] = IntVal(fr.Locals[c.B].Num + consts[c.C])
+			fr.Live[c.A] = true
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VLocal, Name: fn.Locals[c.A], FrameID: fr.ID})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndIncG:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.B]})
+			}
+			m.Globals[c.A] = IntVal(m.Globals[c.B].Num + consts[c.C])
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VGlobal, Name: m.Prog.ScalarNames[c.A]})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndArrToL:
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.C], FrameID: fr.ID})
+			}
+			idx := fr.Locals[c.C].Num
+			arr := m.Arrays[c.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.crash(t, pc, fmt.Sprintf("index %d out of bounds for %s[%d]", idx, m.Prog.ArrayNames[c.A], len(arr)))
+				return true, nil
+			}
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VArrayElem, Name: m.Prog.ArrayNames[c.A], Idx: idx})
+			}
+			fr.Locals[c.B] = IntVal(arr[idx])
+			fr.Live[c.B] = true
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndLToArr:
+			// RHS first (the stored local), then the index local —
+			// the tree walker's evaluation order for arr[i] = v.
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.C], FrameID: fr.ID})
+			}
+			v := fr.Locals[c.C]
+			if hooks != nil {
+				hooks.OnRead(t, VarID{Kind: VLocal, Name: fn.Locals[c.B], FrameID: fr.ID})
+			}
+			idx := fr.Locals[c.B].Num
+			arr := m.Arrays[c.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.crash(t, pc, fmt.Sprintf("index %d out of bounds for %s[%d]", idx, m.Prog.ArrayNames[c.A], len(arr)))
+				return true, nil
+			}
+			arr[idx] = v.Num
+			if hooks != nil {
+				hooks.OnWrite(t, VarID{Kind: VArrayElem, Name: m.Prog.ArrayNames[c.A], Idx: idx})
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndBranch:
+			taken := st[sp-1].Bool()
+			if hooks != nil {
+				hooks.OnBranch(t, pc, taken)
+			}
+			if taken {
+				fr.PC = int(c.A)
+			} else {
+				fr.PC = int(c.B)
+			}
+			return true, nil
+
+		case ir.BEndJump:
+			fr.PC = int(c.A)
+			return true, nil
+
+		case ir.BEndCall:
+			fr.PC++ // resume after the call on return
+			t.Frames = append(t.Frames, m.newFrame(int(c.A), st[:c.B], pc))
+			if hooks != nil {
+				hooks.OnEnterFunc(t, int(c.A))
+			}
+			return true, nil
+
+		case ir.BEndReturn:
+			var ret Value
+			if c.A != 0 {
+				ret = st[sp-1]
+			}
+			exited := fr.FuncIdx
+			t.Frames = t.Frames[:len(t.Frames)-1]
+			m.freeFrame(fr)
+			if hooks != nil {
+				hooks.OnExitFunc(t, exited)
+			}
+			if len(t.Frames) == 0 {
+				t.Status = Done
+				return true, nil
+			}
+			// Bind the call result when the call site requested one. The
+			// caller's PC was advanced past the call instruction when the
+			// callee frame was pushed, so the call sits at PC-1. The
+			// binding reuses the tree assign: calls are rare, and the
+			// lvalue's own evaluation (array index, object) must fire the
+			// same hooks either way.
+			caller := t.Top()
+			callIn := &m.Prog.Funcs[caller.FuncIdx].Instrs[caller.PC-1]
+			if callIn.Op == ir.OpCall && callIn.LHS != nil {
+				if err := m.assign(t, callIn.LHS, ret); err != nil {
+					if ce, ok := err.(crashError); ok {
+						m.crash(t, pc, ce.reason)
+						return true, nil
+					}
+					return false, err
+				}
+			}
+			return true, nil
+
+		case ir.BEndAcquire:
+			holder := m.Locks[c.A]
+			switch holder {
+			case -1:
+				m.Locks[c.A] = int32(t.ID)
+				t.Status = Runnable
+				t.WaitLock = -1
+				fr.PC++
+				if lh, ok := m.Hooks.(LockHooks); ok {
+					lh.OnAcquire(t, m.Prog.Locks[c.A])
+				}
+			case int32(t.ID):
+				m.crash(t, pc, fmt.Sprintf("recursive acquire of lock %q", m.Prog.Locks[c.A]))
+			default:
+				// The step observed the lock held; the thread blocks
+				// without advancing. The observation still counts as a
+				// step so spin-free progress accounting stays simple.
+				t.Status = Blocked
+				t.WaitLock = c.A
+			}
+			return true, nil
+
+		case ir.BEndRelease:
+			if m.Locks[c.A] != int32(t.ID) {
+				m.crash(t, pc, fmt.Sprintf("release of lock %q not held by thread %d", m.Prog.Locks[c.A], t.ID))
+				return true, nil
+			}
+			m.Locks[c.A] = -1
+			fr.PC++
+			if lh, ok := m.Hooks.(LockHooks); ok {
+				lh.OnRelease(t, m.Prog.Locks[c.A])
+			}
+			return true, nil
+
+		case ir.BEndSpawn:
+			fr.PC++
+			m.spawnThread(int(c.A), st[:c.B])
+			return true, nil
+
+		case ir.BEndAssert:
+			if !st[sp-1].Bool() {
+				m.crash(t, pc, "assertion failed: "+fn.Instrs[fr.PC].Msg)
+				return true, nil
+			}
+			fr.PC++
+			return true, nil
+
+		case ir.BEndOutput:
+			m.Output = append(m.Output, st[sp-1].Num)
+			fr.PC++
+			return true, nil
+
+		default:
+			return false, fmt.Errorf("interp: unknown bytecode op %v at %v", c.Op, pc)
+		}
+	}
+}
+
+// cmpVals applies a comparison ExprOp to two numeric payloads —
+// comparison is by payload, like the tree walker: ints compare as
+// ints, pointers by identity, `p == null` works because null carries
+// payload 0.
+func cmpVals(op ir.ExprOp, x, y int64) bool {
+	switch op {
+	case ir.ExEq:
+		return x == y
+	case ir.ExNe:
+		return x != y
+	case ir.ExLt:
+		return x < y
+	case ir.ExLe:
+		return x <= y
+	case ir.ExGt:
+		return x > y
+	case ir.ExGe:
+		return x >= y
+	}
+	return false
+}

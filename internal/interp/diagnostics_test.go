@@ -1,0 +1,279 @@
+package interp_test
+
+// The diagnostics audit: bytecode lowering must not cost a single bit
+// of crash-site quality. Every runtime fault a subject program can
+// raise — assertion, division by zero, out-of-bounds index (read and
+// write), null dereference, recursive acquire, bad release — must
+// report the same reason string (with the same variable and lock
+// names), the same faulting PC (function and source line) and the same
+// thread under both engines. Deadlock diagnosis reads machine state
+// (blocked threads, wait locks, PCs), so it is pinned the same way.
+// The per-instruction source map that makes this possible is
+// round-trip tested against the corpus below.
+
+import (
+	"reflect"
+	"testing"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+	"heisendump/internal/sched"
+	"heisendump/internal/workloads"
+)
+
+// crashCases are single-thread programs each reaching one fault kind
+// on the cooperative schedule. wantReason is the exact crash message —
+// pinned literally so a lowering that drops a variable or lock name
+// fails loudly, not just differentially.
+var crashCases = []struct {
+	name       string
+	src        string
+	wantReason string
+	wantLine   int
+}{
+	{"assert", `
+program t;
+global int g;
+func main() {
+    g = 41;
+    assert(g == 42, "g drifted");
+}
+`, `assertion failed: g drifted`, 6},
+	{"div-zero", `
+program t;
+global int g;
+func main() {
+    var int x;
+    x = 10 / g;
+}
+`, `division by zero`, 6},
+	{"mod-zero", `
+program t;
+global int g;
+func main() {
+    var int x;
+    x = 10 % g;
+}
+`, `division by zero`, 6},
+	{"index-read", `
+program t;
+global int a[4];
+func main() {
+    var int i;
+    var int x;
+    i = 7;
+    x = a[i];
+}
+`, `index 7 out of bounds for a[4]`, 8},
+	{"index-write", `
+program t;
+global int a[4];
+func main() {
+    var int i;
+    i = 0 - 1;
+    a[i] = 5;
+}
+`, `index -1 out of bounds for a[4]`, 7},
+	{"null-deref", `
+program t;
+func main() {
+    var ptr p;
+    var int x;
+    x = p.val;
+}
+`, `null pointer dereference`, 6},
+	{"null-field-write", `
+program t;
+func main() {
+    var ptr p;
+    p.val = 3;
+}
+`, `null pointer dereference`, 5},
+	{"recursive-acquire", `
+program t;
+lock L;
+func main() {
+    acquire(L);
+    acquire(L);
+}
+`, `recursive acquire of lock "L"`, 6},
+	{"bad-release", `
+program t;
+lock L;
+func main() {
+    release(L);
+}
+`, `release of lock "L" not held by thread 0`, 5},
+}
+
+// crashUnder compiles src and drives it to its fault under one engine.
+func crashUnder(t *testing.T, src string, eng interp.Engine) (*interp.CrashInfo, *ir.Program) {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := ir.Compile(p, ir.Options{InstrumentLoops: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := interp.New(cp, nil)
+	m.Engine = eng
+	res := sched.Run(m, sched.NewCooperative())
+	if !res.Crashed {
+		t.Fatalf("engine=%v: run did not crash (outcome %v)", eng, res.Outcome())
+	}
+	return res.Crash, cp
+}
+
+// TestCrashDiagnosticsSurviveLowering pins every reachable fault kind:
+// exact reason text, source line and thread, identical across engines.
+func TestCrashDiagnosticsSurviveLowering(t *testing.T) {
+	for _, tc := range crashCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tree, cp := crashUnder(t, tc.src, interp.EngineTree)
+			bc, _ := crashUnder(t, tc.src, interp.EngineBytecode)
+			if !reflect.DeepEqual(tree, bc) {
+				t.Fatalf("crash differs across engines:\n tree:     %+v\n bytecode: %+v", tree, bc)
+			}
+			if bc.Reason != tc.wantReason {
+				t.Errorf("reason = %q, want %q", bc.Reason, tc.wantReason)
+			}
+			if line := cp.InstrAt(bc.PC).Line; line != tc.wantLine {
+				t.Errorf("faulting line = %d (%s), want %d", line, cp.FormatPC(bc.PC), tc.wantLine)
+			}
+			if bc.ThreadID != 0 {
+				t.Errorf("faulting thread = %d, want 0", bc.ThreadID)
+			}
+		})
+	}
+}
+
+// TestDeadlockDiagnosisSurvivesLowering drives a two-thread lock-order
+// inversion into deadlock under both engines and pins the wait-for
+// diagnosis: same waiters, same lock names, same cycle — and the same
+// blocked PCs, so a post-mortem points at the same acquire sites.
+func TestDeadlockDiagnosisSurvivesLowering(t *testing.T) {
+	const src = `
+program t;
+lock A;
+lock B;
+global int g;
+func worker() {
+    acquire(B);
+    g = g + 1;
+    acquire(A);
+    release(A);
+    release(B);
+}
+func main() {
+    spawn worker();
+    acquire(A);
+    g = g + 1;
+    acquire(B);
+    release(B);
+    release(A);
+}
+`
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ir.Compile(p, ir.Options{InstrumentLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deadlocking interleaving: main spawns and takes A, worker
+	// takes B, then each steps into the other's lock.
+	type snap struct {
+		diag    string
+		cycle   []int
+		pcs     []string
+		waiting []int32
+	}
+	run := func(eng interp.Engine) snap {
+		m := interp.New(cp, nil)
+		m.Engine = eng
+		step := func(tid, n int) {
+			for i := 0; i < n; i++ {
+				if ok, err := m.Step(tid); err != nil || !ok {
+					t.Fatalf("engine=%v: step thread %d: ok=%v err=%v", eng, tid, ok, err)
+				}
+			}
+		}
+		step(0, 2) // spawn; acquire(A)
+		step(1, 2) // acquire(B); g = g + 1
+		step(0, 1) // g = g + 1
+		m.Step(0)  // acquire(B): blocks
+		m.Step(1)  // acquire(A): blocks
+		if len(m.Runnable()) != 0 {
+			t.Fatalf("engine=%v: expected deadlock, runnable=%v", eng, m.Runnable())
+		}
+		d := sched.DiagnoseDeadlock(m)
+		s := snap{diag: d.String(), cycle: d.Cycle}
+		for _, th := range m.Threads {
+			s.pcs = append(s.pcs, cp.FormatPC(th.PC()))
+			s.waiting = append(s.waiting, th.WaitLock)
+		}
+		return s
+	}
+	tree := run(interp.EngineTree)
+	bc := run(interp.EngineBytecode)
+	if !reflect.DeepEqual(tree, bc) {
+		t.Fatalf("deadlock diagnosis differs:\n tree:     %+v\n bytecode: %+v", tree, bc)
+	}
+	if want := `thread 0 waits for lock "B" held by thread 1, thread 1 waits for lock "A" held by thread 0 (cycle: [0 1])`; bc.diag != want {
+		t.Errorf("diagnosis = %q, want %q", bc.diag, want)
+	}
+}
+
+// TestBytecodeSourceMapRoundTrip checks the per-instruction source map
+// on every corpus workload: each ir instruction's bytecode segment is
+// contiguous, entry points are strictly increasing, and SrcInstr maps
+// every bytecode pc in the segment back to the ir instruction it was
+// lowered from — the property the crash paths above rely on.
+func TestBytecodeSourceMapRoundTrip(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w := workloads.ByName(name)
+		t.Run(name, func(t *testing.T) {
+			cp, err := w.Compile(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.BC == nil {
+				t.Fatal("compiled program has no bytecode")
+			}
+			for fi, bf := range cp.BC.Funcs {
+				fn := cp.Funcs[fi]
+				if len(bf.Entry) != len(fn.Instrs) {
+					t.Fatalf("%s: %d entry points for %d instructions", fn.Name, len(bf.Entry), len(fn.Instrs))
+				}
+				for i := range bf.Entry {
+					lo := int(bf.Entry[i])
+					hi := len(bf.Code)
+					if i+1 < len(bf.Entry) {
+						hi = int(bf.Entry[i+1])
+					}
+					if lo >= hi {
+						t.Fatalf("%s: instruction %d has empty bytecode segment [%d,%d)", fn.Name, i, lo, hi)
+					}
+					for pc := lo; pc < hi; pc++ {
+						if got := bf.SrcInstr(pc); got != i {
+							t.Fatalf("%s: SrcInstr(%d) = %d, want %d", fn.Name, pc, got, i)
+						}
+					}
+					last := bf.Code[hi-1].Op
+					if !last.IsTerminal() {
+						t.Fatalf("%s: instruction %d's segment ends with non-terminal %v", fn.Name, i, last)
+					}
+					for pc := lo; pc < hi-1; pc++ {
+						if op := bf.Code[pc].Op; op.IsTerminal() {
+							t.Fatalf("%s: terminal %v mid-segment at pc %d (instruction %d)", fn.Name, op, pc, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -217,9 +217,18 @@ type Machine struct {
 	// exceeded. Zero means no limit. Preserved across Reset.
 	MaxSteps int64
 
+	// Engine selects the execution engine (see bytecode.go). The zero
+	// value EngineAuto runs bytecode whenever the program carries a
+	// bytecode image. Preserved across Reset.
+	Engine Engine
+
 	input     *Input
 	nextObj   ObjID
 	nextFrame int64
+
+	// stack is the bytecode engine's per-step value scratch space,
+	// sized by Reset from the program's compile-time MaxStack.
+	stack []Value
 
 	// Free lists recycle the per-run allocations across Reset calls, so
 	// a machine re-executing millions of schedule-search trials reaches
@@ -351,6 +360,7 @@ func (m *Machine) Reset(prog *ir.Program, in *Input) {
 	m.nextObj = 1
 	m.nextFrame = 0
 
+	m.ensureStack(prog)
 	m.spawnThread(prog.FuncIndex("main"), nil)
 }
 
@@ -495,11 +505,12 @@ type crashError struct{ reason string }
 
 func (e crashError) Error() string { return e.reason }
 
-// Step executes one instruction of thread tid. It returns false when
-// the thread could not be stepped (blocked, done, or machine crashed).
-// Runtime faults crash the machine and return true: the faulting
-// instruction was the step.
-func (m *Machine) Step(tid int) (bool, error) {
+// stepTree executes one instruction of thread tid by walking the
+// instruction's compiled expression trees. It is one of the machine's
+// two engines — Step (bytecode.go) selects between it and the
+// dispatch-loop engine — and the reference for their shared observable
+// contract: values, crash messages and positions, and hook events.
+func (m *Machine) stepTree(tid int) (bool, error) {
 	if m.Crashed() {
 		return false, nil
 	}

@@ -586,12 +586,13 @@ func runReference(prog *ir.Program, in *interp.Input, schedule []int) refRun {
 	return refRun{events: rec.Events, crash: m.crash, output: m.output, fp: fpr.Fingerprint()}
 }
 
-// runSlot executes schedule on the slot-addressed machine. The machine
-// is built once and Reset before the run, so the round-trip also
-// exercises the reset/free-list lifecycle rather than only a virgin
-// machine.
-func runSlot(prog *ir.Program, in *interp.Input, schedule []int) refRun {
+// runSlot executes schedule on the slot-addressed machine under the
+// given engine. The machine is built once and Reset before the run, so
+// the round-trip also exercises the reset/free-list lifecycle rather
+// than only a virgin machine.
+func runSlot(prog *ir.Program, in *interp.Input, schedule []int, eng interp.Engine) refRun {
 	m := interp.New(prog, in)
+	m.Engine = eng
 	// Burn one partial run, then rewind: the post-Reset state must be
 	// indistinguishable from a fresh machine.
 	sched.BoundedRun(m, sched.NewCooperative(), 25)
@@ -623,12 +624,43 @@ func schedulesFor(t *testing.T, prog *ir.Program, in *interp.Input, seeds int) [
 	return out
 }
 
-// TestSlotAndNameMapExecutionAgree is the round-trip pin: for every
-// corpus workload, under the deterministic schedule and a spread of
-// random interleavings, slot-compiled execution and name-map execution
-// produce identical traces (events with reads/writes/locks), crashes,
-// outputs and projection fingerprints.
-func TestSlotAndNameMapExecutionAgree(t *testing.T) {
+// compareRuns asserts that two executions are observably identical:
+// same trace events (with reads/writes/locks), same crash, same output
+// and same projection fingerprint.
+func compareRuns(t *testing.T, label string, got, want refRun) {
+	t.Helper()
+	if len(got.events) != len(want.events) {
+		t.Fatalf("%s: %d events vs %d", label, len(got.events), len(want.events))
+	}
+	for i := range got.events {
+		if !reflect.DeepEqual(got.events[i], want.events[i]) {
+			t.Fatalf("%s: event %d differs:\n got:  %+v\n want: %+v",
+				label, i, got.events[i], want.events[i])
+		}
+	}
+	if !reflect.DeepEqual(got.crash, want.crash) {
+		t.Fatalf("%s: crash differs: %v vs %v", label, got.crash, want.crash)
+	}
+	if !reflect.DeepEqual(got.output, want.output) && (len(got.output) != 0 || len(want.output) != 0) {
+		t.Fatalf("%s: output differs: %v vs %v", label, got.output, want.output)
+	}
+	if got.fp != want.fp {
+		t.Fatalf("%s: projection fingerprint differs: %#x vs %#x", label, got.fp, want.fp)
+	}
+}
+
+// TestEnginesAndNameMapExecutionAgree is the three-way oracle: for
+// every corpus workload, under the deterministic schedule and a spread
+// of random interleavings, all three execution modes — the name-map
+// reference, the slot-addressed tree walker, and the bytecode dispatch
+// loop — produce identical traces (events with reads/writes/locks),
+// crashes, outputs and projection fingerprints. The reference shares
+// nothing with the slot machines beyond the instruction stream, and
+// the two engines share the machine state model but nothing of the
+// per-instruction execution path, so agreement pins each layer of
+// lowering (name→slot, tree→bytecode) independently.
+func TestEnginesAndNameMapExecutionAgree(t *testing.T) {
+	engines := []interp.Engine{interp.EngineTree, interp.EngineBytecode}
 	for _, name := range workloads.Names() {
 		w := workloads.ByName(name)
 		t.Run(name, func(t *testing.T) {
@@ -638,26 +670,11 @@ func TestSlotAndNameMapExecutionAgree(t *testing.T) {
 					t.Fatalf("compile(instrument=%v): %v", instrument, err)
 				}
 				for si, schedule := range schedulesFor(t, prog, w.Input, 5) {
-					slot := runSlot(prog, w.Input, schedule)
 					ref := runReference(prog, w.Input, schedule)
-					label := fmt.Sprintf("instrument=%v schedule=%d", instrument, si)
-					if len(slot.events) != len(ref.events) {
-						t.Fatalf("%s: %d events vs %d (ref)", label, len(slot.events), len(ref.events))
-					}
-					for i := range slot.events {
-						if !reflect.DeepEqual(slot.events[i], ref.events[i]) {
-							t.Fatalf("%s: event %d differs:\n slot: %+v\n ref:  %+v",
-								label, i, slot.events[i], ref.events[i])
-						}
-					}
-					if !reflect.DeepEqual(slot.crash, ref.crash) {
-						t.Fatalf("%s: crash differs: %v vs %v (ref)", label, slot.crash, ref.crash)
-					}
-					if !reflect.DeepEqual(slot.output, ref.output) && (len(slot.output) != 0 || len(ref.output) != 0) {
-						t.Fatalf("%s: output differs: %v vs %v (ref)", label, slot.output, ref.output)
-					}
-					if slot.fp != ref.fp {
-						t.Fatalf("%s: projection fingerprint differs: %#x vs %#x (ref)", label, slot.fp, ref.fp)
+					for _, eng := range engines {
+						got := runSlot(prog, w.Input, schedule, eng)
+						label := fmt.Sprintf("engine=%v instrument=%v schedule=%d (vs name-map ref)", eng, instrument, si)
+						compareRuns(t, label, got, ref)
 					}
 				}
 			}

@@ -61,6 +61,7 @@ func Compile(p *lang.Program, opts Options) (*Program, error) {
 		}
 		out.Funcs = append(out.Funcs, cf)
 	}
+	out.BC = compileBytecode(out)
 	return out, nil
 }
 

@@ -224,6 +224,12 @@ type Program struct {
 	ArrayNames  []string
 	ArrayDecls  []*lang.VarDecl
 
+	// BC is the bytecode image of the program: every instruction's
+	// resolved operand trees lowered to flat fixed-width code (see
+	// bytecode.go). The interpreter's dispatch-loop engine executes
+	// it; the tree walker and the analyses ignore it.
+	BC *Bytecode
+
 	funcIndex   map[string]int
 	globalIndex map[string]int
 	arrayIndex  map[string]int

@@ -81,6 +81,12 @@ func WithStepLimit(n int64) Option { return func(c *Config) { c.StepLimit = n } 
 // attempts (0 = the default of 20000).
 func WithStressBudget(n int) Option { return func(c *Config) { c.MaxStressAttempts = n } }
 
+// WithEngine selects the interpreter engine every execution of the
+// session runs on: EngineAuto (the default) dispatches compiled
+// bytecode, EngineTree forces the slot-addressed tree walker. Results
+// are bit-identical across engines; only wall time differs.
+func WithEngine(e Engine) Option { return func(c *Config) { c.Engine = e } }
+
 // New builds a Session for a compiled program and its failure-inducing
 // input, running the static analyses once. Options default to the
 // zero Config (temporal heuristic, execution-index alignment, bound 2,
