@@ -6,18 +6,22 @@
 // the values the determinism contract pins for a given seed state —
 // plus two classes of cost ceiling:
 //
-//   - AllocsPerStep gates as an exact-ish ceiling: the baseline value
-//     is a budget, a regression beyond a small noise tolerance fails,
-//     improvements pass.
-//   - NsPerStep and SearchNs gate as headroom ceilings: a fresh value
-//     above baseline × timeHeadroom fails. The generous factor absorbs
-//     machine-speed differences between the baseline runner and CI
-//     while still catching a gross dispatch-loop regression (an
-//     accidental per-step allocation, a lost superinstruction, a
-//     de-inlined hot call — each worth far more than the headroom).
+//   - AllocsPerStep and every StepsExecuted column gate as exact-ish
+//     ceilings: the baseline value is a budget, a regression beyond a
+//     small noise tolerance fails, improvements pass. StepsExecuted is
+//     deterministic, so this pins the prefix-fork layer's win: a
+//     fork-on run must never execute more interpreter steps than the
+//     baseline it was snapshotted against.
+//   - NsPerStep and SearchNs (including the fork-on SearchNsFork leg)
+//     gate as headroom ceilings: a fresh value above baseline ×
+//     timeHeadroom fails. The generous factor absorbs machine-speed
+//     differences between the baseline runner and CI while still
+//     catching a gross dispatch-loop regression (an accidental
+//     per-step allocation, a lost superinstruction, a de-inlined hot
+//     call — each worth far more than the headroom).
 //
-// Other cost fields (table times, executed/pruned trial counts, steps)
-// are informational only and never gate.
+// Other cost fields (table times, executed/pruned trial counts, steps,
+// StepsSaved) are informational only and never gate.
 //
 // Usage (what CI runs):
 //
@@ -140,9 +144,13 @@ func gated(key string) bool {
 // exact equality: the baseline is a budget, a fresh value above it
 // (beyond allocTolerance) is a regression, and an improvement passes.
 // Used for the interpreter's allocs/step, whose steady-state target is
-// zero but whose measurement carries runtime noise.
+// zero but whose measurement carries runtime noise, and for the
+// deterministic StepsExecuted counts of the searching sections, where
+// the ceiling pins the prefix-fork layer: forking (or any future
+// executor change) may only ever reduce the interpreter steps a search
+// executes.
 func ceilingGated(key string) bool {
-	return strings.Contains(key, "Allocs")
+	return strings.Contains(key, "Allocs") || strings.Contains(key, "StepsExecuted")
 }
 
 // allocTolerance absorbs measurement noise in ceiling-gated fields

@@ -167,6 +167,42 @@ func TestCompareEngineIsIdentity(t *testing.T) {
 	}
 }
 
+const stepsBaseline = `{"table":"table4","rows":[{"Name":"apache-2","ChessTries":2000,"ChessFound":false,"ChessStepsExecuted":1500000,"ChessStepsSaved":0}]}
+`
+
+// TestCompareStepsExecutedCeiling: StepsExecuted columns gate as
+// ceilings — a forked search executing fewer interpreter steps than
+// the fork-off baseline passes (that is the win the gate preserves), a
+// search executing more fails, and the StepsSaved companion column is
+// informational.
+func TestCompareStepsExecutedCeiling(t *testing.T) {
+	diffs, checked := compare(sections(t, stepsBaseline), sections(t, stepsBaseline))
+	if len(diffs) != 0 {
+		t.Fatalf("identical steps gated: %v", diffs)
+	}
+	if checked != 4 { // Name, ChessTries, ChessFound, ChessStepsExecuted
+		t.Fatalf("checked %d gated fields, want 4", checked)
+	}
+
+	improved := sections(t, strings.ReplaceAll(stepsBaseline, `"ChessStepsExecuted":1500000`, `"ChessStepsExecuted":600000`))
+	diffs, _ = compare(improved, sections(t, stepsBaseline))
+	if len(diffs) != 0 {
+		t.Fatalf("steps improvement gated: %v", diffs)
+	}
+
+	regressed := sections(t, strings.ReplaceAll(stepsBaseline, `"ChessStepsExecuted":1500000`, `"ChessStepsExecuted":1500001`))
+	diffs, _ = compare(regressed, sections(t, stepsBaseline))
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "ChessStepsExecuted") || !strings.Contains(diffs[0], "budget") {
+		t.Fatalf("steps regression not caught: %v", diffs)
+	}
+
+	saved := sections(t, strings.ReplaceAll(stepsBaseline, `"ChessStepsSaved":0`, `"ChessStepsSaved":900000`))
+	diffs, _ = compare(saved, sections(t, stepsBaseline))
+	if len(diffs) != 0 {
+		t.Fatalf("informational StepsSaved column gated: %v", diffs)
+	}
+}
+
 func TestCompareMissingTableAndRowCount(t *testing.T) {
 	fresh := sections(t, `{"table":"table9","rows":[{"Name":"x","Tries":1}]}`)
 	diffs, _ := compare(fresh, sections(t, baselineDoc))

@@ -46,6 +46,7 @@ func main() {
 	maxTries := flag.Int("maxtries", 5000, "schedule-search trial budget")
 	workers := flag.Int("workers", 0, "schedule-search worker pool width (0 = GOMAXPROCS); the result is deterministic for any value")
 	prune := flag.Bool("prune", false, "skip schedule trials proven equivalent to already-executed runs; the result is identical either way")
+	fork := flag.Bool("fork", false, "resume schedule trials from cached prefix snapshots instead of step 0; the result is identical either way")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none); the deadline cancels like Ctrl-C")
 	list := flag.Bool("list", false, "list built-in workloads")
 	verbose := flag.Bool("v", false, "print the failure index, CSVs, candidates and stage transitions")
@@ -101,6 +102,7 @@ func main() {
 		heisendump.WithPlainChess(*plain),
 		heisendump.WithWorkers(*workers),
 		heisendump.WithPrune(*prune),
+		heisendump.WithFork(*fork),
 	}
 	if *heuristic == "dep" {
 		opts = append(opts, heisendump.WithHeuristic(heisendump.Dependence))
@@ -168,8 +170,12 @@ func main() {
 	if res.TrialsPruned > 0 {
 		pruneNote = fmt.Sprintf(", %d pruned as equivalent, %d distinct interleavings", res.TrialsPruned, res.DistinctRuns)
 	}
-	fmt.Printf("reproduced: %d tries (%d runs executed on %d workers%s), %v, %d interpreter steps\n",
-		res.Tries, res.TrialsExecuted, res.Workers, pruneNote, res.Elapsed, res.StepsExecuted)
+	forkNote := ""
+	if res.StepsSaved > 0 {
+		forkNote = fmt.Sprintf(" (+%d replayed from snapshots)", res.StepsSaved)
+	}
+	fmt.Printf("reproduced: %d tries (%d runs executed on %d workers%s), %v, %d interpreter steps%s\n",
+		res.Tries, res.TrialsExecuted, res.Workers, pruneNote, res.Elapsed, res.StepsExecuted, forkNote)
 	printSchedule(res)
 }
 

@@ -1,0 +1,667 @@
+package chess
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/trace"
+)
+
+// Prefix snapshot/fork execution. The worklist's size-major
+// lexicographic order (see generateWorklist) makes consecutively
+// claimed combinations share long schedule prefixes, yet runTrial
+// re-executes every trial from step 0 — O(steps × trials) when most of
+// that work replays a prefix an adjacent trial already executed. The
+// fork layer removes the redundancy: each worker grows a prefix tree
+// of the trials it executed, checkpoints the machine at preemption
+// frontiers, and starts each new trial from the deepest cached
+// snapshot on its path instead of from Reset.
+//
+// The tree records, per path of fire decisions, the sequence of
+// candidate-point encounters the continuation produces. This is sound
+// because the machine's trajectory between fires is a pure function of
+// the fire decisions taken so far: the trial loop's deterministic
+// cooperative schedule, the point checks (which mutate nothing) and
+// the matched-but-ineligible fall-throughs are all functions of
+// machine state, so two trials that agree on a prefix of fire
+// decisions encounter bit-identical machine states — and therefore the
+// same candidate points with the same eligible-choice sets — up to
+// their first divergent decision. A frontierEvent caches exactly that
+// shared observation; a forkNode's children map is keyed by the fire
+// decision (event index, switch-to thread) that leaves it.
+//
+// Forking never changes a trial's outcome. A forked trial restores the
+// machine, the pruning probe's fireable bits and the streaming
+// projection-fingerprint chains from the checkpoint, re-applies the
+// bookkeeping of the fires that precede it, and re-enters the trial
+// loop at the checkpoint's event cursor — producing the bit-identical
+// trialResult (found, steps, choice counts, schedule, fireable set,
+// fingerprint) a cold run yields, with only stepsSaved recording the
+// replayed prefix length. Caches are per worker and never shared, so
+// the rank-order deterministic fold, the pruning layer's contracts and
+// the workers {1,4} bit-identity guarantees are untouched.
+
+// forkCacheCap bounds the live snapshots per worker cache. Eviction is
+// least-recently-used: the worklist's prefix adjacency means the
+// snapshots a future trial will want are the ones recent trials
+// touched, so recency tracks usefulness; evicted slots are re-captured
+// on demand the next time a trial fires at their event.
+const forkCacheCap = 1024
+
+// frontierEvent is one recorded candidate-point encounter on a path of
+// the prefix tree: which candidate's dynamic point the run reached,
+// and the eligible switch targets observed there. snap, when non-nil,
+// is the checkpoint from which a trial can resume at this event.
+type frontierEvent struct {
+	cand    int
+	choices []int
+	snap    *forkSnapshot
+}
+
+// childKey names a fire decision leaving a node: the event index the
+// preemption fired at, and the thread switched to.
+type childKey struct {
+	event    int
+	switchTo int
+}
+
+// forkNode is one prefix-tree node: the encounter sequence of the
+// no-more-fires continuation of its path, the subtrees reached by
+// firing, and — once some trial has run the continuation to its end —
+// the memoized outcome of doing so.
+type forkNode struct {
+	events   []*frontierEvent
+	children map[childKey]*forkNode
+	done     *pathDone
+}
+
+// pathDone memoizes the outcome of running a path's no-more-fires
+// continuation to its end (completion, crash, deadlock or the per-run
+// step bound — every exit of the trial loop is a pure function of the
+// fire-decision path). Everything here is combo-independent: two
+// trials on the same path that fire nothing past this node execute
+// bit-identical trajectories, so a later trial whose descend walk
+// consumes the node's complete event list without firing can replay
+// this outcome with zero machine execution — the whole-run analogue of
+// resuming from a snapshot, with the entire step count landing in
+// stepsSaved.
+type pathDone struct {
+	found bool
+	steps int64
+	// fireable and fp capture the pruning probe's end-of-run state;
+	// fireable is nil when the search runs without pruning.
+	fireable []uint64
+	fp       uint64
+}
+
+// forkSnapshot is a checkpoint at a frontier event: the machine state,
+// the probe observations, and the trial-loop bookkeeping needed to
+// resume there.
+type forkSnapshot struct {
+	mach *interp.Snapshot
+	// fireable and fpr capture the pruning probe at the checkpoint; nil
+	// slices/maps when the search runs without pruning.
+	fireable []uint64
+	fpr      *trace.FingerprintSnapshot
+	// cur and completed are the trial loop's scheduling state.
+	cur       int
+	completed []int
+	// pendingRelease, when >= 0, marks a checkpoint taken after a
+	// release step whose AfterRelease point the loop had not yet
+	// processed (the loop detects it only immediately after stepping
+	// the release): the resumed trial must process (AfterRelease,
+	// pendingRelease) on thread cur before re-entering the loop. -1
+	// resumes at the loop top, re-detecting the attached event's whole
+	// scheduling iteration.
+	pendingRelease int
+	// steps is the machine's TotalSteps at capture — the steps a trial
+	// resuming here does not re-execute.
+	steps   int64
+	lastUse int64
+	owner   *frontierEvent
+}
+
+// tailOutcome memoizes the end of a trial whose remaining combination
+// members have all fired: from that point on the trial loop is a pure
+// function of (machine state, scheduled thread) — the cooperative
+// lowest-runnable schedule, the candidate-point checks and every loop
+// exit (completion, crash, deadlock) read nothing else — so any later
+// trial reaching a bit-identical state with no fires left reproduces
+// this outcome exactly, and can adopt it without executing the tail.
+//
+// This is the cross-path complement of the prefix tree: prefix
+// anchoring shares work up to the last fire, while tail memoization
+// shares the post-last-fire suffixes of trials whose different
+// preemption histories have washed out — reconverged to the same
+// machine state, as commuting critical sections routinely do.
+//
+// steps is the tail's length; a hit is only valid when it fits the
+// trial's remaining step budget (and outcomes are only recorded from
+// trials that finished under theirs), because the per-run bound is the
+// one loop exit that depends on the excluded TotalSteps counter.
+type tailOutcome struct {
+	found bool
+	steps int64
+}
+
+// tailCacheCap bounds the memoized tail states per worker cache; once
+// full, new states are no longer recorded (hits on existing entries
+// still land). tailProbesPerTrial bounds the per-trial key encodings.
+const (
+	tailCacheCap       = 32768
+	tailProbesPerTrial = 64
+)
+
+// tailRec is one pending tail-state observation of the running trial,
+// recorded into the cache at trial end once the outcome is known.
+type tailRec struct {
+	key string
+	at  int64 // machine TotalSteps at the observation
+}
+
+// forkCache is one worker's prefix tree plus its bounded snapshot
+// pool and tail-outcome memos. Never shared across workers: per-worker
+// caches cost repeated prefix executions across workers but preserve
+// every determinism contract without locks.
+type forkCache struct {
+	points map[pointKey]int
+	root   forkNode
+	snaps  []*forkSnapshot
+	free   []*forkSnapshot
+	clock  int64
+
+	tails    map[string]tailOutcome
+	keyBuf   []byte
+	tailRecs []tailRec
+}
+
+// newForkCache builds an empty cache over the candidates' dynamic
+// point index (see indexPoints); callers pass nil points to disable
+// forking (ambiguous points would break the path-purity argument the
+// tree relies on).
+func newForkCache(points map[pointKey]int) *forkCache {
+	if points == nil {
+		return nil
+	}
+	return &forkCache{points: points}
+}
+
+// candidateAt resolves the candidate whose dynamic point the run is
+// passing, or -1 — the probe's resolution, shared so forking works
+// with pruning off.
+func (fk *forkCache) candidateAt(thread int, kind PointKind, seq int) int {
+	if ci, ok := fk.points[pointKey{thread: thread, kind: kind, seq: seq}]; ok {
+		return ci
+	}
+	return -1
+}
+
+// walkFire is one fire decision recorded during a descend walk.
+type walkFire struct {
+	cand     int
+	pos      int // combo position fired
+	switchTo int
+	nChoices int
+}
+
+// descend walks the recorded tree along the path the trial
+// (combo, vec) will take, up to the frontier where recorded knowledge
+// runs out, and returns the resume position: the deepest
+// snapshot-bearing event on the path (nil anchor means cold start from
+// Reset), the node/cursor to resume the trial loop at, and the fire
+// decisions strictly preceding the anchor, whose bookkeeping the
+// caller pre-applies instead of re-executing.
+//
+// When the walk consumes the complete event list of a node whose
+// continuation outcome is memoized — the trial fires nothing past a
+// point some earlier trial ran to its end — no execution is needed at
+// all: done is that outcome and fires then holds every fire decision
+// of the trial, for the caller to replay as bookkeeping.
+func (fk *forkCache) descend(combo, vec []int) (node *forkNode, cursor int, anchor *forkSnapshot, preFires []walkFire, done *pathDone, allFires []walkFire) {
+	node, cursor = &fk.root, 0
+	cn, cc := node, 0
+	var fires []walkFire
+	anchorDepth := 0
+	depth := 0
+	exhausted := true
+walk:
+	for cc < len(cn.events) {
+		ev := cn.events[cc]
+		if ev.snap != nil {
+			node, cursor, anchor = cn, cc, ev.snap
+			anchorDepth = depth
+		}
+		// The trial's fire decision at this event: fire iff the
+		// candidate is an unfired member with somewhere to switch —
+		// exactly the live loop's matchCandidate + firePreemption rule.
+		pos := -1
+		for p, c := range combo {
+			if c != ev.cand {
+				continue
+			}
+			fired := false
+			for _, f := range fires {
+				if f.pos == p {
+					fired = true
+					break
+				}
+			}
+			if !fired {
+				pos = p
+			}
+			break
+		}
+		if pos >= 0 && len(ev.choices) > 0 {
+			pick := vec[pos]
+			if pick >= len(ev.choices) {
+				pick = len(ev.choices) - 1
+			}
+			to := ev.choices[pick]
+			fires = append(fires, walkFire{cand: ev.cand, pos: pos, switchTo: to, nChoices: len(ev.choices)})
+			child := cn.children[childKey{event: cc, switchTo: to}]
+			if child == nil {
+				exhausted = false
+				break walk // frontier: no recorded continuation
+			}
+			cn, cc = child, 0
+			depth++
+			continue
+		}
+		cc++
+	}
+	if exhausted && cn.done != nil {
+		return cn, cc, nil, nil, cn.done, fires
+	}
+	return node, cursor, anchor, fires[:anchorDepth], nil, nil
+}
+
+// capture checkpoints the trial's current state at event ev, reusing
+// an evicted or recycled snapshot's storage when the cache is full.
+func (fk *forkCache) capture(ev *frontierEvent, m *interp.Machine, probe *pruneProbe, cur int, completed []int, pendingRelease int) {
+	var snap *forkSnapshot
+	switch {
+	case len(fk.snaps) >= forkCacheCap:
+		snap = fk.evict()
+	case len(fk.free) > 0:
+		snap = fk.free[len(fk.free)-1]
+		fk.free = fk.free[:len(fk.free)-1]
+	default:
+		snap = &forkSnapshot{}
+	}
+	snap.mach = m.Snapshot(snap.mach)
+	if probe != nil {
+		snap.fireable = append(snap.fireable[:0], probe.fireable...)
+		snap.fpr = probe.fpr.Snapshot(snap.fpr)
+	} else {
+		snap.fireable = snap.fireable[:0]
+	}
+	snap.cur = cur
+	snap.completed = append(snap.completed[:0], completed...)
+	snap.pendingRelease = pendingRelease
+	snap.steps = m.TotalSteps
+	snap.owner = ev
+	fk.touch(snap)
+	ev.snap = snap
+	fk.snaps = append(fk.snaps, snap)
+}
+
+// evict detaches the least-recently-used snapshot from its event and
+// returns it for storage reuse.
+func (fk *forkCache) evict() *forkSnapshot {
+	best := 0
+	for i, s := range fk.snaps {
+		if s.lastUse < fk.snaps[best].lastUse {
+			best = i
+		}
+	}
+	snap := fk.snaps[best]
+	last := len(fk.snaps) - 1
+	fk.snaps[best] = fk.snaps[last]
+	fk.snaps = fk.snaps[:last]
+	snap.owner.snap = nil
+	snap.owner = nil
+	return snap
+}
+
+// touch refreshes a snapshot's LRU clock.
+func (fk *forkCache) touch(snap *forkSnapshot) {
+	fk.clock++
+	snap.lastUse = fk.clock
+}
+
+// runTrialFork is runTrial with prefix forking: bit-identical
+// trialResult, but resuming from the deepest cached checkpoint on the
+// trial's path and recording the trial's own frontier for successors.
+// The cold runTrial stays untouched as the reference executor.
+func (s *Searcher) runTrialFork(m *interp.Machine, combo []int, vec []int, maxRun int64, probe *pruneProbe, fk *forkCache) trialResult {
+	out := trialResult{choiceCounts: make([]int, len(combo))}
+	fired := make([]bool, len(combo))
+	completed := make([]int, 1, 8)
+	cur := 0
+	fk.tailRecs = fk.tailRecs[:0]
+
+	node, cursor, anchor, preFires, done, allFires := fk.descend(combo, vec)
+	if done != nil {
+		// Whole-trial replay: the walk consumed a completely recorded
+		// path, so the outcome is a pure function of the fire decisions
+		// and nothing needs the machine. Replay the fires' bookkeeping
+		// and the memoized end-of-run state; steps keeps the cold value
+		// and all of it lands in stepsSaved.
+		for _, f := range allFires {
+			out.choiceCounts[f.pos] = f.nChoices
+			out.applied = append(out.applied, AppliedPreemption{Candidate: s.Candidates[f.cand], SwitchTo: f.switchTo})
+		}
+		out.found = done.found
+		out.steps = done.steps
+		out.stepsSaved = done.steps
+		if probe != nil {
+			copy(probe.fireable, done.fireable)
+			out.fireable = probe.fireable
+			out.fp = done.fp
+		}
+		return out
+	}
+	pendingRelease := -1
+	if anchor != nil {
+		m.Restore(anchor.mach)
+		cur = anchor.cur
+		completed = append(completed[:0], anchor.completed...)
+		pendingRelease = anchor.pendingRelease
+		out.stepsSaved = anchor.steps
+		if probe != nil {
+			copy(probe.fireable, anchor.fireable)
+			probe.fpr.Restore(anchor.fpr)
+		}
+		fk.touch(anchor)
+		for _, f := range preFires {
+			fired[f.pos] = true
+			out.choiceCounts[f.pos] = f.nChoices
+			out.applied = append(out.applied, AppliedPreemption{Candidate: s.Candidates[f.cand], SwitchTo: f.switchTo})
+		}
+	} else {
+		m.Reset(m.Prog, m.SeedInput())
+	}
+	if probe != nil {
+		m.Hooks = probe.fpr
+	} else {
+		m.Hooks = nil
+	}
+
+	completedOf := func(tid int) int {
+		if tid < len(completed) {
+			return completed[tid]
+		}
+		return 0
+	}
+	pickLowest := func() int {
+		r := m.Runnable()
+		if len(r) == 0 {
+			return -1
+		}
+		return r[0]
+	}
+	eligibleChoices := func(c *Candidate) []int {
+		var choices []int
+		blockVars := c.AccessVars()
+		for _, t := range m.Threads {
+			if t.ID == c.Thread {
+				continue
+			}
+			if t.Status == interp.Done {
+				continue
+			}
+			if t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1 {
+				continue
+			}
+			if s.Opts.Guided {
+				overlap := false
+				for v := range s.futureCSVsOf(t.ID, completedOf(t.ID)) {
+					if blockVars[v] {
+						overlap = true
+						break
+					}
+				}
+				if !overlap {
+					continue
+				}
+			}
+			choices = append(choices, t.ID)
+		}
+		return choices
+	}
+
+	// iterFirst is the cursor index of the current scheduling
+	// iteration's first candidate-point encounter, -1 when none yet.
+	// Loop-top checkpoints attach to it, so a resumed trial re-detects
+	// the whole iteration from the loop top (one iteration can
+	// encounter both a ThreadStart and a BeforeAcquire point; the
+	// machine state is identical at both, as no step runs in between).
+	iterFirst := -1
+
+	// handlePoint is the fork-mode fusion of observePoint,
+	// matchCandidate and firePreemption: resolve the candidate at the
+	// point, record or verify the frontier event, mark probe
+	// fireability, and fire when the candidate is an unfired member
+	// with eligible targets — checkpointing the frontier first.
+	// Returns true when a preemption fired (cur switched).
+	handlePoint := func(kind PointKind, seq int) bool {
+		ci := fk.candidateAt(cur, kind, seq)
+		if ci < 0 {
+			return false
+		}
+		choices := eligibleChoices(&s.Candidates[ci])
+		if probe != nil && len(choices) > 0 && !bitGet(probe.fireable, ci) {
+			probe.markFireable(ci)
+		}
+		var ev *frontierEvent
+		isNew := false
+		if cursor < len(node.events) {
+			ev = node.events[cursor]
+			if ev.cand != ci {
+				// The purity invariant broke: a recorded path replayed to a
+				// different encounter. This is a bug in the fork layer, and
+				// silently continuing would corrupt search results.
+				panic(fmt.Sprintf("chess: fork cache diverged: recorded candidate %d, live %d at (%d,%v,%d)", ev.cand, ci, cur, kind, seq))
+			}
+		} else {
+			ev = &frontierEvent{cand: ci, choices: append([]int(nil), choices...)}
+			node.events = append(node.events, ev)
+			isNew = true
+		}
+		if iterFirst < 0 && kind != AfterRelease {
+			iterFirst = cursor
+		}
+		if isNew {
+			// First discovery of this frontier event: checkpoint it now,
+			// whether or not this trial fires here. Every recorded event
+			// is a fire site of some future combination (that is what the
+			// candidate index enumerates), so eager capture puts the
+			// anchor exactly where the next combination's first trial
+			// resumes — without it, that trial re-executes the whole
+			// continuation from the last fire-site snapshot.
+			if kind == AfterRelease {
+				fk.capture(ev, m, probe, cur, completed, seq)
+			} else if first := node.events[iterFirst]; first.snap == nil {
+				fk.capture(first, m, probe, cur, completed, -1)
+			}
+		}
+		pos := -1
+		for p, c := range combo {
+			if c == ci {
+				if !fired[p] {
+					pos = p
+				}
+				break
+			}
+		}
+		if pos < 0 {
+			cursor++
+			return false
+		}
+		out.choiceCounts[pos] = len(choices)
+		if len(choices) == 0 {
+			cursor++
+			return false
+		}
+		// About to fire: checkpoint the frontier so future trials
+		// diverging at or after this iteration resume here instead of
+		// replaying the prefix. AfterRelease points are detected
+		// post-step, so their checkpoint carries the pending point; the
+		// loop-top kinds attach to the iteration's first encounter,
+		// whose machine state equals the loop-top state.
+		if kind == AfterRelease {
+			if ev.snap == nil {
+				fk.capture(ev, m, probe, cur, completed, seq)
+			}
+		} else if first := node.events[iterFirst]; first.snap == nil {
+			fk.capture(first, m, probe, cur, completed, -1)
+		}
+		pick := vec[pos]
+		if pick >= len(choices) {
+			pick = len(choices) - 1
+		}
+		fired[pos] = true
+		out.applied = append(out.applied, AppliedPreemption{Candidate: s.Candidates[ci], SwitchTo: choices[pick]})
+		cur = choices[pick]
+		key := childKey{event: cursor, switchTo: cur}
+		child := node.children[key]
+		if child == nil {
+			child = &forkNode{}
+			if node.children == nil {
+				node.children = map[childKey]*forkNode{}
+			}
+			node.children[key] = child
+		}
+		node, cursor = child, 0
+		return true
+	}
+
+	if pendingRelease >= 0 {
+		// The anchor was captured mid-iteration, after a release step
+		// whose AfterRelease point the loop below would never re-detect;
+		// process it explicitly before re-entering the loop.
+		handlePoint(AfterRelease, pendingRelease)
+	}
+
+	for !m.Crashed() && !m.Done() && m.TotalSteps < maxRun {
+		t := m.Threads[cur]
+		if t.Status == interp.Done || (t.Status == interp.Blocked && m.Locks[t.WaitLock] != -1) {
+			next := pickLowest()
+			if next < 0 {
+				break // deadlock
+			}
+			cur = next
+			continue
+		}
+
+		// Tail memoization (see tailOutcome): once every member has
+		// fired, the continuation from (machine state, cur) is pure, so
+		// key the state and either adopt a memoized outcome — the whole
+		// remaining tail lands in stepsSaved — or remember the key so
+		// this trial's outcome is recorded for future converging trials.
+		// Pruned searches skip this: the probe's fingerprint chain is a
+		// function of the whole history, not of the converged state.
+		if probe == nil && len(fk.tailRecs) < tailProbesPerTrial {
+			all := true
+			for _, f := range fired {
+				if !f {
+					all = false
+					break
+				}
+			}
+			if all {
+				fk.keyBuf = binary.AppendVarint(m.StateKey(fk.keyBuf[:0]), int64(cur))
+				key := string(fk.keyBuf)
+				if rec, ok := fk.tails[key]; ok &&
+					m.TotalSteps+rec.steps < maxRun &&
+					(m.MaxSteps == 0 || m.TotalSteps+rec.steps < m.MaxSteps) {
+					out.steps = m.TotalSteps + rec.steps
+					out.stepsSaved += rec.steps
+					out.found = rec.found
+					return out
+				}
+				fk.tailRecs = append(fk.tailRecs, tailRec{key: key, at: m.TotalSteps})
+			}
+		}
+
+		iterFirst = -1
+		wasAcquire, wasRelease := false, false
+		if fr := t.Top(); fr != nil {
+			in := &m.Prog.Funcs[fr.FuncIdx].Instrs[fr.PC]
+			wasAcquire = in.Op == ir.OpAcquire && m.Locks[in.Lock] == -1
+			wasRelease = in.Op == ir.OpRelease
+			if t.Steps == 0 {
+				if handlePoint(ThreadStart, 0) {
+					continue
+				}
+			}
+			if wasAcquire {
+				if handlePoint(BeforeAcquire, completedOf(cur)) {
+					continue
+				}
+			}
+		}
+
+		var ok bool
+		var err error
+		if wasAcquire || wasRelease {
+			ok, err = m.Step(cur)
+		} else {
+			ok, err = m.RunBurst(cur, maxRun)
+		}
+		if err != nil || !ok {
+			if t.Status == interp.Blocked {
+				continue // re-dispatch
+			}
+			break
+		}
+		if wasAcquire || wasRelease {
+			for len(completed) <= cur {
+				completed = append(completed, 0)
+			}
+			completed[cur]++
+		}
+		if wasRelease {
+			if handlePoint(AfterRelease, completed[cur]) {
+				continue
+			}
+		}
+	}
+
+	out.steps = m.TotalSteps
+	out.found = m.Crashed() && s.Target.Matches(m.Crash)
+	if probe != nil {
+		out.fireable = probe.fireable
+		out.fp = probe.fpr.Fingerprint()
+	}
+	// This trial ran its path's continuation to the end, so its final
+	// state is the path-pure outcome every non-firing successor on the
+	// path will reproduce: memoize it. cursor == len(node.events) holds
+	// whenever the run ended here (encounters were recorded as passed);
+	// anything else would mean the purity invariant broke, and not
+	// memoizing is the safe side of that.
+	if node.done == nil && cursor == len(node.events) {
+		d := &pathDone{found: out.found, steps: out.steps, fp: out.fp}
+		if probe != nil {
+			d.fireable = append([]uint64(nil), probe.fireable...)
+		}
+		node.done = d
+	}
+	// Record the trial's tail states (tail memoization), unless the run
+	// was cut by a step bound — the one exit that is not a pure function
+	// of the keyed state.
+	if out.steps < maxRun && (m.MaxSteps == 0 || out.steps < m.MaxSteps) {
+		for _, r := range fk.tailRecs {
+			if len(fk.tails) >= tailCacheCap {
+				break
+			}
+			if fk.tails == nil {
+				fk.tails = make(map[string]tailOutcome)
+			}
+			fk.tails[r.key] = tailOutcome{found: out.found, steps: out.steps - r.at}
+		}
+	}
+	return out
+}

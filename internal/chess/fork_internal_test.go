@@ -1,0 +1,70 @@
+package chess
+
+import "testing"
+
+// TestWorklistPrefixAdjacency pins the enumeration-order property the
+// fork layer exploits: unweighted worklists are size-major, and within
+// each size lexicographic over candidate indices, so consecutive
+// combinations share long prefixes. Reordering the worklist would
+// change Found/Schedule/Tries (a determinism-contract break) *and*
+// strand the snapshot caches on cold paths; this test fails on either.
+func TestWorklistPrefixAdjacency(t *testing.T) {
+	cands := make([]Candidate, 6)
+	wl := generateWorklist(cands, 3, false)
+
+	want := binomial(6, 1) + binomial(6, 2) + binomial(6, 3)
+	if len(wl) != want {
+		t.Fatalf("worklist size %d, want %d", len(wl), want)
+	}
+	prevSize := 0
+	var prev []int
+	for r, rc := range wl {
+		if rc.rank != r {
+			t.Fatalf("rank %d stored as %d", r, rc.rank)
+		}
+		size := len(rc.combo)
+		if size < prevSize {
+			t.Fatalf("rank %d: size %d after size %d — not size-major", r, size, prevSize)
+		}
+		if size == prevSize && !lexLess(prev, rc.combo) {
+			t.Fatalf("rank %d: %v not lexicographically after %v", r, rc.combo, prev)
+		}
+		prevSize, prev = size, rc.combo
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestForkDisabledOnAmbiguousPoints: hand-built candidate sets may
+// reuse a dynamic point, which breaks the exact point → candidate
+// resolution both pruning and forking need; newForkCache must refuse
+// to build (forking silently off) exactly as newPruner does.
+func TestForkDisabledOnAmbiguousPoints(t *testing.T) {
+	dup := []Candidate{
+		{ID: 0, Thread: 1, Kind: BeforeAcquire, Seq: 0},
+		{ID: 1, Thread: 1, Kind: BeforeAcquire, Seq: 0},
+	}
+	if pts := indexPoints(dup); pts != nil {
+		t.Fatal("indexPoints accepted duplicate dynamic points")
+	}
+	if fk := newForkCache(indexPoints(dup)); fk != nil {
+		t.Fatal("newForkCache built a cache over ambiguous points")
+	}
+	if p := newPruner(dup); p != nil {
+		t.Fatal("newPruner accepted duplicate dynamic points")
+	}
+	uniq := []Candidate{
+		{ID: 0, Thread: 1, Kind: BeforeAcquire, Seq: 0},
+		{ID: 1, Thread: 1, Kind: AfterRelease, Seq: 1},
+	}
+	if fk := newForkCache(indexPoints(uniq)); fk == nil {
+		t.Fatal("newForkCache rejected a unique point set")
+	}
+}

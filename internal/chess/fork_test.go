@@ -1,0 +1,128 @@
+package chess_test
+
+import (
+	"reflect"
+	"testing"
+
+	"heisendump/internal/chess"
+)
+
+// TestForkEquivalence is the fork-layer search oracle: full searches
+// with prefix forking on and off agree bit-for-bit on Found, Schedule
+// and Tries at workers {1,4} × prune {off,on} — forked trials restore
+// checkpointed machine, probe and fingerprint state, so every trial
+// outcome the deterministic fold consumes is identical to its cold
+// execution. TrialsPruned joins the comparison at workers == 1, where
+// it too is deterministic.
+func TestForkEquivalence(t *testing.T) {
+	totalSaved := int64(0)
+	for _, name := range []string{"apache-1", "mysql-3"} {
+		s := analyzedSearcher(t, name)
+		s.Opts.MaxTries = 3000
+		for _, enhanced := range []bool{true, false} {
+			s.Opts.Weighted = enhanced
+			s.Opts.Guided = enhanced
+			for _, prune := range []bool{false, true} {
+				s.Opts.Prune = prune
+				for _, workers := range []int{1, 4} {
+					s.Opts.Workers = workers
+					s.Opts.Fork = false
+					ref := s.Search()
+					s.Opts.Fork = true
+					got := s.Search()
+
+					if got.Found != ref.Found {
+						t.Fatalf("%s(enh=%v,prune=%v,@%dw): Found=%v forked, %v cold",
+							name, enhanced, prune, workers, got.Found, ref.Found)
+					}
+					if !reflect.DeepEqual(got.Schedule, ref.Schedule) {
+						t.Fatalf("%s(enh=%v,prune=%v,@%dw): schedule diverged with forking:\n  got  %+v\n  want %+v",
+							name, enhanced, prune, workers, got.Schedule, ref.Schedule)
+					}
+					if got.Tries != ref.Tries {
+						t.Fatalf("%s(enh=%v,prune=%v,@%dw): Tries=%d forked, %d cold",
+							name, enhanced, prune, workers, got.Tries, ref.Tries)
+					}
+					if ref.StepsSaved != 0 {
+						t.Fatalf("%s(enh=%v,prune=%v,@%dw): cold search reported StepsSaved=%d",
+							name, enhanced, prune, workers, ref.StepsSaved)
+					}
+					if workers == 1 {
+						// One worker never speculates, so the executed trial
+						// set — and with it the pruning decisions and the
+						// step totals — matches the cold run exactly.
+						if got.TrialsPruned != ref.TrialsPruned {
+							t.Fatalf("%s(enh=%v,prune=%v): TrialsPruned=%d forked, %d cold",
+								name, enhanced, prune, got.TrialsPruned, ref.TrialsPruned)
+						}
+						if got.TrialsExecuted != ref.TrialsExecuted {
+							t.Fatalf("%s(enh=%v,prune=%v): TrialsExecuted=%d forked, %d cold",
+								name, enhanced, prune, got.TrialsExecuted, ref.TrialsExecuted)
+						}
+						if got.StepsExecuted+got.StepsSaved != ref.StepsExecuted {
+							t.Fatalf("%s(enh=%v,prune=%v): executed %d + saved %d != cold %d",
+								name, enhanced, prune, got.StepsExecuted, got.StepsSaved, ref.StepsExecuted)
+						}
+					}
+					totalSaved += got.StepsSaved
+				}
+			}
+		}
+	}
+	if totalSaved == 0 {
+		t.Fatal("forking never replayed a prefix across the whole matrix")
+	}
+}
+
+// TestForkStepAccounting pins the StepsExecuted/StepsSaved split on
+// deep deterministic searches of two curated workloads: with one
+// worker the forked search executes the exact cold trial sequence, so
+// StepsExecuted + StepsSaved equals the fork-off step total, the
+// executed share genuinely drops, and the Progress heartbeat's Steps
+// counter stays monotone under forking.
+func TestForkStepAccounting(t *testing.T) {
+	for _, name := range []string{"mysql-1", "apache-1"} {
+		s := analyzedSearcher(t, name)
+		// The plain-CHESS cutoff regime: an unmatchable target walks the
+		// worklist breadth-first through hundreds of prefix-sharing
+		// trials — the regime forking exists for.
+		s.Target = chess.FailureSignature{Reason: "never matches"}
+		s.Opts.Weighted = false
+		s.Opts.Guided = false
+		s.Opts.MaxTries = 400
+		s.Opts.Workers = 1
+
+		s.Opts.Fork = false
+		ref := s.Search()
+
+		s.Opts.Fork = true
+		lastSteps := int64(-1)
+		monotone := true
+		s.Opts.Progress = func(p chess.Progress) {
+			if p.Steps < lastSteps {
+				monotone = false
+			}
+			lastSteps = p.Steps
+		}
+		got := s.Search()
+		s.Opts.Progress = nil
+
+		if got.Tries != ref.Tries {
+			t.Fatalf("%s: Tries=%d forked, %d cold", name, got.Tries, ref.Tries)
+		}
+		if got.StepsExecuted+got.StepsSaved != ref.StepsExecuted {
+			t.Fatalf("%s: executed %d + saved %d != cold %d",
+				name, got.StepsExecuted, got.StepsSaved, ref.StepsExecuted)
+		}
+		if got.StepsSaved == 0 {
+			t.Fatalf("%s: deep cutoff search saved no steps", name)
+		}
+		if got.StepsExecuted >= ref.StepsExecuted {
+			t.Fatalf("%s: executed steps did not drop: %d forked vs %d cold",
+				name, got.StepsExecuted, ref.StepsExecuted)
+		}
+		if !monotone {
+			t.Fatalf("%s: Progress.Steps regressed under forking", name)
+		}
+	}
+}

@@ -91,23 +91,35 @@ type fpShard struct {
 	m  map[uint64]struct{}
 }
 
+// indexPoints indexes candidates by their dynamic preemption point.
+// It returns nil if two candidates share a point, which cannot happen
+// for DiscoverCandidates output but could for hand-built candidate
+// sets; both the pruning layer's reached-set rule and the fork layer's
+// prefix-tree purity argument need the point → candidate resolution to
+// be exact, so ambiguity disables them.
+func indexPoints(cands []Candidate) map[pointKey]int {
+	points := make(map[pointKey]int, len(cands))
+	for i := range cands {
+		k := pointKey{thread: cands[i].Thread, kind: cands[i].Kind, seq: cands[i].Seq}
+		if _, dup := points[k]; dup {
+			return nil
+		}
+		points[k] = i
+	}
+	return points
+}
+
 // newPruner indexes the candidates' dynamic points. It returns nil —
-// disabling pruning — if two candidates share a point, which cannot
-// happen for DiscoverCandidates output but could for hand-built
-// candidate sets; with ambiguous points the reached-set rule would not
-// be exact.
+// disabling pruning — when the candidate set has ambiguous points (see
+// indexPoints).
 func newPruner(cands []Candidate) *pruner {
 	p := &pruner{
-		points: make(map[pointKey]int, len(cands)),
+		points: indexPoints(cands),
 		nCands: len(cands),
 		seed:   maphash.MakeSeed(),
 	}
-	for i := range cands {
-		k := pointKey{thread: cands[i].Thread, kind: cands[i].Kind, seq: cands[i].Seq}
-		if _, dup := p.points[k]; dup {
-			return nil
-		}
-		p.points[k] = i
+	if p.points == nil {
+		return nil
 	}
 	for i := range p.shards {
 		p.shards[i].m = map[string]*trialRecord{}

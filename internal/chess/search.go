@@ -61,6 +61,16 @@ type Options struct {
 	// any worker count; only the execution-cost fields (TrialsExecuted,
 	// StepsExecuted, wall time) drop.
 	Prune bool
+	// Fork enables prefix snapshot/fork execution (see fork.go): each
+	// worker checkpoints trial machines at preemption frontiers and
+	// starts later trials from the deepest cached snapshot on their
+	// schedule path instead of re-executing the shared prefix from
+	// step 0. Forked trials produce bit-identical outcomes, so Found,
+	// Schedule and Tries are the same with forking on or off, for any
+	// worker count and either pruning mode; only the execution-cost
+	// split moves — replayed prefix steps land in Result.StepsSaved
+	// instead of StepsExecuted.
+	Fork bool
 	// Progress, when non-nil, receives heartbeat snapshots of the
 	// running search: one after every rank the deterministic fold
 	// commits, and a final one (Done true) when the search returns. The
@@ -87,13 +97,15 @@ type Progress struct {
 	// Tries is the folded sequential-equivalent try count so far —
 	// deterministic for any worker count, like Result.Tries.
 	Tries int
-	// Executed, Pruned and Steps are the raw cost counters at snapshot
-	// time (test runs executed including speculation, trials skipped by
-	// the pruning layer, interpreter steps). Monotone across the
-	// heartbeat stream; dependent on worker scheduling.
-	Executed int
-	Pruned   int
-	Steps    int64
+	// Executed, Pruned, Steps and StepsSaved are the raw cost counters
+	// at snapshot time (test runs executed including speculation,
+	// trials skipped by the pruning layer, interpreter steps executed,
+	// snapshot-replayed prefix steps forking skipped). Monotone across
+	// the heartbeat stream; dependent on worker scheduling.
+	Executed   int
+	Pruned     int
+	Steps      int64
+	StepsSaved int64
 	// Found reports whether a winning schedule has committed.
 	Found bool
 	// Done marks the final snapshot, emitted exactly once as the search
@@ -146,8 +158,16 @@ type Result struct {
 	// Elapsed is the wall time spent executing test runs.
 	Elapsed time.Duration
 	// StepsExecuted totals interpreter steps across all executed test
-	// runs (including speculative ones).
+	// runs (including speculative ones). With forking on, prefix steps
+	// replayed from snapshots are excluded here and counted in
+	// StepsSaved instead, so StepsExecuted + StepsSaved equals the
+	// fork-off StepsExecuted whenever the executed trial set matches
+	// (always at Workers == 1; at higher worker counts speculation can
+	// differ, like TrialsExecuted).
 	StepsExecuted int64
+	// StepsSaved totals the snapshot-replayed prefix steps forked
+	// trials did not re-execute. Zero when Options.Fork is off.
+	StepsSaved int64
 	// CombinationsGenerated counts the combinations enumerated.
 	CombinationsGenerated int
 	// Workers is the worker count the search ran with.
@@ -190,13 +210,19 @@ type searchState struct {
 	// pruner is the equivalence-pruning seen-set, nil when pruning is
 	// off (or the candidate set has ambiguous dynamic points).
 	pruner *pruner
+	// forkPoints is the candidates' dynamic point index when prefix
+	// forking is on, nil otherwise (off, or ambiguous points — the
+	// same exactness requirement as pruning). Each worker builds its
+	// own forkCache over it.
+	forkPoints map[pointKey]int
 
-	next     atomic.Int64 // next worklist rank to claim
-	tries    atomic.Int64 // test runs executed (raw, incl. speculation)
-	pruned   atomic.Int64 // trials skipped by the pruning layer
-	steps    atomic.Int64 // interpreter steps executed
-	bestRank atomic.Int64 // lowest rank whose combination found the target
-	decided  atomic.Bool  // the fold reached a winner or the cutoff
+	next       atomic.Int64 // next worklist rank to claim
+	tries      atomic.Int64 // test runs executed (raw, incl. speculation)
+	pruned     atomic.Int64 // trials skipped by the pruning layer
+	steps      atomic.Int64 // interpreter steps executed
+	stepsSaved atomic.Int64 // snapshot-replayed prefix steps not executed
+	bestRank   atomic.Int64 // lowest rank whose combination found the target
+	decided    atomic.Bool  // the fold reached a winner or the cutoff
 
 	// mu guards the fold state below and the reads of outcomes inside
 	// advance (each outcomes[r] slot is written once, by the worker
@@ -277,6 +303,9 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 	if s.Opts.Prune {
 		st.pruner = newPruner(s.Candidates)
 	}
+	if s.Opts.Fork {
+		st.forkPoints = indexPoints(s.Candidates)
+	}
 	st.bestRank.Store(int64(len(wl))) // sentinel: nothing found yet
 
 	if st.pruner != nil && !st.cancelled() {
@@ -320,6 +349,7 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 	res.TrialsExecuted = int(st.tries.Load())
 	res.TrialsPruned = int(st.pruned.Load())
 	res.StepsExecuted = st.steps.Load()
+	res.StepsSaved = st.stepsSaved.Load()
 	if st.pruner != nil {
 		res.DistinctRuns = st.pruner.distinct()
 	}
@@ -334,14 +364,15 @@ func (s *Searcher) emitDone(res *Result, committed int) {
 		return
 	}
 	s.Opts.Progress(Progress{
-		Combos:    res.CombinationsGenerated,
-		Committed: committed,
-		Tries:     res.Tries,
-		Executed:  res.TrialsExecuted,
-		Pruned:    res.TrialsPruned,
-		Steps:     res.StepsExecuted,
-		Found:     res.Found,
-		Done:      true,
+		Combos:     res.CombinationsGenerated,
+		Committed:  committed,
+		Tries:      res.Tries,
+		Executed:   res.TrialsExecuted,
+		Pruned:     res.TrialsPruned,
+		Steps:      res.StepsExecuted,
+		StepsSaved: res.StepsSaved,
+		Found:      res.Found,
+		Done:       true,
 	})
 }
 
@@ -366,9 +397,12 @@ func (st *searchState) worker() {
 	// Each worker owns one machine for its whole claim stream: runTrial
 	// rewinds it with Machine.Reset, so the millions of re-executions
 	// recycle frames, threads and heap objects instead of rebuilding
-	// them per trial. Built lazily so a worker that never claims a rank
-	// costs nothing.
+	// them per trial. With forking on, each worker also owns one
+	// private forkCache — snapshots never cross workers, preserving
+	// the determinism contracts without locks. Built lazily so a
+	// worker that never claims a rank costs nothing.
 	var m *interp.Machine
+	var fk *forkCache
 	for {
 		if st.cancelled() {
 			return
@@ -403,8 +437,9 @@ func (st *searchState) worker() {
 		}
 		if m == nil {
 			m = st.s.NewMachine()
+			fk = newForkCache(st.forkPoints)
 		}
-		out := st.exploreCombo(r, cap, m)
+		out := st.exploreCombo(r, cap, m, fk)
 		if out.foundAt >= 0 {
 			for {
 				cur := st.bestRank.Load()
@@ -428,6 +463,7 @@ func (st *searchState) worker() {
 // after the caller asked us to stop.
 func (st *searchState) finish() {
 	var m *interp.Machine
+	var fk *forkCache
 	for {
 		st.mu.Lock()
 		if st.cancelled() || st.decided.Load() || st.committed >= len(st.wl) {
@@ -445,8 +481,9 @@ func (st *searchState) finish() {
 
 		if m == nil {
 			m = st.s.NewMachine()
+			fk = newForkCache(st.forkPoints)
 		}
-		out := st.exploreCombo(r, rem, m)
+		out := st.exploreCombo(r, rem, m, fk)
 		if out.foundAt >= 0 {
 			st.bestRank.Store(int64(r))
 		}
@@ -520,13 +557,14 @@ func (st *searchState) progressLocked() {
 		return
 	}
 	st.s.Opts.Progress(Progress{
-		Combos:    len(st.wl),
-		Committed: st.committed,
-		Tries:     st.cumTries,
-		Executed:  int(st.tries.Load()),
-		Pruned:    int(st.pruned.Load()),
-		Steps:     st.steps.Load(),
-		Found:     st.winner != nil,
+		Combos:     len(st.wl),
+		Committed:  st.committed,
+		Tries:      st.cumTries,
+		Executed:   int(st.tries.Load()),
+		Pruned:     int(st.pruned.Load()),
+		Steps:      st.steps.Load(),
+		StepsSaved: st.stepsSaved.Load(),
+		Found:      st.winner != nil,
 	})
 }
 
@@ -542,7 +580,7 @@ func (st *searchState) progressLocked() {
 // consumes it — or when the context is cancelled, which also stops the
 // fold before it could reach this rank. Aborted outcomes are marked so
 // the fold can never mistake them for completed explorations.
-func (st *searchState) exploreCombo(r, cap int, m *interp.Machine) *comboOutcome {
+func (st *searchState) exploreCombo(r, cap int, m *interp.Machine, fk *forkCache) *comboOutcome {
 	combo := st.wl[r].combo
 	out := &comboOutcome{rank: r, foundAt: -1}
 	k := len(combo)
@@ -568,9 +606,14 @@ func (st *searchState) exploreCombo(r, cap int, m *interp.Machine) *comboOutcome
 			tr = rec.asResult()
 			st.pruned.Add(1)
 		} else {
-			tr = st.s.runTrial(m, combo, vec, st.maxRun, st.pruner.newProbe())
+			if fk != nil {
+				tr = st.s.runTrialFork(m, combo, vec, st.maxRun, st.pruner.newProbe(), fk)
+			} else {
+				tr = st.s.runTrial(m, combo, vec, st.maxRun, st.pruner.newProbe())
+			}
 			st.tries.Add(1)
-			st.steps.Add(tr.steps)
+			st.steps.Add(tr.steps - tr.stepsSaved)
+			st.stepsSaved.Add(tr.stepsSaved)
 			st.pruner.record(combo, vec, &tr)
 		}
 		out.trials++

@@ -8,8 +8,15 @@ import (
 // trialResult is the outcome of one test run of one combination under
 // one thread-choice vector.
 type trialResult struct {
-	found        bool
-	steps        int64
+	found bool
+	steps int64
+	// stepsSaved is the prefix length a forked trial replayed from a
+	// snapshot instead of executing (see fork.go); steps still counts
+	// the whole run — end-of-run TotalSteps is restored along with the
+	// machine — so steps is bit-identical with forking on or off and
+	// steps-stepsSaved is what the trial actually executed. Zero for
+	// cold trials.
+	stepsSaved   int64
 	choiceCounts []int
 	applied      []AppliedPreemption
 	// fireable and fp are the pruning layer's observations (see

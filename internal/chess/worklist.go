@@ -21,6 +21,16 @@ type rankedCombo struct {
 // sorted by combination weight (the sum of each member's best block
 // priority), keeping generation order as the tiebreak. The returned
 // slice order is the exploration order; rank is the index within it.
+//
+// Within each size the enumeration is lexicographic over candidate
+// indices, which the prefix-fork layer (fork.go) relies on without
+// this function having to change: consecutive unweighted combinations
+// share long index prefixes — {0,1,2}, {0,1,3}, {0,1,4}, ... — and
+// candidate indices are discovery order, so index-adjacent
+// combinations preempt at nearby dynamic points and their trials share
+// long schedule prefixes. The order itself is pinned by the
+// determinism contract (Found/Schedule/Tries are a pure function of
+// it); forking exploits the adjacency, it must never reorder the list.
 func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo {
 	n := len(cands)
 	total := 0

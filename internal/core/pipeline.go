@@ -88,6 +88,14 @@ type Config struct {
 	// StepsExecuted, wall time) drop, with skips accounted in
 	// chess.Result.TrialsPruned.
 	Prune bool
+	// Fork enables the schedule search's prefix snapshot/fork layer:
+	// each trial resumes from the deepest cached machine checkpoint on
+	// its preemption path instead of re-executing the shared schedule
+	// prefix from the start. Found, Schedule and Tries are bit-identical
+	// with forking on or off; only chess.Result.StepsExecuted (and wall
+	// time) drop, with the replayed prefix lengths accounted in
+	// chess.Result.StepsSaved.
+	Fork bool
 	// Observer, when non-nil, receives stage transitions and
 	// schedule-search heartbeats from every context-aware run of this
 	// pipeline; see Observer for the delivery contract.
@@ -283,6 +291,7 @@ func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Sear
 			PassingSteps: an.PassingSteps,
 			Workers:      p.Cfg.Workers,
 			Prune:        p.Cfg.Prune,
+			Fork:         p.Cfg.Fork,
 		},
 	}
 	if obs := p.Cfg.Observer; obs != nil {

@@ -44,6 +44,15 @@ var Workers = 0
 // flag does).
 var Prune = false
 
+// Fork enables the schedule search's prefix snapshot/fork layer for
+// the searching tables (4 and 5): trials resume from cached machine
+// checkpoints instead of re-executing shared schedule prefixes. Search
+// outcomes (found, tries) are bit-identical either way; only the
+// executed-step counts and times drop, with the replayed prefix
+// lengths reported in the StepsSaved columns. Set it once at startup
+// (cmd/benchtab's -fork flag does).
+var Fork = false
+
 // Progress, when non-nil, receives schedule-search heartbeats from the
 // searching tables (4 and 5), tagged with the subject workload's name;
 // cmd/benchtab's -progress flag wires it to stderr. The callback is
@@ -225,7 +234,7 @@ func Table3(ctx context.Context) ([]Table3Row, error) {
 	rows := make([]Table3Row, len(bugs))
 	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
-		_, an, fail, err := analyzeBug(ctx, w, core.Config{Prune: Prune})
+		_, an, fail, err := analyzeBug(ctx, w, core.Config{Prune: Prune, Fork: Fork})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -284,28 +293,40 @@ func PrintTable3(w io.Writer, rows []Table3Row) {
 // Table4Row compares the search algorithms on one bug. The *Executed /
 // *Pruned pairs report the equivalence-pruning layer's effect (executed
 // == tries and pruned == 0 when Prune is off): pruning never changes
-// the tries or found columns, only how many of those tries ran.
+// the tries or found columns, only how many of those tries ran. The
+// *StepsExecuted / *StepsSaved pairs report the prefix-forking layer's
+// effect the same way (saved == 0 when Fork is off): forking never
+// changes tries or found, only how many interpreter steps the executed
+// trials cost. StepsExecuted is a CI ceiling (cmd/benchgate): a
+// fork-on run must never execute more steps than the fork-off
+// baseline.
 type Table4Row struct {
 	Name string
 	// Chess* are the plain-CHESS results (Found false means the cutoff
 	// hit, the analogue of the paper's 18-hour timeouts).
-	ChessTries    int
-	ChessTime     time.Duration
-	ChessFound    bool
-	ChessExecuted int
-	ChessPruned   int
+	ChessTries         int
+	ChessTime          time.Duration
+	ChessFound         bool
+	ChessExecuted      int
+	ChessPruned        int
+	ChessStepsExecuted int64
+	ChessStepsSaved    int64
 
-	DepTries    int
-	DepTime     time.Duration
-	DepFound    bool
-	DepExecuted int
-	DepPruned   int
+	DepTries         int
+	DepTime          time.Duration
+	DepFound         bool
+	DepExecuted      int
+	DepPruned        int
+	DepStepsExecuted int64
+	DepStepsSaved    int64
 
-	TempTries    int
-	TempTime     time.Duration
-	TempFound    bool
-	TempExecuted int
-	TempPruned   int
+	TempTries         int
+	TempTime          time.Duration
+	TempFound         bool
+	TempExecuted      int
+	TempPruned        int
+	TempStepsExecuted int64
+	TempStepsSaved    int64
 }
 
 // Table4 runs the three search configurations on every bug. plainCap
@@ -329,7 +350,7 @@ func Table4(ctx context.Context, plainCap int) ([]Table4Row, error) {
 		// Workers=1: the subject-level pool already saturates the cores;
 		// a nested full-width search pool per bug would oversubscribe
 		// them roughly quadratically and perturb the time columns.
-		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Prune: Prune, Observer: observerFor(w.Name)})
+		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Prune: Prune, Fork: Fork, Observer: observerFor(w.Name)})
 		fail, err := p.ProvokeFailureContext(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
@@ -361,18 +382,21 @@ func Table4(ctx context.Context, plainCap int) ([]Table4Row, error) {
 		}
 		row.ChessTries, row.ChessTime, row.ChessFound = res.Tries, res.Elapsed, res.Found
 		row.ChessExecuted, row.ChessPruned = res.TrialsExecuted, res.TrialsPruned
+		row.ChessStepsExecuted, row.ChessStepsSaved = res.StepsExecuted, res.StepsSaved
 		res, err = search(slicing.Dependence, true, plainCap*2)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		row.DepTries, row.DepTime, row.DepFound = res.Tries, res.Elapsed, res.Found
 		row.DepExecuted, row.DepPruned = res.TrialsExecuted, res.TrialsPruned
+		row.DepStepsExecuted, row.DepStepsSaved = res.StepsExecuted, res.StepsSaved
 		res, err = search(slicing.Temporal, true, plainCap*2)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		row.TempTries, row.TempTime, row.TempFound = res.Tries, res.Elapsed, res.Found
 		row.TempExecuted, row.TempPruned = res.TrialsExecuted, res.TrialsPruned
+		row.TempStepsExecuted, row.TempStepsSaved = res.StepsExecuted, res.StepsSaved
 		rows[i] = row
 		return nil
 	})
@@ -385,9 +409,9 @@ func Table4(ctx context.Context, plainCap int) ([]Table4Row, error) {
 // PrintTable4 renders Table 4.
 func PrintTable4(w io.Writer, rows []Table4Row) {
 	fmt.Fprintln(w, "Table 4. Failure-inducing schedule production.")
-	fmt.Fprintf(w, "%-10s | %18s | %18s | %18s\n", "bug", "chess", "chessX+dep", "chessX+temporal")
-	fmt.Fprintf(w, "%-10s | %7s %10s | %7s %10s | %7s %10s\n",
-		"", "tries", "time", "tries", "time", "tries", "time")
+	fmt.Fprintf(w, "%-10s | %28s | %28s | %28s\n", "bug", "chess", "chessX+dep", "chessX+temporal")
+	fmt.Fprintf(w, "%-10s | %7s %10s %9s | %7s %10s %9s | %7s %10s %9s\n",
+		"", "tries", "time", "steps", "tries", "time", "steps", "tries", "time", "steps")
 	for _, r := range rows {
 		mark := func(tries int, found bool) string {
 			if found {
@@ -395,21 +419,28 @@ func PrintTable4(w io.Writer, rows []Table4Row) {
 			}
 			return fmt.Sprintf("%d*", tries)
 		}
-		fmt.Fprintf(w, "%-10s | %7s %10s | %7s %10s | %7s %10s\n",
+		fmt.Fprintf(w, "%-10s | %7s %10s %9d | %7s %10s %9d | %7s %10s %9d\n",
 			r.Name,
-			mark(r.ChessTries, r.ChessFound), r.ChessTime.Round(time.Millisecond),
-			mark(r.DepTries, r.DepFound), r.DepTime.Round(time.Millisecond),
-			mark(r.TempTries, r.TempFound), r.TempTime.Round(time.Millisecond))
+			mark(r.ChessTries, r.ChessFound), r.ChessTime.Round(time.Millisecond), r.ChessStepsExecuted,
+			mark(r.DepTries, r.DepFound), r.DepTime.Round(time.Millisecond), r.DepStepsExecuted,
+			mark(r.TempTries, r.TempFound), r.TempTime.Round(time.Millisecond), r.TempStepsExecuted)
 	}
 	fmt.Fprintln(w, "* cut off before the failure was reproduced")
 	var exec, pruned int
+	var saved, stepsExec int64
 	for _, r := range rows {
 		exec += r.ChessExecuted + r.DepExecuted + r.TempExecuted
 		pruned += r.ChessPruned + r.DepPruned + r.TempPruned
+		stepsExec += r.ChessStepsExecuted + r.DepStepsExecuted + r.TempStepsExecuted
+		saved += r.ChessStepsSaved + r.DepStepsSaved + r.TempStepsSaved
 	}
 	if pruned > 0 {
 		fmt.Fprintf(w, "equivalence pruning: %d of %d trials skipped (%.1f%%)\n",
 			pruned, exec+pruned, 100*float64(pruned)/float64(exec+pruned))
+	}
+	if saved > 0 {
+		fmt.Fprintf(w, "prefix forking: %d of %d steps replayed from snapshots (%.1f%%)\n",
+			saved, stepsExec+saved, 100*float64(saved)/float64(stepsExec+saved))
 	}
 }
 
@@ -446,6 +477,7 @@ func Table5(ctx context.Context, cap int) ([]Table5Row, error) {
 			MaxTries:  cap,
 			Workers:   1, // the subject pool provides the parallelism
 			Prune:     Prune,
+			Fork:      Fork,
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
@@ -503,7 +535,7 @@ func Table6(ctx context.Context) ([]Table6Row, error) {
 	rows := make([]Table6Row, len(bugs))
 	err := pool.ForEachContext(ctx, Workers, len(bugs), func(i int) error {
 		w := bugs[i]
-		_, an, _, err := analyzeBug(ctx, w, core.Config{Heuristic: slicing.Dependence, Prune: Prune})
+		_, an, _, err := analyzeBug(ctx, w, core.Config{Heuristic: slicing.Dependence, Prune: Prune, Fork: Fork})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}

@@ -1,0 +1,96 @@
+package experiments_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"heisendump/internal/chess"
+	"heisendump/internal/core"
+	"heisendump/internal/experiments"
+	"heisendump/internal/workloads"
+)
+
+// plainChessSearch runs the plain-CHESS configuration (unweighted,
+// unguided — the paper's baseline, and the deepest worklist walk) on
+// one bug with prefix forking off or on.
+func plainChessSearch(t *testing.T, name string, maxTries int, fork bool) *chess.Result {
+	t.Helper()
+	w := workloads.ByName(name)
+	prog, err := w.Compile(true)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	ctx := context.Background()
+	p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Fork: fork})
+	fail, err := p.ProvokeFailureContext(ctx)
+	if err != nil {
+		t.Fatalf("%s: provoke: %v", name, err)
+	}
+	an, err := p.AnalyzeContext(ctx, fail)
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", name, err)
+	}
+	s := p.Searcher(fail, an)
+	s.Opts.Weighted = false
+	s.Opts.Guided = false
+	s.Opts.MaxTries = maxTries
+	return s.Search()
+}
+
+// TestForkHalvesApache2ChessSteps is the PR's acceptance criterion:
+// on apache-2 — the workload whose plain-CHESS column hits the cutoff
+// in Table 4, i.e. the longest worklist walk the tables contain —
+// prefix forking must cut the executed interpreter steps at least in
+// half while reproducing the exact same search outcome.
+func TestForkHalvesApache2ChessSteps(t *testing.T) {
+	const tries = 2000
+	ref := plainChessSearch(t, "apache-2", tries, false)
+	got := plainChessSearch(t, "apache-2", tries, true)
+
+	if got.Found != ref.Found || got.Tries != ref.Tries {
+		t.Fatalf("fork changed the outcome: found=%v/%v tries=%d/%d",
+			got.Found, ref.Found, got.Tries, ref.Tries)
+	}
+	if !reflect.DeepEqual(got.Schedule, ref.Schedule) {
+		t.Fatalf("fork changed the schedule:\n  got  %+v\n  want %+v", got.Schedule, ref.Schedule)
+	}
+	if got.StepsExecuted+got.StepsSaved != ref.StepsExecuted {
+		t.Fatalf("step accounting broken: executed %d + saved %d != cold %d",
+			got.StepsExecuted, got.StepsSaved, ref.StepsExecuted)
+	}
+	if got.StepsExecuted*2 > ref.StepsExecuted {
+		t.Fatalf("forking saved too little: executed %d of %d cold steps (want ≤ half)",
+			got.StepsExecuted, ref.StepsExecuted)
+	}
+}
+
+// TestTable4ForkColumns runs Table 4 with forking enabled and checks
+// the new step columns: every configuration reports executed steps,
+// forking replays a nonzero prefix share overall, and the rendering
+// carries the steps column and the forking footer.
+func TestTable4ForkColumns(t *testing.T) {
+	experiments.Fork = true
+	defer func() { experiments.Fork = false }()
+
+	rows, err := experiments.Table4(context.Background(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved int64
+	for _, r := range rows {
+		if r.ChessStepsExecuted <= 0 || r.DepStepsExecuted <= 0 || r.TempStepsExecuted <= 0 {
+			t.Fatalf("%s: missing executed-step counts %+v", r.Name, r)
+		}
+		saved += r.ChessStepsSaved + r.DepStepsSaved + r.TempStepsSaved
+	}
+	if saved == 0 {
+		t.Fatal("forked Table 4 never replayed a prefix")
+	}
+	var sb strings.Builder
+	experiments.PrintTable4(&sb, rows)
+	if !strings.Contains(sb.String(), "steps") || !strings.Contains(sb.String(), "prefix forking") {
+		t.Fatalf("rendering missing fork columns/footer:\n%s", sb.String())
+	}
+}

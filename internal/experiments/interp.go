@@ -24,13 +24,17 @@ import (
 // end-to-end latency probe.
 //
 // Gated fields (see cmd/benchgate): AllocsPerStep as an exact-ish
-// ceiling (budget 0 plus noise tolerance), NsPerStep and SearchNs as
-// headroom ceilings — the baseline value is a budget, and a fresh
-// value beyond the headroom factor fails CI. That catches a gross
-// dispatch-loop regression (an accidental allocation, a lost
+// ceiling (budget 0 plus noise tolerance), NsPerStep, SearchNs and
+// SearchNsFork as headroom ceilings — the baseline value is a budget,
+// and a fresh value beyond the headroom factor fails CI. That catches
+// a gross dispatch-loop regression (an accidental allocation, a lost
 // superinstruction, a de-inlined hot call) without flaking on
 // machine-speed differences between the baseline runner and CI.
-// StepsPerSec and Steps are informational.
+// StepsExecuted and StepsExecutedFork are deterministic step counts of
+// the probe search with prefix forking off and on; both are gated as
+// exact ceilings (a fresh run must never execute more steps than the
+// baseline), which pins the ≥hold of the forking win in CI.
+// StepsPerSec, Steps and StepsSavedFork are informational.
 type InterpRow struct {
 	Name          string
 	Engine        string
@@ -38,7 +42,17 @@ type InterpRow struct {
 	NsPerStep     float64
 	StepsPerSec   float64
 	SearchNs      int64
-	Steps         int64
+	// SearchNsFork is the same probe search with prefix forking on —
+	// every regeneration is a fork on/off A/B on the same machine.
+	SearchNsFork int64
+	Steps        int64
+	// StepsExecuted / StepsExecutedFork / StepsSavedFork are the probe
+	// search's interpreter-step accounting with forking off and on;
+	// StepsExecutedFork + StepsSavedFork == StepsExecuted by the fork
+	// layer's accounting identity.
+	StepsExecuted     int64
+	StepsExecutedFork int64
+	StepsSavedFork    int64
 }
 
 // interpReps is the number of measured re-executions per workload —
@@ -116,14 +130,20 @@ func InterpTable() ([]InterpRow, error) {
 			}
 			runtime.ReadMemStats(&ms1)
 			nsPerStep := bestBlock
+			coldNs, coldExec, _ := searchLatency(cp, w, cands, int64(len(rec.Events)), eng, false)
+			forkNs, forkExec, forkSaved := searchLatency(cp, w, cands, int64(len(rec.Events)), eng, true)
 			rows = append(rows, InterpRow{
-				Name:          name,
-				Engine:        eng.String(),
-				AllocsPerStep: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
-				NsPerStep:     nsPerStep,
-				StepsPerSec:   1e9 / nsPerStep,
-				SearchNs:      searchLatency(cp, w, cands, int64(len(rec.Events)), eng),
-				Steps:         steps,
+				Name:              name,
+				Engine:            eng.String(),
+				AllocsPerStep:     float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+				NsPerStep:         nsPerStep,
+				StepsPerSec:       1e9 / nsPerStep,
+				SearchNs:          coldNs,
+				SearchNsFork:      forkNs,
+				Steps:             steps,
+				StepsExecuted:     coldExec,
+				StepsExecutedFork: forkExec,
+				StepsSavedFork:    forkSaved,
 			})
 		}
 	}
@@ -152,8 +172,9 @@ func burstToCompletion(m *interp.Machine) int64 {
 // searchLatency times a deterministic plain-CHESS schedule search
 // (unweighted, unguided, bound 2, 400 tries, one worker, unmatchable
 // target — the BenchmarkSearchParallel regime) forced onto the given
-// engine, returning the minimum wall time over searchReps runs.
-func searchLatency(cp *ir.Program, w *workloads.Workload, cands []chess.Candidate, passingSteps int64, eng interp.Engine) int64 {
+// engine, returning the minimum wall time over searchReps runs plus
+// the (deterministic, rep-invariant) StepsExecuted/StepsSaved split.
+func searchLatency(cp *ir.Program, w *workloads.Workload, cands []chess.Candidate, passingSteps int64, eng interp.Engine, fork bool) (ns, stepsExecuted, stepsSaved int64) {
 	best := int64(0)
 	for r := 0; r < searchReps; r++ {
 		s := &chess.Searcher{
@@ -170,25 +191,31 @@ func searchLatency(cp *ir.Program, w *workloads.Workload, cands []chess.Candidat
 				MaxTries:     400,
 				Workers:      1,
 				PassingSteps: passingSteps,
+				Fork:         fork,
 			},
 		}
 		start := time.Now()
-		s.Search()
+		res := s.Search()
 		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
 			best = d
 		}
+		stepsExecuted, stepsSaved = res.StepsExecuted, res.StepsSaved
 	}
-	return best
+	return best, stepsExecuted, stepsSaved
 }
 
-// PrintInterp renders the interpreter cost section.
+// PrintInterp renders the interpreter cost section. The search columns
+// are the fork off/on A/B: wall time and executed-step count of the
+// same deterministic probe search cold and with prefix forking.
 func PrintInterp(w io.Writer, rows []InterpRow) {
-	fmt.Fprintln(w, "Interpreter steady-state cost (per step, post-warm-up; search = plain CHESS, 400 tries)")
-	fmt.Fprintf(w, "%-10s %-9s %12s %9s %12s %10s %7s\n",
-		"workload", "engine", "allocs/step", "ns/step", "steps/s", "search-ms", "steps")
+	fmt.Fprintln(w, "Interpreter steady-state cost (per step, post-warm-up; search = plain CHESS, 400 tries, cold vs forked)")
+	fmt.Fprintf(w, "%-10s %-9s %12s %9s %12s %10s %10s %10s %10s %7s\n",
+		"workload", "engine", "allocs/step", "ns/step", "steps/s",
+		"search-ms", "fork-ms", "steps-exec", "fork-exec", "steps")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %-9s %12.6f %9.1f %12.0f %10.2f %7d\n",
+		fmt.Fprintf(w, "%-10s %-9s %12.6f %9.1f %12.0f %10.2f %10.2f %10d %10d %7d\n",
 			r.Name, r.Engine, r.AllocsPerStep, r.NsPerStep, r.StepsPerSec,
-			float64(r.SearchNs)/1e6, r.Steps)
+			float64(r.SearchNs)/1e6, float64(r.SearchNsFork)/1e6,
+			r.StepsExecuted, r.StepsExecutedFork, r.Steps)
 	}
 }

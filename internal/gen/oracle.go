@@ -26,16 +26,18 @@ import (
 //  4. the full reproduction pipeline runs under every configuration in
 //     the determinism matrix — workers {1,4} × prune {off,on} via the
 //     context-aware RunContext, plus the deprecated Run shim, plus a
-//     leg forced onto the tree-walking interpreter engine — and all of
-//     them agree bit-for-bit on Found, Schedule and Tries.
+//     leg forced onto the tree-walking interpreter engine, plus a leg
+//     with prefix snapshot/forking forced on — and all of them agree
+//     bit-for-bit on Found, Schedule and Tries.
 //
 // Steps 1–3 validate the generator's own invariants; step 4 is the
 // paper pipeline's determinism contract, exercised on a program nobody
 // hand-tuned. Any disagreement in step 4 is a Divergence — the
 // fuzzer's highest-severity finding. The engine leg makes every
 // fuzzed seed a differential test of the bytecode dispatch loop
-// against the tree walker, on machine-manufactured programs the
-// curated corpus never saw.
+// against the tree walker, and the fork leg a differential test of
+// machine snapshot/restore against cold re-execution, on
+// machine-manufactured programs the curated corpus never saw.
 type Oracle struct {
 	// TrialBudget bounds each configuration's schedule search
 	// (core.Config.MaxTries). 0 means defaultTrialBudget.
@@ -172,7 +174,7 @@ func (o *Oracle) Check(ctx context.Context, p *Program) (*Verdict, error) {
 	// immutable and shared safely across machines everywhere else.
 	for _, workers := range o.workers() {
 		for _, prune := range []bool{false, true} {
-			out, err := o.runPipeline(ctx, p, prog, workers, prune, interp.EngineAuto)
+			out, err := o.runPipeline(ctx, p, prog, workers, prune, interp.EngineAuto, false)
 			if err != nil {
 				return nil, err
 			}
@@ -183,11 +185,21 @@ func (o *Oracle) Check(ctx context.Context, p *Program) (*Verdict, error) {
 	// One leg suffices — the runs above all executed on the bytecode
 	// engine, so any tree/bytecode semantic gap on this program shows
 	// up as a divergence against them.
-	tree, err := o.runPipeline(ctx, p, prog, 1, false, interp.EngineTree)
+	tree, err := o.runPipeline(ctx, p, prog, 1, false, interp.EngineTree, false)
 	if err != nil {
 		return nil, err
 	}
 	v.Outcomes = append(v.Outcomes, tree)
+	// The fork axis: the same search resuming trials from cached
+	// machine snapshots instead of cold re-execution. Snapshot/restore
+	// round-trip bugs on generator-shaped programs (heap churn, deep
+	// call chains, exotic lock patterns) surface here as divergences
+	// against the cold-running legs above.
+	fork, err := o.runPipeline(ctx, p, prog, 1, false, interp.EngineAuto, true)
+	if err != nil {
+		return nil, err
+	}
+	v.Outcomes = append(v.Outcomes, fork)
 	// The deprecated Run shim must match the context-aware run of the
 	// same configuration (Session vs Run is the same comparison one
 	// layer down: Session.Reproduce is RunContext).
@@ -212,7 +224,7 @@ func (o *Oracle) Check(ctx context.Context, p *Program) (*Verdict, error) {
 	return v, nil
 }
 
-func (o *Oracle) pipelineConfig(workers int, prune bool, eng interp.Engine) core.Config {
+func (o *Oracle) pipelineConfig(workers int, prune bool, eng interp.Engine, fork bool) core.Config {
 	return core.Config{
 		Heuristic:         slicing.Temporal,
 		MaxTries:          o.trialBudget(),
@@ -220,6 +232,7 @@ func (o *Oracle) pipelineConfig(workers int, prune bool, eng interp.Engine) core
 		Workers:           workers,
 		Prune:             prune,
 		Engine:            eng,
+		Fork:              fork,
 	}
 }
 
@@ -228,12 +241,15 @@ func (o *Oracle) pipelineConfig(workers int, prune bool, eng interp.Engine) core
 // deterministic outcome. The pipeline's typed sentinels (ErrNoFailure,
 // ErrScheduleNotFound) are part of the fingerprint: a configuration
 // that fails to provoke must fail to provoke under every other one.
-func (o *Oracle) runPipeline(ctx context.Context, p *Program, prog *ir.Program, workers int, prune bool, eng interp.Engine) (ConfigOutcome, error) {
+func (o *Oracle) runPipeline(ctx context.Context, p *Program, prog *ir.Program, workers int, prune bool, eng interp.Engine, fork bool) (ConfigOutcome, error) {
 	label := fmt.Sprintf("workers=%d prune=%v", workers, prune)
 	if eng != interp.EngineAuto {
 		label += fmt.Sprintf(" engine=%v", eng)
 	}
-	pipe := core.NewPipeline(prog, p.Input, o.pipelineConfig(workers, prune, eng))
+	if fork {
+		label += " fork"
+	}
+	pipe := core.NewPipeline(prog, p.Input, o.pipelineConfig(workers, prune, eng, fork))
 	rep, err := pipe.RunContext(ctx)
 	return fingerprint(label, rep, err)
 }
@@ -243,7 +259,7 @@ func (o *Oracle) runPipeline(ctx context.Context, p *Program, prog *ir.Program, 
 // historical contract maps ErrScheduleNotFound to a nil error, which
 // fingerprint normalizes so the shim is comparable with RunContext.
 func (o *Oracle) runDeprecatedShim(p *Program, prog *ir.Program) (ConfigOutcome, error) {
-	pipe := core.NewPipeline(prog, p.Input, o.pipelineConfig(1, false, interp.EngineAuto))
+	pipe := core.NewPipeline(prog, p.Input, o.pipelineConfig(1, false, interp.EngineAuto, false))
 	rep, err := pipe.Run()
 	return fingerprint("deprecated-run workers=1 prune=false", rep, err)
 }

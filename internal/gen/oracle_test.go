@@ -14,7 +14,8 @@ const oracleSeeds = 40
 // TestOracleAcrossSeeds: every generated bug in the range is real
 // (witnessed), reproduced by the pipeline, and bit-identical across
 // the determinism matrix — workers {1,4} × prune {off,on} plus the
-// deprecated Run shim plus the forced tree-engine leg.
+// deprecated Run shim plus the forced tree-engine and forced-fork
+// legs.
 func TestOracleAcrossSeeds(t *testing.T) {
 	o := &Oracle{}
 	ctx := context.Background()
@@ -31,8 +32,9 @@ func TestOracleAcrossSeeds(t *testing.T) {
 			t.Errorf("seed %d (%s): seeded bug not reproduced (pipeline: %s after %d tries)",
 				seed, p.Name, v.Outcomes[0].Failure, v.Outcomes[0].Tries)
 		}
-		// workers × prune, the tree-engine leg, the deprecated shim.
-		if want := len(o.workers())*2 + 2; len(v.Outcomes) != want {
+		// workers × prune, the tree-engine and fork legs, the
+		// deprecated shim.
+		if want := len(o.workers())*2 + 3; len(v.Outcomes) != want {
 			t.Fatalf("seed %d: %d outcomes checked, want %d", seed, len(v.Outcomes), want)
 		}
 	}

@@ -338,8 +338,22 @@ func (m *Machine) Reset(prog *ir.Program, in *Input) {
 		m.Locks[i] = -1
 	}
 
-	// Recycle heap objects and threads (with their frames) into the
-	// free lists before clearing the run state.
+	m.recycleRun()
+	m.TotalSteps = 0
+	m.nextObj = 1
+	m.nextFrame = 0
+
+	m.ensureStack(prog)
+	m.spawnThread(prog.FuncIndex("main"), nil)
+}
+
+// recycleRun returns every live heap object, thread and frame to the
+// free lists and clears the run containers — the teardown half of a
+// rewind, shared by Reset and Snapshot-Restore. Each live object is
+// recycled exactly once and the containers are emptied before anything
+// is rebuilt, so alternating Reset and Restore in any order never
+// double-frees a frame or leaks one into two owners.
+func (m *Machine) recycleRun() {
 	for _, obj := range m.Heap {
 		clear(obj.Fields)
 		m.freeObjs = append(m.freeObjs, obj)
@@ -353,15 +367,8 @@ func (m *Machine) Reset(prog *ir.Program, in *Input) {
 		m.freeThreads = append(m.freeThreads, t)
 	}
 	m.Threads = m.Threads[:0]
-
 	m.Output = m.Output[:0]
 	m.Crash = nil
-	m.TotalSteps = 0
-	m.nextObj = 1
-	m.nextFrame = 0
-
-	m.ensureStack(prog)
-	m.spawnThread(prog.FuncIndex("main"), nil)
 }
 
 // spawnThread creates a thread running function fidx with bound args.

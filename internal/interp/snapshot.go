@@ -1,0 +1,266 @@
+package interp
+
+import "heisendump/internal/ir"
+
+// Snapshot is a resumable capture of a machine's complete run state:
+// the slot-addressed tables (Globals, Arrays, Locks), the heap, every
+// thread with its frame stack, the output buffer, the crash record and
+// the id counters. A snapshot shares no storage with the machine it
+// was taken from — Restore materializes fresh threads, frames and
+// objects from the free lists — so the source machine may run on,
+// Reset, or restore a different snapshot without invalidating it.
+//
+// Snapshots exist for the schedule search's prefix forking (see
+// internal/chess): a trial that shares a schedule prefix with an
+// earlier trial restores the checkpoint taken at the shared frontier
+// instead of re-executing the prefix. Restore preserves the machine's
+// continuation contract exactly: a restored machine steps, bursts and
+// observes (hook events, crash diagnostics, trace positions) exactly
+// as the captured machine would have from the same point, on either
+// engine. MaxSteps, Hooks and Engine are the machine's own
+// configuration and are left untouched by Restore, like Reset.
+type Snapshot struct {
+	prog  *ir.Program
+	input *Input
+
+	globals []Value
+	arrays  [][]int64
+	locks   []int32
+	output  []int64
+
+	objs    []objSnap
+	threads []threadSnap
+	// frames flattens every thread's activation stack, bottom-up in
+	// thread order; threadSnap.nFrames partitions it. One slice keeps
+	// re-captures into the same Snapshot allocation-free.
+	frames []frameSnap
+
+	crash   CrashInfo
+	crashed bool
+
+	totalSteps int64
+	nextObj    ObjID
+	nextFrame  int64
+}
+
+type objSnap struct {
+	id     ObjID
+	fields map[string]Value
+}
+
+type threadSnap struct {
+	id        int
+	entryFunc int
+	status    ThreadStatus
+	waitLock  int32
+	steps     int64
+	nFrames   int
+}
+
+type frameSnap struct {
+	funcIdx  int
+	pc       int
+	callSite ir.PC
+	id       int64
+	locals   []Value
+	live     []bool
+}
+
+// TotalSteps reports the captured machine's step count — the steps a
+// run resuming from this snapshot does not have to re-execute.
+func (s *Snapshot) TotalSteps() int64 { return s.totalSteps }
+
+// Snapshot captures the machine's current run state. Passing a prior
+// snapshot as into reuses its storage (slices, field maps) so repeated
+// captures into a recycled Snapshot settle into zero allocations per
+// capture for a stable program shape; pass nil to allocate a fresh
+// one. The returned snapshot never aliases machine storage.
+func (m *Machine) Snapshot(into *Snapshot) *Snapshot {
+	s := into
+	if s == nil {
+		s = &Snapshot{}
+	}
+	s.prog = m.Prog
+	s.input = m.input
+
+	s.globals = append(s.globals[:0], m.Globals...)
+	if cap(s.arrays) < len(m.Arrays) {
+		next := make([][]int64, len(m.Arrays))
+		copy(next, s.arrays)
+		s.arrays = next
+	}
+	s.arrays = s.arrays[:len(m.Arrays)]
+	for i, a := range m.Arrays {
+		s.arrays[i] = append(s.arrays[i][:0], a...)
+	}
+	s.locks = append(s.locks[:0], m.Locks...)
+	s.output = append(s.output[:0], m.Output...)
+
+	// Heap objects: reuse the per-slot field maps of a recycled
+	// snapshot. Map iteration order does not matter — Restore rebuilds
+	// the id-keyed heap map.
+	if cap(s.objs) < len(m.Heap) {
+		next := make([]objSnap, len(m.Heap))
+		copy(next, s.objs[:cap(s.objs)])
+		s.objs = next
+	}
+	s.objs = s.objs[:len(m.Heap)]
+	i := 0
+	for id, o := range m.Heap {
+		os := &s.objs[i]
+		os.id = id
+		if os.fields == nil {
+			os.fields = make(map[string]Value, len(o.Fields))
+		} else {
+			clear(os.fields)
+		}
+		for k, v := range o.Fields {
+			os.fields[k] = v
+		}
+		i++
+	}
+
+	if cap(s.threads) < len(m.Threads) {
+		s.threads = make([]threadSnap, len(m.Threads))
+	}
+	s.threads = s.threads[:len(m.Threads)]
+	nFrames := 0
+	for _, t := range m.Threads {
+		nFrames += len(t.Frames)
+	}
+	if cap(s.frames) < nFrames {
+		next := make([]frameSnap, nFrames)
+		copy(next, s.frames[:cap(s.frames)])
+		s.frames = next
+	}
+	s.frames = s.frames[:nFrames]
+	fi := 0
+	for ti, t := range m.Threads {
+		s.threads[ti] = threadSnap{
+			id:        t.ID,
+			entryFunc: t.EntryFunc,
+			status:    t.Status,
+			waitLock:  t.WaitLock,
+			steps:     t.Steps,
+			nFrames:   len(t.Frames),
+		}
+		for _, fr := range t.Frames {
+			fs := &s.frames[fi]
+			fs.funcIdx = fr.FuncIdx
+			fs.pc = fr.PC
+			fs.callSite = fr.CallSite
+			fs.id = fr.ID
+			fs.locals = append(fs.locals[:0], fr.Locals...)
+			fs.live = append(fs.live[:0], fr.Live...)
+			fi++
+		}
+	}
+
+	s.crashed = m.Crash != nil
+	if s.crashed {
+		s.crash = *m.Crash
+	}
+	s.totalSteps = m.TotalSteps
+	s.nextObj = m.nextObj
+	s.nextFrame = m.nextFrame
+	return s
+}
+
+// Restore rewinds the machine to the captured run state, the
+// mid-run analogue of Reset: current threads, frames and heap objects
+// are recycled into the free lists (the shared teardown recycleRun —
+// so a snapshot restored any number of times never double-frees, and
+// Reset after Restore starts from a clean free list), then the
+// captured state is materialized into storage drawn from those lists.
+// MaxSteps, Hooks and Engine are preserved; the snapshot is not
+// consumed and may be restored again.
+func (m *Machine) Restore(s *Snapshot) {
+	m.Prog = s.prog
+	m.input = s.input
+	m.recycleRun()
+
+	m.Globals = append(m.Globals[:0], s.globals...)
+	if cap(m.Arrays) < len(s.arrays) {
+		next := make([][]int64, len(s.arrays))
+		copy(next, m.Arrays)
+		m.Arrays = next
+	}
+	m.Arrays = m.Arrays[:len(s.arrays)]
+	for i, a := range s.arrays {
+		m.Arrays[i] = append(m.Arrays[i][:0], a...)
+	}
+	m.Locks = append(m.Locks[:0], s.locks...)
+	m.Output = append(m.Output[:0], s.output...)
+
+	for i := range s.objs {
+		os := &s.objs[i]
+		var o *Object
+		if n := len(m.freeObjs); n > 0 {
+			o = m.freeObjs[n-1]
+			m.freeObjs = m.freeObjs[:n-1]
+		} else {
+			o = &Object{Fields: map[string]Value{}}
+		}
+		o.ID = os.id
+		for k, v := range os.fields {
+			o.Fields[k] = v
+		}
+		m.Heap[o.ID] = o
+	}
+
+	fi := 0
+	for ti := range s.threads {
+		ts := &s.threads[ti]
+		var t *Thread
+		if n := len(m.freeThreads); n > 0 {
+			t = m.freeThreads[n-1]
+			m.freeThreads = m.freeThreads[:n-1]
+			*t = Thread{Frames: t.Frames[:0]}
+		} else {
+			t = &Thread{}
+		}
+		t.ID = ts.id
+		t.EntryFunc = ts.entryFunc
+		t.Status = ts.status
+		t.WaitLock = ts.waitLock
+		t.Steps = ts.steps
+		for f := 0; f < ts.nFrames; f++ {
+			fs := &s.frames[fi]
+			fi++
+			var fr *Frame
+			if n := len(m.freeFrames); n > 0 {
+				fr = m.freeFrames[n-1]
+				m.freeFrames = m.freeFrames[:n-1]
+			} else {
+				fr = &Frame{}
+			}
+			// Locals and Live grow together, preserving newFrame's
+			// invariant that their capacities match.
+			n := len(fs.locals)
+			if cap(fr.Locals) < n {
+				fr.Locals = make([]Value, n)
+				fr.Live = make([]bool, n)
+			}
+			fr.Locals = fr.Locals[:n]
+			fr.Live = fr.Live[:n]
+			copy(fr.Locals, fs.locals)
+			copy(fr.Live, fs.live)
+			fr.FuncIdx = fs.funcIdx
+			fr.PC = fs.pc
+			fr.CallSite = fs.callSite
+			fr.ID = fs.id
+			t.Frames = append(t.Frames, fr)
+		}
+		m.Threads = append(m.Threads, t)
+	}
+
+	m.Crash = nil
+	if s.crashed {
+		c := s.crash
+		m.Crash = &c
+	}
+	m.TotalSteps = s.totalSteps
+	m.nextObj = s.nextObj
+	m.nextFrame = s.nextFrame
+	m.ensureStack(s.prog)
+}

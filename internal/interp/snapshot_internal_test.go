@@ -1,0 +1,211 @@
+package interp
+
+// White-box regression tests for the Snapshot/Restore ↔ Reset free-
+// list interaction. Restore recycles the machine's live storage
+// through recycleRun before repopulating from the checkpoint — the
+// same shared reinit Reset uses — so a frame, thread or object must
+// never end up reachable both from a free list and from live machine
+// state (double-free aliasing would hand one activation record to two
+// threads on a later Reset). These tests compile their program through
+// lang+ir directly: the workloads package sits above interp and cannot
+// be imported from a white-box test.
+
+import (
+	"fmt"
+	"testing"
+
+	"heisendump/internal/ir"
+	"heisendump/internal/lang"
+)
+
+// snapshotCycleSrc exercises every recycled resource: spawned threads,
+// call frames (bump), heap objects (new) and a contended lock.
+const snapshotCycleSrc = `
+program snapcycle;
+
+global int x;
+global int a[4];
+lock L;
+
+func main() {
+    spawn worker(2);
+    spawn worker(3);
+}
+
+func worker(int n) {
+    var int i;
+    var ptr p;
+    for i = 1 .. n {
+        p = new(v);
+        p.v = i;
+        acquire(L);
+        x = x + p.v;
+        a[i] = x;
+        release(L);
+        bump();
+    }
+}
+
+func bump() {
+    var int t;
+    t = x;
+}
+`
+
+func compileSnapshotCycle(t *testing.T) *ir.Program {
+	t.Helper()
+	p, err := lang.Parse(snapshotCycleSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Compile(p, ir.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// runRounds steps the machine round-robin over the runnable set for at
+// most n steps — enough scheduling variety to spawn threads, push and
+// pop frames and allocate objects without importing a scheduler.
+func runRounds(t *testing.T, m *Machine, n int) {
+	t.Helper()
+	for i := 0; i < n && !m.Crashed() && !m.Done(); i++ {
+		r := m.Runnable()
+		if len(r) == 0 {
+			return
+		}
+		if _, err := m.Step(r[i%len(r)]); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// checkStorageIntegrity asserts that no frame, thread or heap object
+// is reachable twice — from two live owners, from a free list twice,
+// or from a free list and live state at once.
+func checkStorageIntegrity(t *testing.T, m *Machine, label string) {
+	t.Helper()
+	frames := map[*Frame]string{}
+	noteFrame := func(fr *Frame, where string) {
+		if prev, ok := frames[fr]; ok {
+			t.Fatalf("%s: frame %p reachable from %s and %s", label, fr, prev, where)
+		}
+		frames[fr] = where
+	}
+	for i, fr := range m.freeFrames {
+		noteFrame(fr, fmt.Sprintf("free list entry %d", i))
+	}
+	for _, th := range m.Threads {
+		for _, fr := range th.Frames {
+			noteFrame(fr, fmt.Sprintf("thread %d", th.ID))
+			if len(fr.Locals) != len(fr.Live) {
+				t.Fatalf("%s: frame %p has %d locals but %d liveness slots",
+					label, fr, len(fr.Locals), len(fr.Live))
+			}
+		}
+	}
+	threads := map[*Thread]string{}
+	noteThread := func(th *Thread, where string) {
+		if prev, ok := threads[th]; ok {
+			t.Fatalf("%s: thread %p reachable from %s and %s", label, th, prev, where)
+		}
+		threads[th] = where
+	}
+	for i, th := range m.freeThreads {
+		noteThread(th, fmt.Sprintf("free list entry %d", i))
+	}
+	for _, th := range m.Threads {
+		noteThread(th, "live set")
+	}
+	objs := map[*Object]string{}
+	noteObj := func(o *Object, where string) {
+		if prev, ok := objs[o]; ok {
+			t.Fatalf("%s: object %p reachable from %s and %s", label, o, prev, where)
+		}
+		objs[o] = where
+	}
+	for i, o := range m.freeObjs {
+		noteObj(o, fmt.Sprintf("free list entry %d", i))
+	}
+	for id, o := range m.Heap {
+		noteObj(o, fmt.Sprintf("heap id %d", id))
+	}
+}
+
+// TestResetAfterRestoreFreeListIntegrity is the aliasing regression:
+// Restore repopulates live state from recycled storage, and a Reset
+// right after must not double-free any of it. Repeated cycles must
+// also hold the free lists at a steady size — growth would mean
+// Restore leaks storage, shrinkage that it steals from the free lists
+// without accounting.
+func TestResetAfterRestoreFreeListIntegrity(t *testing.T) {
+	prog := compileSnapshotCycle(t)
+	m := New(prog, nil)
+	var snap Snapshot
+
+	var sizes [][3]int
+	for cycle := 0; cycle < 6; cycle++ {
+		m.Reset(prog, nil)
+		runRounds(t, m, 30)
+		m.Snapshot(&snap)
+		runRounds(t, m, 1<<30) // perturb: run to completion
+		m.Restore(&snap)
+		checkStorageIntegrity(t, m, fmt.Sprintf("cycle %d after restore", cycle))
+		runRounds(t, m, 1<<30) // resume the restored run to completion
+		m.Reset(prog, nil)
+		checkStorageIntegrity(t, m, fmt.Sprintf("cycle %d after reset", cycle))
+		sizes = append(sizes, [3]int{len(m.freeFrames), len(m.freeThreads), len(m.freeObjs)})
+	}
+	for i := 2; i < len(sizes); i++ {
+		if sizes[i] != sizes[1] {
+			t.Fatalf("free lists not at steady state: cycle 1 %v, cycle %d %v", sizes[1], i, sizes[i])
+		}
+	}
+
+	// The machine must still execute correctly on the recycled storage:
+	// a full run after the cycles matches a virgin machine's run.
+	m.Reset(prog, nil)
+	runRounds(t, m, 1<<30)
+	fresh := New(prog, nil)
+	runRounds(t, fresh, 1<<30)
+	if !m.Done() || !fresh.Done() {
+		t.Fatalf("runs did not complete: recycled done=%v fresh done=%v", m.Done(), fresh.Done())
+	}
+	if fmt.Sprint(m.Globals) != fmt.Sprint(fresh.Globals) || fmt.Sprint(m.Arrays) != fmt.Sprint(fresh.Arrays) {
+		t.Fatalf("recycled machine diverged from fresh machine:\n  recycled: %v %v\n  fresh:    %v %v",
+			m.Globals, m.Arrays, fresh.Globals, fresh.Arrays)
+	}
+}
+
+// TestRestoreDropsPerturbationState pins the pieces of Restore that a
+// structural diff would miss: the crash pointer must be a fresh copy
+// (not aliased into the snapshot), and heap identity counters must
+// rewind so post-restore allocations reproduce cold object ids.
+func TestRestoreDropsPerturbationState(t *testing.T) {
+	prog := compileSnapshotCycle(t)
+	m := New(prog, nil)
+	runRounds(t, m, 30)
+	var snap Snapshot
+	m.Snapshot(&snap)
+	wantObj, wantFrame := m.nextObj, m.nextFrame
+	runRounds(t, m, 1<<30)
+	m.Restore(&snap)
+	if m.nextObj != wantObj || m.nextFrame != wantFrame {
+		t.Fatalf("identity counters not rewound: obj %d vs %d, frame %d vs %d",
+			m.nextObj, wantObj, m.nextFrame, wantFrame)
+	}
+	if m.Crash != nil {
+		t.Fatalf("restore resurrected a crash: %v", m.Crash)
+	}
+	// Mutating the restored machine must not corrupt the snapshot:
+	// restore twice and the outcomes agree.
+	runRounds(t, m, 1<<30)
+	out1 := fmt.Sprint(m.Globals, m.Output, m.TotalSteps)
+	m.Restore(&snap)
+	runRounds(t, m, 1<<30)
+	out2 := fmt.Sprint(m.Globals, m.Output, m.TotalSteps)
+	if out1 != out2 {
+		t.Fatalf("snapshot not reusable: first resume %s, second %s", out1, out2)
+	}
+}

@@ -1,0 +1,195 @@
+package interp_test
+
+// Snapshot/Restore round-trip property tests: a checkpoint taken at a
+// sync boundary must make the rest of the run — trace events, crash,
+// output and happens-before projection fingerprint — byte-identical to
+// an uninterrupted execution, no matter how the machine is perturbed
+// between Snapshot and Restore. This is the equivalence contract the
+// schedule search's prefix forking (internal/chess/fork.go) is built
+// on: a forked suffix must be indistinguishable from a cold run.
+
+import (
+	"fmt"
+	"testing"
+
+	"heisendump/internal/interp"
+	"heisendump/internal/ir"
+	"heisendump/internal/sched"
+	"heisendump/internal/trace"
+	"heisendump/internal/workloads"
+)
+
+// atSyncBoundary reports whether thread tid's next instruction is a
+// lock operation — the dynamic points the schedule search checkpoints
+// at.
+func atSyncBoundary(m *interp.Machine, tid int) bool {
+	if tid < 0 || tid >= len(m.Threads) {
+		return false
+	}
+	fr := m.Threads[tid].Top()
+	if fr == nil {
+		return false
+	}
+	op := m.Prog.Funcs[fr.FuncIdx].Instrs[fr.PC].Op
+	return op == ir.OpAcquire || op == ir.OpRelease
+}
+
+// runSlotInterrupted replays schedule like runSlot, but at up to four
+// sync boundaries it checkpoints machine, recorder and fingerprint
+// state, perturbs the machine by running it all the way to completion
+// on an unrelated interleaving (hooks attached, free lists churning,
+// heap and frames recycled), restores, and resumes the replay. The
+// returned run must be indistinguishable from one that was never
+// interrupted.
+func runSlotInterrupted(t *testing.T, prog *ir.Program, in *interp.Input, schedule []int, eng interp.Engine) (refRun, int) {
+	t.Helper()
+	const maxSnaps = 4
+	m := interp.New(prog, in)
+	m.Engine = eng
+	m.MaxSteps = 1_000_000
+	rec := trace.NewRecorder()
+	fpr := trace.NewFingerprintRecorder()
+	m.Hooks = trace.Multi{rec, fpr}
+
+	var snap *interp.Snapshot
+	var fsnap *trace.FingerprintSnapshot
+	taken, boundaries := 0, 0
+	for pos, tid := range schedule {
+		if m.Crashed() || m.Done() {
+			break
+		}
+		if taken < maxSnaps && atSyncBoundary(m, tid) {
+			// Checkpoint every third boundary so the snapshots spread
+			// across the run instead of clustering at its start.
+			if boundaries%3 == 0 {
+				snap = m.Snapshot(snap)
+				fsnap = fpr.Snapshot(fsnap)
+				mark := rec.Mark()
+				sched.Run(m, sched.NewRandom(int64(pos)))
+				m.Restore(snap)
+				fpr.Restore(fsnap)
+				if !rec.Rewind(mark) {
+					t.Fatal("unbounded recorder refused to rewind")
+				}
+				taken++
+			}
+			boundaries++
+		}
+		ok, err := m.Step(tid)
+		if err != nil || !ok {
+			break
+		}
+	}
+	return refRun{events: rec.Events, crash: m.Crash, output: m.Output, fp: fpr.Fingerprint()}, taken
+}
+
+// TestSnapshotRoundTrip is the property suite: for every corpus
+// workload, under the deterministic schedule and sampled random
+// interleavings, on both execution engines, an execution interrupted
+// by snapshot/perturb/restore cycles at sync boundaries produces the
+// same trace, crash, output and projection fingerprint as the
+// uninterrupted execution of the same schedule.
+func TestSnapshotRoundTrip(t *testing.T) {
+	engines := []interp.Engine{interp.EngineTree, interp.EngineBytecode}
+	totalSnaps := 0
+	for _, name := range workloads.Names() {
+		w := workloads.ByName(name)
+		t.Run(name, func(t *testing.T) {
+			prog, err := w.Compile(true)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for si, schedule := range schedulesFor(t, prog, w.Input, 3) {
+				for _, eng := range engines {
+					want := runSlot(prog, w.Input, schedule, eng)
+					got, taken := runSlotInterrupted(t, prog, w.Input, schedule, eng)
+					totalSnaps += taken
+					label := fmt.Sprintf("engine=%v schedule=%d (interrupted vs straight)", eng, si)
+					compareRuns(t, label, got, want)
+				}
+			}
+		})
+	}
+	if totalSnaps == 0 {
+		t.Fatal("no sync boundary was ever checkpointed — the round-trip property ran vacuously")
+	}
+}
+
+// burstRun drives m to completion with the trial loop's burst policy —
+// lowest runnable thread, Machine.RunBurst between sync boundaries,
+// single steps across them — optionally interrupting at the
+// interruptAt-th boundary (1-based) with a snapshot, a full perturbing
+// run, and a restore. It pins that RunBurst composes with Restore: a
+// restored machine can resume bursting mid-run.
+func burstRun(t *testing.T, m *interp.Machine, interruptAt int) {
+	t.Helper()
+	var snap *interp.Snapshot
+	boundaries := 0
+	for !m.Crashed() && !m.Done() {
+		r := m.Runnable()
+		if len(r) == 0 {
+			break // deadlock
+		}
+		tid := r[0]
+		sync := atSyncBoundary(m, tid)
+		if sync {
+			boundaries++
+			if boundaries == interruptAt {
+				snap = m.Snapshot(snap)
+				sched.Run(m, sched.NewRandom(7))
+				m.Restore(snap)
+			}
+		}
+		var ok bool
+		var err error
+		if sync {
+			ok, err = m.Step(tid)
+		} else {
+			ok, err = m.RunBurst(tid, 1<<40)
+		}
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if !ok && m.Threads[tid].Status != interp.Blocked {
+			break
+		}
+	}
+}
+
+// TestSnapshotRestoreRunBurst checks the snapshot contract under the
+// bytecode-era burst executor: a burst-driven run interrupted mid-way
+// by snapshot/perturb/restore finishes with the same output, crash and
+// step total as a cold burst-driven run, on both engines and at
+// several interruption depths.
+func TestSnapshotRestoreRunBurst(t *testing.T) {
+	engines := []interp.Engine{interp.EngineTree, interp.EngineBytecode}
+	for _, name := range []string{"apache-1", "mysql-1"} {
+		w := workloads.ByName(name)
+		t.Run(name, func(t *testing.T) {
+			prog, err := w.Compile(true)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, eng := range engines {
+				cold := interp.New(prog, w.Input)
+				cold.Engine = eng
+				burstRun(t, cold, 0)
+				for _, at := range []int{1, 3, 6} {
+					m := interp.New(prog, w.Input)
+					m.Engine = eng
+					burstRun(t, m, at)
+					label := fmt.Sprintf("engine=%v interruptAt=%d", eng, at)
+					if m.TotalSteps != cold.TotalSteps {
+						t.Fatalf("%s: %d steps vs %d cold", label, m.TotalSteps, cold.TotalSteps)
+					}
+					if fmt.Sprint(m.Output) != fmt.Sprint(cold.Output) {
+						t.Fatalf("%s: output %v vs %v cold", label, m.Output, cold.Output)
+					}
+					if fmt.Sprint(m.Crash) != fmt.Sprint(cold.Crash) {
+						t.Fatalf("%s: crash %v vs %v cold", label, m.Crash, cold.Crash)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package interp
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// StateKey appends a canonical encoding of the machine's semantic run
+// state to buf and returns the extended slice. Two machines with equal
+// keys are indistinguishable to future execution: every input the
+// step/burst engines read — globals, arrays, locks, the heap (visited
+// in ObjID order), every thread with its status, wait lock, step count
+// and frame stack, and the ObjID/frame-id allocation counters — is
+// encoded, each variable-length section length-prefixed so distinct
+// states can never collide.
+//
+// Two run-state fields are deliberately excluded, because no
+// instruction reads them and so they cannot influence a continuation:
+//
+//   - TotalSteps: the cross-thread step counter differs between runs
+//     that reached the same state along different interleavings; a
+//     caller resuming under a step bound must budget for it separately.
+//   - Output: the emitted-values log is append-only and write-only; its
+//     ordering reflects the interleaving history, not the future.
+//
+// The crash record is likewise omitted: a crashed machine has no
+// continuation, and callers key states of running machines.
+//
+// The key is used by the schedule search's prefix-fork layer to detect
+// trials whose divergent schedule prefixes have converged to the same
+// state, so their identical continuations can be shared (see
+// internal/chess).
+func (m *Machine) StateKey(buf []byte) []byte {
+	put := func(v int64) {
+		buf = binary.AppendVarint(buf, v)
+	}
+	putVal := func(v Value) {
+		put(int64(v.Kind))
+		put(v.Num)
+	}
+
+	put(int64(len(m.Globals)))
+	for _, v := range m.Globals {
+		putVal(v)
+	}
+	put(int64(len(m.Arrays)))
+	for _, a := range m.Arrays {
+		put(int64(len(a)))
+		for _, v := range a {
+			put(v)
+		}
+	}
+	put(int64(len(m.Locks)))
+	for _, h := range m.Locks {
+		put(int64(h))
+	}
+
+	put(int64(len(m.Heap)))
+	ids := make([]ObjID, 0, len(m.Heap))
+	for id := range m.Heap {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := m.Heap[id]
+		put(int64(id))
+		put(int64(len(o.Fields)))
+		for _, name := range o.FieldNames() {
+			put(int64(len(name)))
+			buf = append(buf, name...)
+			putVal(o.Fields[name])
+		}
+	}
+
+	put(int64(len(m.Threads)))
+	for _, t := range m.Threads {
+		put(int64(t.ID))
+		put(int64(t.EntryFunc))
+		put(int64(t.Status))
+		put(int64(t.WaitLock))
+		put(t.Steps)
+		put(int64(len(t.Frames)))
+		for _, fr := range t.Frames {
+			put(int64(fr.FuncIdx))
+			put(int64(fr.PC))
+			put(int64(fr.CallSite.F))
+			put(int64(fr.CallSite.I))
+			put(fr.ID)
+			put(int64(len(fr.Locals)))
+			for i, v := range fr.Locals {
+				putVal(v)
+				if fr.Live[i] {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+		}
+	}
+
+	put(int64(m.nextObj))
+	put(m.nextFrame)
+	return buf
+}

@@ -247,6 +247,50 @@ func (f *FingerprintRecorder) OnRelease(t *interp.Thread, lock string) {
 	f.locks[lock] = mixChain(h, t.ID, ProjRelease)
 }
 
+// FingerprintSnapshot is a captured FingerprintRecorder position: the
+// per-location chain hashes at one point of a run. The schedule
+// search's prefix forking restores it alongside interp.Snapshot so a
+// forked trial's final fingerprint is bit-identical to the cold run's.
+type FingerprintSnapshot struct {
+	vars  map[interp.VarID]uint64
+	locks map[string]uint64
+}
+
+// Snapshot captures the recorder's current chain state. Passing a
+// prior snapshot as into reuses its maps; pass nil to allocate. The
+// snapshot shares no storage with the recorder.
+func (f *FingerprintRecorder) Snapshot(into *FingerprintSnapshot) *FingerprintSnapshot {
+	s := into
+	if s == nil {
+		s = &FingerprintSnapshot{
+			vars:  make(map[interp.VarID]uint64, len(f.vars)),
+			locks: make(map[string]uint64, len(f.locks)),
+		}
+	}
+	clear(s.vars)
+	for k, v := range f.vars {
+		s.vars[k] = v
+	}
+	clear(s.locks)
+	for k, v := range f.locks {
+		s.locks[k] = v
+	}
+	return s
+}
+
+// Restore rewinds the recorder to a captured chain state. The snapshot
+// is not consumed and may be restored again.
+func (f *FingerprintRecorder) Restore(s *FingerprintSnapshot) {
+	clear(f.vars)
+	for k, v := range s.vars {
+		f.vars[k] = v
+	}
+	clear(f.locks)
+	for k, v := range s.locks {
+		f.locks[k] = v
+	}
+}
+
 // Fingerprint folds the per-location chains into the run fingerprint.
 // The recorder remains usable afterwards (more accesses keep chaining).
 func (f *FingerprintRecorder) Fingerprint() uint64 {

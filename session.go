@@ -43,6 +43,12 @@ func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 // counts and wall time drop.
 func WithPrune(on bool) Option { return func(c *Config) { c.Prune = on } }
 
+// WithFork toggles the search's prefix snapshot/fork layer: trials
+// resume from cached machine checkpoints instead of re-executing
+// shared schedule prefixes. Found, Schedule and Tries are bit-identical
+// either way; only executed-step counts and wall time drop.
+func WithFork(on bool) Option { return func(c *Config) { c.Fork = on } }
+
 // WithHeuristic selects the CSV-access prioritization strategy
 // (Temporal by default, or Dependence).
 func WithHeuristic(h Heuristic) Option { return func(c *Config) { c.Heuristic = h } }
