@@ -56,7 +56,7 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		fail, err := heisendump.New(prog, w.Input).ProvokeFailure(ctx)
+		fail, err := heisendump.NewCompiled(prog, w.Input).ProvokeFailure(ctx)
 		if err != nil {
 			if errors.Is(err, heisendump.ErrCancelled) {
 				log.Fatalf("capture cancelled before a failure was provoked: %v", err)

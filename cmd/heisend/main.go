@@ -1,0 +1,111 @@
+// Command heisend serves reproduction-as-a-service: an HTTP/JSON
+// batch server over the heisendump Session API.
+//
+// Clients POST dump+program reproduction jobs (idempotent job keys);
+// a bounded multi-tenant scheduler runs each as its own Session on a
+// shared worker budget with weighted fairness and typed admission
+// control (429 queue_full, 504 deadline_exceeded). Progress streams
+// over SSE; completed reports persist with a TTL. See docs/SERVICE.md
+// for the endpoint reference.
+//
+// Usage:
+//
+//	heisend [-addr :8347] [-workers 4] [-queue-depth 64]
+//	        [-result-ttl 15m] [-tenant-weight name=w]...
+//
+// Quick start:
+//
+//	heisend -addr localhost:8347 &
+//	curl -s localhost:8347/v1/jobs?wait=1 -d '{
+//	  "tenant": "demo",
+//	  "source": "...subject program...",
+//	  "options": {"trial_budget": 1000}
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"heisendump/internal/server"
+)
+
+// tenantWeights collects repeated -tenant-weight name=w flags.
+type tenantWeights map[string]int
+
+func (t tenantWeights) String() string {
+	parts := make([]string, 0, len(t))
+	for name, w := range t {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, w))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t tenantWeights) Set(v string) error {
+	name, ws, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=weight, got %q", v)
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil || w <= 0 {
+		return fmt.Errorf("weight must be a positive integer, got %q", ws)
+	}
+	t[name] = w
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heisend: ")
+
+	weights := tenantWeights{}
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 4, "concurrent jobs (each runs one Session)")
+	queueDepth := flag.Int("queue-depth", 64, "per-tenant backlog cap before 429 queue_full")
+	resultTTL := flag.Duration("result-ttl", 15*time.Minute, "how long completed reports stay fetchable")
+	eventBuffer := flag.Int("event-buffer", 1024, "per-job SSE ring capacity")
+	trialBudget := flag.Int("trial-budget", 3000, "default schedule-search budget for jobs that leave it unset")
+	stressBudget := flag.Int("stress-budget", 6000, "default failure-provocation budget for jobs that leave it unset")
+	flag.Var(weights, "tenant-weight", "tenant DRR weight as name=w (repeatable; default 1)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		TenantWeights:       weights,
+		ResultTTL:           *resultTTL,
+		EventBuffer:         *eventBuffer,
+		DefaultTrialBudget:  *trialBudget,
+		DefaultStressBudget: *stressBudget,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("draining: admission closed, cancelling running jobs")
+		srv.Shutdown()
+		_ = httpSrv.Close()
+	}()
+
+	log.Printf("serving on %s (%d workers, queue depth %d, result TTL %s)",
+		ln.Addr(), *workers, *queueDepth, *resultTTL)
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"heisendump"
+	"heisendump/internal/gen"
+	"heisendump/internal/server"
+)
+
+// TestSmokeDifferential is the e2e smoke gate: boot the batch service
+// on loopback, submit a generated-workload corpus over HTTP at
+// workers {1,4} × prune {off,on}, and diff every fetched report
+// against a direct in-process Session run.
+//
+// At workers=1 the entire report is deterministic, so the comparison
+// is bit-for-bit on the JSON. At workers=4 the cost counters may vary
+// with worker scheduling, so the comparison pins the deterministic
+// fingerprint (Outcome, Found, Tries, Schedule) — the same invariant
+// the library's own determinism tests enforce.
+func TestSmokeDifferential(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+
+	// The corpus: gen programs with the oracle's -short budgets, as
+	// cmd/fuzz -out would emit them.
+	var entries []gen.Entry
+	var corpus bytes.Buffer
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		p := gen.Generate(seed)
+		e := gen.Entry{Seed: p.Seed, Name: p.Name, Source: p.Source,
+			TrialBudget: 1500, StressBudget: 3000}
+		entries = append(entries, e)
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus.Write(b)
+		corpus.WriteByte('\n')
+	}
+
+	srv := server.New(server.Config{Workers: 4, QueueDepth: 2 * seeds})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown()
+	}()
+
+	// Direct in-process runs through the identical projection. The
+	// fingerprint is configuration-independent; the full report is
+	// compared only at workers=1 where it is deterministic.
+	directFull := make(map[string][]byte) // "name/prune" -> report JSON at workers=1
+	type fp struct {
+		Outcome  string
+		Found    bool
+		Tries    int
+		Schedule string
+	}
+	directFP := make(map[string]fp)
+	for _, e := range entries {
+		prog, err := heisendump.Compile(e.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		for _, prune := range []bool{false, true} {
+			s := heisendump.NewCompiled(prog, &heisendump.Input{},
+				heisendump.WithWorkers(1),
+				heisendump.WithPrune(prune),
+				heisendump.WithTrialBudget(e.TrialBudget),
+				heisendump.WithStressBudget(e.StressBudget),
+			)
+			rep, runErr := s.Reproduce(context.Background())
+			jr, ep := server.BuildReport(rep, runErr, false)
+			if ep != nil {
+				t.Fatalf("%s direct run: %v", e.Name, ep)
+			}
+			b, err := json.Marshal(jr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			directFull[fmt.Sprintf("%s/%v", e.Name, prune)] = b
+			directFP[e.Name] = fp{jr.Outcome, jr.Found, jr.Tries, jr.Schedule}
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, prune := range []bool{false, true} {
+			tenant := fmt.Sprintf("w%d-p%v", workers, prune)
+			url := fmt.Sprintf("%s/v1/batch?tenant=%s&workers=%d", ts.URL, tenant, workers)
+			if prune {
+				url += "&prune=1"
+			}
+			resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(corpus.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var br server.BatchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if br.Accepted != len(entries) || br.Rejected != 0 {
+				t.Fatalf("[%s] batch: %+v", tenant, br)
+			}
+
+			for i, r := range br.Results {
+				e := entries[i]
+				resp, err := http.Get(ts.URL + "/v1/jobs/" + r.ID + "?wait=1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var st server.JobStatus
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if st.State != server.StateDone || st.Report == nil {
+					t.Fatalf("[%s] %s: state %s err=%+v", tenant, e.Name, st.State, st.Error)
+				}
+
+				if workers == 1 {
+					got, _ := json.Marshal(st.Report)
+					want := directFull[fmt.Sprintf("%s/%v", e.Name, prune)]
+					if !bytes.Equal(got, want) {
+						t.Errorf("[%s] %s: HTTP report differs from direct Session run\n  http: %s\ndirect: %s",
+							tenant, e.Name, got, want)
+					}
+					continue
+				}
+				want := directFP[e.Name]
+				got := fp{st.Report.Outcome, st.Report.Found, st.Report.Tries, st.Report.Schedule}
+				if got != want {
+					t.Errorf("[%s] %s: fingerprint drift\n  http: %+v\ndirect: %+v", tenant, e.Name, got, want)
+				}
+			}
+		}
+	}
+}

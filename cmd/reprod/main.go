@@ -116,7 +116,7 @@ func main() {
 		}))
 	}
 
-	s := heisendump.New(prog, input, opts...)
+	s := heisendump.NewCompiled(prog, input, opts...)
 
 	// The staged Session calls keep the output streaming: each phase's
 	// results print as soon as it completes, and a cancellation at any

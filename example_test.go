@@ -17,17 +17,18 @@ import (
 // keeps this quick start honest.
 func Example_quickstart() {
 	w := heisendump.WorkloadByName("fig1")
-	prog, err := w.Compile(true) // loop-counter instrumentation on
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	s := heisendump.New(prog, w.Input,
+	// New compiles through the process-wide shared program cache
+	// (instrumentation on), so every Session over the same source
+	// shares one immutable compiled program.
+	s, err := heisendump.New(w.Source, w.Input,
 		heisendump.WithHeuristic(heisendump.Temporal),
 		heisendump.WithTrialBudget(1000),
 		heisendump.WithWorkers(1),  // any value gives the same result; 1 keeps the example minimal
 		heisendump.WithPrune(true), // skip schedule trials proven equivalent to executed runs
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	rep, err := s.Reproduce(context.Background())
 	if err != nil {
@@ -62,7 +63,7 @@ func ExampleSession_cancellation() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s := heisendump.New(prog, w.Input,
+	s := heisendump.NewCompiled(prog, w.Input,
 		heisendump.WithPlainChess(true), // undirected CHESS needs 4 tries on fig1...
 		heisendump.WithObserver(heisendump.ObserverFuncs{
 			SearchFunc: func(p heisendump.SearchProgress) {

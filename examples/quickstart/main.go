@@ -33,7 +33,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	s := heisendump.New(prog, w.Input,
+	s := heisendump.NewCompiled(prog, w.Input,
 		heisendump.WithHeuristic(heisendump.Temporal),
 		heisendump.WithTrialBudget(1000),
 		// WithWorkers sets the schedule-search pool width (0 =

@@ -54,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s := heisendump.New(prog, &heisendump.Input{},
+	s := heisendump.NewCompiled(prog, &heisendump.Input{},
 		heisendump.WithHeuristic(heisendump.Dependence),
 		heisendump.WithTrialBudget(1000),
 	)

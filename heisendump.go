@@ -30,13 +30,20 @@
 // # Quick start
 //
 //	w := heisendump.WorkloadByName("fig1")
-//	prog, _ := w.Compile(true) // with loop-counter instrumentation
-//	s := heisendump.New(prog, w.Input,
+//	s, err := heisendump.New(w.Source, w.Input, // compiles via the shared program cache
 //		heisendump.WithWorkers(0),  // search pool width; 0 = GOMAXPROCS, any value same result
 //		heisendump.WithPrune(true), // skip schedule trials proven equivalent to executed runs
 //	)
 //	rep, err := s.Reproduce(ctx)
 //	// rep.Search.Found, rep.Search.Schedule: the failure-inducing schedule
+//
+// Sessions are shareable-by-default: New compiles through a
+// process-wide cache keyed by source hash, so every Session over the
+// same source shares one immutable compiled program (bytecode
+// included) while each run gets its own machine pool — one process
+// can grind thousands of concurrent reproductions of a hot program
+// that was compiled exactly once. Callers holding a compiled *Program
+// (e.g. from Compile or Workload.Compile) use NewCompiled.
 //
 // Session.Reproduce threads its context through every phase — cancel
 // it (or give it a deadline) and the run stops within one schedule
@@ -66,6 +73,7 @@ import (
 	"heisendump/internal/interp"
 	"heisendump/internal/ir"
 	"heisendump/internal/lang"
+	"heisendump/internal/progcache"
 	"heisendump/internal/slicing"
 	"heisendump/internal/workloads"
 )
@@ -113,6 +121,19 @@ var (
 	// context.DeadlineExceeded).
 	ErrCancelled = core.ErrCancelled
 )
+
+// SourceError is a typed subject-program rejection: anything Parse or
+// the static checker refuses (Phase "parse" or "check", with a
+// best-effort source line). It is JSON-serializable, and — with
+// *InputError — is what service layers should classify as the
+// client's fault (HTTP 400) rather than an internal failure.
+type SourceError = lang.Error
+
+// InputError is a typed input/declaration mismatch: a seeded input
+// naming an undeclared global, seeding a pointer, or an array seed
+// whose length disagrees with the declared size. New reports it at
+// construction; the deprecated Pipeline surfaces it on the first run.
+type InputError = interp.InputError
 
 // FailureReport describes the provoked failure and its core dump.
 type FailureReport = core.FailureReport
@@ -203,21 +224,46 @@ func NewPipeline(prog *Program, input *Input, cfg Config) *Pipeline {
 // Parse parses a subject program in the mini language.
 func Parse(src string) (*lang.Program, error) { return lang.Parse(src) }
 
-// Compile lowers a parsed program, optionally adding loop-counter
-// instrumentation (required for index reverse engineering of while
-// loops; costs ~1-2% at run time).
-func Compile(p *lang.Program, instrumentLoops bool) (*Program, error) {
+// Compile parses, checks and compiles a subject program with
+// loop-counter instrumentation (required for index reverse engineering
+// of while loops; costs ~1-2% at run time), consulting the
+// process-wide shared program cache: the same source compiles once and
+// every caller shares the immutable *Program (bytecode included), so
+// any number of concurrent Sessions can grind one hot program. Bad
+// programs come back as a typed *SourceError.
+func Compile(source string) (*Program, error) {
+	return progcache.Shared().Get(source, true)
+}
+
+// CompileAST lowers an already-parsed program, optionally adding
+// loop-counter instrumentation. AST identity does not key the shared
+// cache, so this path compiles every call; prefer Compile.
+func CompileAST(p *lang.Program, instrumentLoops bool) (*Program, error) {
 	return ir.Compile(p, ir.Options{InstrumentLoops: instrumentLoops})
 }
 
-// CompileSource parses and compiles in one step.
+// CompileSource is Compile with explicit instrumentation control; it
+// shares the same process-wide cache (the flag is part of the key).
 func CompileSource(src string, instrumentLoops bool) (*Program, error) {
-	p, err := lang.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return Compile(p, instrumentLoops)
+	return progcache.Shared().Get(src, instrumentLoops)
 }
+
+// ValidateInput checks a seeded input against the program's
+// declarations without running it: unknown globals, pointer seeds and
+// array-length mismatches come back as a typed *InputError. New runs
+// the same validation; service layers call it directly to reject bad
+// submissions at admission.
+func ValidateInput(prog *Program, input *Input) error {
+	return interp.ValidateInput(prog, input)
+}
+
+// CacheStats is a snapshot of the shared compile cache's counters.
+type CacheStats = progcache.Stats
+
+// CompileCacheStats reports the shared compile cache's effectiveness:
+// how many compilations were deduplicated into cache hits, and the
+// resident entry count. The batch server exposes this on /v1/stats.
+func CompileCacheStats() CacheStats { return progcache.Shared().Stats() }
 
 // WorkloadByName returns a registered workload ("fig1", "apache-1",
 // "mysql-3", "splash-fft", ...) or nil.

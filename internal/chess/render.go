@@ -1,0 +1,24 @@
+package chess
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScheduleString canonically renders the result's winning preemption
+// set — one "[T<thread> <kind> seq=<n> lock=<name> ->T<to>]" segment
+// per applied preemption, empty when nothing was found. It is the
+// rendering the differential oracle and the batch service compare and
+// persist: two results reproduce the same interleaving exactly when
+// their renderings are byte-identical. A nil result renders "<nil>".
+func (r *Result) ScheduleString() string {
+	if r == nil {
+		return "<nil>"
+	}
+	var sb strings.Builder
+	for _, ap := range r.Schedule {
+		fmt.Fprintf(&sb, "[T%d %v seq=%d lock=%s ->T%d]",
+			ap.Candidate.Thread, ap.Candidate.Kind, ap.Candidate.Seq, ap.Candidate.Lock, ap.SwitchTo)
+	}
+	return sb.String()
+}

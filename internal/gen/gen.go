@@ -32,7 +32,7 @@ import (
 
 	"heisendump/internal/interp"
 	"heisendump/internal/ir"
-	"heisendump/internal/lang"
+	"heisendump/internal/progcache"
 )
 
 // BugKind enumerates the seeded bug pattern library.
@@ -192,13 +192,10 @@ func (p *Program) Description() string {
 }
 
 // Compile compiles the generated program, mirroring
-// workloads.Workload.Compile.
+// workloads.Workload.Compile — including the shared program cache, so
+// the oracle's many configurations of one program compile once.
 func (p *Program) Compile(instrument bool) (*ir.Program, error) {
-	prog, err := lang.Parse(p.Source)
-	if err != nil {
-		return nil, fmt.Errorf("gen: %s: %w", p.Name, err)
-	}
-	cp, err := ir.Compile(prog, ir.Options{InstrumentLoops: instrument})
+	cp, err := progcache.Shared().Get(p.Source, instrument)
 	if err != nil {
 		return nil, fmt.Errorf("gen: %s: %w", p.Name, err)
 	}

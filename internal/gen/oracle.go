@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 
 	"heisendump/internal/chess"
 	"heisendump/internal/core"
@@ -292,15 +291,9 @@ func fingerprint(label string, rep *core.Report, err error) (ConfigOutcome, erro
 }
 
 // ScheduleString canonically renders a search result's winning
-// preemption set for bit-for-bit comparison and corpus storage.
+// preemption set for bit-for-bit comparison and corpus storage. It is
+// chess.Result.ScheduleString — the same rendering the batch service
+// persists — kept here as a convenience alias for oracle callers.
 func ScheduleString(res *chess.Result) string {
-	if res == nil {
-		return "<nil>"
-	}
-	var sb strings.Builder
-	for _, ap := range res.Schedule {
-		fmt.Fprintf(&sb, "[T%d %v seq=%d lock=%s ->T%d]",
-			ap.Candidate.Thread, ap.Candidate.Kind, ap.Candidate.Seq, ap.Candidate.Lock, ap.SwitchTo)
-	}
-	return sb.String()
+	return res.ScheduleString()
 }

@@ -34,7 +34,7 @@ func TestSessionMatchesOracleFingerprint(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 4} {
-			s := heisendump.New(prog, p.Input,
+			s := heisendump.NewCompiled(prog, p.Input,
 				heisendump.WithWorkers(workers),
 				heisendump.WithPrune(workers == 4), // cross prune with workers for variety
 				heisendump.WithTrialBudget(3000),

@@ -6,8 +6,14 @@ import "fmt"
 // declaration-before-use of variables, resolution of function names,
 // lock names and goto labels, and duplicate-declaration detection.
 // Parse runs Check automatically; programs built directly from AST nodes
-// should call it before compilation.
+// should call it before compilation. Every rejection is a typed *Error
+// with Phase "check" (message text unchanged), so callers can classify
+// a bad subject program with errors.As.
 func Check(p *Program) error {
+	return sourceError("check", check(p))
+}
+
+func check(p *Program) error {
 	if p.Func("main") == nil {
 		return fmt.Errorf("lang: program %q has no main function", p.Name)
 	}

@@ -1,0 +1,60 @@
+package lang
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// Error is a typed source-program error: anything Parse or Check
+// rejects. It exists so service layers can tell a bad subject program
+// (the client's fault — an HTTP 400) from an internal failure (a 500)
+// with errors.As instead of string matching, and so the rejection
+// serializes cleanly to JSON. The rendered message is unchanged from
+// the historical untyped errors.
+type Error struct {
+	// Phase is "parse" or "check".
+	Phase string `json:"phase"`
+	// Line is the 1-based source line, best-effort (0 when the error
+	// is not tied to a line, e.g. a missing main function).
+	Line int `json:"line,omitempty"`
+	// Msg is the full rendered message.
+	Msg string `json:"msg"`
+}
+
+// Error implements error, returning the message unchanged.
+func (e *Error) Error() string { return e.Msg }
+
+// sourceError wraps err as an *Error for phase, extracting the line
+// number from the conventional "line N:" message prefix (possibly
+// behind "lang:" and a function-name prefix). Already-typed errors
+// pass through.
+func sourceError(phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var typed *Error
+	if errors.As(err, &typed) {
+		return err
+	}
+	return &Error{Phase: phase, Line: lineOf(err.Error()), Msg: err.Error()}
+}
+
+// lineOf scans msg for the first "line N:" marker.
+func lineOf(msg string) int {
+	for rest := msg; ; {
+		i := strings.Index(rest, "line ")
+		if i < 0 {
+			return 0
+		}
+		rest = rest[i+len("line "):]
+		j := 0
+		for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+			j++
+		}
+		if j > 0 && j < len(rest) && rest[j] == ':' {
+			n, _ := strconv.Atoi(rest[:j])
+			return n
+		}
+	}
+}

@@ -35,14 +35,18 @@ import "fmt"
 // Calls appear only in statement position (bare or as the entire
 // right-hand side of an assignment); this keeps every interpreter step a
 // single atomic action, which is what the schedule-search layer assumes.
+// Parse rejections are typed: syntax errors (including lexer errors)
+// come back as *Error with Phase "parse", and the Check it runs
+// returns Phase "check" — so callers can classify a bad subject
+// program without string matching.
 func Parse(src string) (*Program, error) {
 	p := &parser{lex: newLexer(src)}
 	if err := p.advance(); err != nil {
-		return nil, err
+		return nil, sourceError("parse", err)
 	}
 	prog, err := p.parseProgram()
 	if err != nil {
-		return nil, err
+		return nil, sourceError("parse", err)
 	}
 	if err := Check(prog); err != nil {
 		return nil, err

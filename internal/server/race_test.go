@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"heisendump"
+)
+
+// TestConcurrentJobsOneCachedProgram sustains 64 concurrent jobs —
+// all over one source, so every Session shares the single cached
+// compiled program — through the full HTTP path. Under `go test
+// -race` this pins the tentpole's sharing claim end to end: the
+// immutable *ir.Program crosses 64 job goroutines, the scheduler, and
+// the SSE hubs with no data race, and every job reports the identical
+// deterministic outcome.
+func TestConcurrentJobsOneCachedProgram(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 8, QueueDepth: 128})
+
+	const jobs = 64
+	base := fig1Request(t, "")
+	prog, err := heisendump.Compile(base.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	reports := make([][]byte, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := base
+			req.JobKey = "" // no dedupe: 64 genuine jobs
+			b, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var st JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				errs[i] = err
+				return
+			}
+			if st.State != StateDone || st.Report == nil {
+				t.Errorf("job %d: %+v err=%+v", i, st, st.Error)
+				return
+			}
+			reports[i], _ = json.Marshal(st.Report)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	for i := 1; i < jobs; i++ {
+		if !bytes.Equal(reports[i], reports[0]) {
+			t.Fatalf("job %d diverged\n got: %s\nwant: %s", i, reports[i], reports[0])
+		}
+	}
+
+	// Every admission after the first shared the cached program: the
+	// source compiled at most once during this whole test.
+	after, err := heisendump.Compile(base.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != prog {
+		t.Fatal("compiled program was recompiled or replaced during the run")
+	}
+}

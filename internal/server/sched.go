@@ -1,0 +1,194 @@
+package server
+
+import (
+	"sync"
+)
+
+// scheduler is the multi-tenant admission and dispatch layer: one
+// bounded FIFO per tenant, served by weighted deficit round-robin.
+// A tenant with weight w is handed up to w jobs per round before the
+// ring advances, so over any window the served-job ratio between two
+// backlogged tenants converges to their weight ratio — one tenant
+// bulk-submitting cannot starve another — while an under-loaded
+// tenant's unused credit never accumulates.
+//
+// Admission is queue-depth based: enqueue refuses (queue_full) once
+// the tenant's backlog reaches the configured depth, pushing the
+// waiting room to the client instead of growing without bound.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	depth   int            // per-tenant queue cap
+	weights map[string]int // configured weights; default 1
+	tenants map[string]*tenantQ
+	ring    []*tenantQ // tenants with pending jobs, service order
+	idx     int        // ring position of the tenant currently served
+	closed  bool
+	queued  int    // total pending jobs
+	served  uint64 // total jobs dispatched (stats)
+	shed    uint64 // total jobs refused queue_full (stats)
+}
+
+type tenantQ struct {
+	name   string
+	weight int
+	credit int // remaining jobs this round
+	jobs   []*job
+}
+
+func newScheduler(depth int, weights map[string]int) *scheduler {
+	if depth <= 0 {
+		depth = 64
+	}
+	s := &scheduler{
+		depth:   depth,
+		weights: weights,
+		tenants: make(map[string]*tenantQ),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *scheduler) weightFor(tenant string) int {
+	if w, ok := s.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// enqueue admits a job or returns a typed refusal (queue_full when the
+// tenant's backlog is at depth, shutting_down when draining).
+func (s *scheduler) enqueue(j *job) *ErrorPayload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return &ErrorPayload{Code: CodeShuttingDown, Message: "server is draining; not accepting jobs"}
+	}
+	q := s.tenants[j.tenant]
+	if q == nil {
+		q = &tenantQ{name: j.tenant, weight: s.weightFor(j.tenant)}
+		s.tenants[j.tenant] = q
+	}
+	if len(q.jobs) >= s.depth {
+		s.shed++
+		return &ErrorPayload{
+			Code:    CodeQueueFull,
+			Message: "tenant queue is full; retry after the backlog drains",
+			Tenant:  j.tenant,
+			Depth:   len(q.jobs),
+			Limit:   s.depth,
+			// A worker grinds a few jobs per second on corpus-sized
+			// programs; one second is a sane client backoff hint.
+			RetryAfterMS: 1000,
+		}
+	}
+	if len(q.jobs) == 0 {
+		// Joining the ring recharges the round's credit.
+		q.credit = q.weight
+		s.ring = append(s.ring, q)
+	}
+	q.jobs = append(q.jobs, j)
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// next blocks until a job is available and returns it, or nil once the
+// scheduler is closed and drained. Safe for any number of workers.
+func (s *scheduler) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.queued > 0 {
+			return s.dequeueLocked()
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// dequeueLocked serves the ring's current tenant until its credit or
+// queue is exhausted, then advances — deficit round-robin with
+// quantum = weight (in jobs).
+func (s *scheduler) dequeueLocked() *job {
+	for {
+		q := s.ring[s.idx]
+		if q.credit > 0 && len(q.jobs) > 0 {
+			j := q.jobs[0]
+			q.jobs = q.jobs[1:]
+			q.credit--
+			s.queued--
+			s.served++
+			if len(q.jobs) == 0 {
+				s.removeLocked(s.idx)
+			} else if q.credit == 0 {
+				s.advanceLocked()
+			}
+			return j
+		}
+		if len(q.jobs) == 0 {
+			s.removeLocked(s.idx)
+			continue
+		}
+		// Credit exhausted, jobs remain: the round moves on; this
+		// tenant recharges when the pointer comes back around.
+		s.advanceLocked()
+	}
+}
+
+func (s *scheduler) advanceLocked() {
+	s.idx = (s.idx + 1) % len(s.ring)
+	if s.ring[s.idx].credit == 0 {
+		s.ring[s.idx].credit = s.ring[s.idx].weight
+	}
+}
+
+// removeLocked drops the emptied tenant at ring position i and fixes
+// the service pointer.
+func (s *scheduler) removeLocked(i int) {
+	s.ring = append(s.ring[:i], s.ring[i+1:]...)
+	if len(s.ring) == 0 {
+		s.idx = 0
+		return
+	}
+	if s.idx >= len(s.ring) {
+		s.idx = 0
+	}
+	if s.ring[s.idx].credit == 0 {
+		s.ring[s.idx].credit = s.ring[s.idx].weight
+	}
+}
+
+// close stops admission; workers drain the backlog then see nil.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// SchedStats is the /v1/stats scheduler section.
+type SchedStats struct {
+	Queued  int            `json:"queued"`
+	Served  uint64         `json:"served"`
+	Shed    uint64         `json:"shed"`
+	Depth   int            `json:"depth"`
+	Tenants map[string]int `json:"tenants,omitempty"` // tenant -> backlog
+}
+
+func (s *scheduler) stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedStats{Queued: s.queued, Served: s.served, Shed: s.shed, Depth: s.depth}
+	for name, q := range s.tenants {
+		if len(q.jobs) > 0 {
+			if st.Tenants == nil {
+				st.Tenants = make(map[string]int)
+			}
+			st.Tenants[name] = len(q.jobs)
+		}
+	}
+	return st
+}

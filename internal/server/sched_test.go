@@ -1,0 +1,134 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkJob(tenant string) *job {
+	return &job{tenant: tenant, done: make(chan struct{})}
+}
+
+// drainOrder enqueues per-tenant job counts and returns the tenant
+// service order as a space-joined string.
+func drainOrder(t *testing.T, s *scheduler, counts map[string]int, order []string) string {
+	t.Helper()
+	total := 0
+	for _, tenant := range order {
+		for i := 0; i < counts[tenant]; i++ {
+			if ep := s.enqueue(mkJob(tenant)); ep != nil {
+				t.Fatalf("enqueue %s: %v", tenant, ep)
+			}
+		}
+		total += counts[tenant]
+	}
+	var got []string
+	for i := 0; i < total; i++ {
+		j := s.next()
+		if j == nil {
+			t.Fatalf("next returned nil with %d jobs left", total-i)
+		}
+		got = append(got, j.tenant)
+	}
+	return strings.Join(got, " ")
+}
+
+// TestDRRWeightedFairness pins the deficit-round-robin service order:
+// weight 2 vs 1 serves two a-jobs per b-job while both are
+// backlogged, then drains the remainder.
+func TestDRRWeightedFairness(t *testing.T) {
+	s := newScheduler(16, map[string]int{"a": 2, "b": 1})
+	got := drainOrder(t, s, map[string]int{"a": 6, "b": 6}, []string{"a", "b"})
+	want := "a a b a a b a a b b b b"
+	if got != want {
+		t.Fatalf("service order\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestDRREqualWeightsInterleave pins strict alternation at equal
+// weights — no tenant is served twice while another is backlogged.
+func TestDRREqualWeightsInterleave(t *testing.T) {
+	s := newScheduler(16, nil)
+	got := drainOrder(t, s, map[string]int{"x": 3, "y": 3}, []string{"x", "y"})
+	want := "x y x y x y"
+	if got != want {
+		t.Fatalf("service order\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestDRRLateJoinerNotStarved: a tenant that joins mid-drain is
+// served on the next round, not after the incumbent's whole backlog.
+func TestDRRLateJoinerNotStarved(t *testing.T) {
+	s := newScheduler(16, nil)
+	for i := 0; i < 5; i++ {
+		if ep := s.enqueue(mkJob("old")); ep != nil {
+			t.Fatal(ep)
+		}
+	}
+	if s.next().tenant != "old" {
+		t.Fatal("first serve should be old")
+	}
+	if ep := s.enqueue(mkJob("new")); ep != nil {
+		t.Fatal(ep)
+	}
+	var got []string
+	for i := 0; i < 5; i++ {
+		got = append(got, s.next().tenant)
+	}
+	order := strings.Join(got, " ")
+	if want := "new old old old old"; order != want && order != "old new old old old" {
+		t.Fatalf("late joiner starved: %s", order)
+	}
+}
+
+// TestQueueDepthSheds pins admission control: the depth-th+1 enqueue
+// for one tenant is refused with a typed queue_full payload carrying
+// the tenant, depth and limit, while other tenants stay admissible.
+func TestQueueDepthSheds(t *testing.T) {
+	s := newScheduler(2, nil)
+	for i := 0; i < 2; i++ {
+		if ep := s.enqueue(mkJob("greedy")); ep != nil {
+			t.Fatalf("enqueue %d refused: %v", i, ep)
+		}
+	}
+	ep := s.enqueue(mkJob("greedy"))
+	if ep == nil {
+		t.Fatal("third enqueue admitted past depth 2")
+	}
+	if ep.Code != CodeQueueFull || ep.Tenant != "greedy" || ep.Limit != 2 || ep.Depth != 2 {
+		t.Fatalf("queue_full payload: %+v", ep)
+	}
+	if ep.HTTPStatus() != 429 {
+		t.Fatalf("queue_full status = %d, want 429", ep.HTTPStatus())
+	}
+	// Admission is per-tenant: a different tenant still gets in.
+	if ep := s.enqueue(mkJob("polite")); ep != nil {
+		t.Fatalf("other tenant refused: %v", ep)
+	}
+	if st := s.stats(); st.Shed != 1 || st.Queued != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestCloseDrainsThenNil: close stops admission immediately but lets
+// workers drain the backlog before next returns nil.
+func TestCloseDrainsThenNil(t *testing.T) {
+	s := newScheduler(8, nil)
+	for i := 0; i < 3; i++ {
+		if ep := s.enqueue(mkJob("t")); ep != nil {
+			t.Fatal(ep)
+		}
+	}
+	s.close()
+	if ep := s.enqueue(mkJob("t")); ep == nil || ep.Code != CodeShuttingDown {
+		t.Fatalf("enqueue after close: %v", ep)
+	}
+	for i := 0; i < 3; i++ {
+		if s.next() == nil {
+			t.Fatalf("backlog job %d lost on close", i)
+		}
+	}
+	if s.next() != nil {
+		t.Fatal("next after drain should be nil")
+	}
+}

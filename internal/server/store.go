@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// store is the in-process results store: jobs by id, plus the
+// (tenant, job_key) idempotency index. Completed jobs are retained
+// for the configured TTL and then evicted — lazily on access, and by
+// a sweep the server's janitor runs. The clock is injected so TTL
+// tests don't sleep.
+type store struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	now    func() time.Time
+	jobs   map[string]*job
+	keys   map[string]string // tenant+"\x00"+job_key -> job id
+	nextID uint64
+	// evicted counts TTL evictions (stats).
+	evicted uint64
+}
+
+func newStore(ttl time.Duration, now func() time.Time) *store {
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	return &store{
+		ttl:  ttl,
+		now:  now,
+		jobs: make(map[string]*job),
+		keys: make(map[string]string),
+	}
+}
+
+func keyIndex(tenant, key string) string { return tenant + "\x00" + key }
+
+// admit registers a new job, or returns the existing one when the
+// tenant's idempotency key is already bound (dup=true). The caller
+// constructs j fully except id/submitted/done, which admit assigns.
+func (s *store) admit(j *job) (existing *job, dup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	if j.key != "" {
+		if id, ok := s.keys[keyIndex(j.tenant, j.key)]; ok {
+			if prev, ok := s.jobs[id]; ok {
+				return prev, true
+			}
+		}
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	j.submitted = s.now()
+	j.state = StateQueued
+	j.done = make(chan struct{})
+	s.jobs[j.id] = j
+	if j.key != "" {
+		s.keys[keyIndex(j.tenant, j.key)] = j.id
+	}
+	return j, false
+}
+
+// get looks a job up, applying lazy TTL eviction.
+func (s *store) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	return s.jobs[id]
+}
+
+// finish stamps the terminal state and schedules eviction TTL from
+// now.
+func (s *store) finish(j *job, rep *JobReport, errp *ErrorPayload) {
+	now := s.now()
+	j.finish(now, rep, errp)
+	s.mu.Lock()
+	j.expires = now.Add(s.ttl)
+	s.mu.Unlock()
+}
+
+// sweep evicts expired jobs (the janitor entry point).
+func (s *store) sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+}
+
+func (s *store) sweepLocked() {
+	now := s.now()
+	for id, j := range s.jobs {
+		if j.terminal() && !j.expires.IsZero() && now.After(j.expires) {
+			delete(s.jobs, id)
+			if j.key != "" {
+				delete(s.keys, keyIndex(j.tenant, j.key))
+			}
+			s.evicted++
+		}
+	}
+}
+
+// StoreStats is the /v1/stats results-store section.
+type StoreStats struct {
+	Jobs     int    `json:"jobs"`
+	Evicted  uint64 `json:"evicted"`
+	TTLMS    int64  `json:"ttl_ms"`
+	Terminal int    `json:"terminal"`
+}
+
+func (s *store) stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{Jobs: len(s.jobs), Evicted: s.evicted, TTLMS: s.ttl.Milliseconds()}
+	for _, j := range s.jobs {
+		if j.terminal() {
+			st.Terminal++
+		}
+	}
+	return st
+}

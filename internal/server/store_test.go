@@ -1,0 +1,92 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded settable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStoreIdempotencyKey(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(time.Minute, clk.now)
+
+	j1, dup := s.admit(&job{tenant: "a", key: "k1"})
+	if dup {
+		t.Fatal("first admit reported dup")
+	}
+	j2, dup := s.admit(&job{tenant: "a", key: "k1"})
+	if !dup || j2 != j1 {
+		t.Fatalf("same (tenant,key) did not dedupe: dup=%v", dup)
+	}
+	// Same key under a different tenant is a different job.
+	j3, dup := s.admit(&job{tenant: "b", key: "k1"})
+	if dup || j3 == j1 {
+		t.Fatal("idempotency keys leaked across tenants")
+	}
+	// No key, no dedupe.
+	j4, _ := s.admit(&job{tenant: "a"})
+	j5, _ := s.admit(&job{tenant: "a"})
+	if j4 == j5 {
+		t.Fatal("keyless jobs deduped")
+	}
+}
+
+// TestStoreTTLEviction pins the results-store lifecycle: a finished
+// job stays fetchable for the TTL, then evicts (lazily on access),
+// freeing its idempotency key for re-admission. Running jobs never
+// evict.
+func TestStoreTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(time.Minute, clk.now)
+
+	j, _ := s.admit(&job{tenant: "a", key: "k"})
+	id := j.id
+	s.finish(j, &JobReport{Outcome: OutcomeFound}, nil)
+
+	clk.advance(59 * time.Second)
+	if s.get(id) == nil {
+		t.Fatal("evicted before TTL")
+	}
+	clk.advance(2 * time.Second)
+	if s.get(id) != nil {
+		t.Fatal("still fetchable after TTL")
+	}
+	if s.stats().Evicted != 1 {
+		t.Fatalf("evicted counter: %+v", s.stats())
+	}
+	// The key is free again: re-admitting is a fresh job, not a dup.
+	j2, dup := s.admit(&job{tenant: "a", key: "k"})
+	if dup || j2.id == id {
+		t.Fatalf("key not released on eviction: dup=%v id=%s", dup, j2.id)
+	}
+
+	// A job that never finishes is never evicted.
+	j3, _ := s.admit(&job{tenant: "a", key: "live"})
+	clk.advance(time.Hour)
+	s.sweep()
+	if s.get(j3.id) == nil {
+		t.Fatal("running job evicted")
+	}
+}

@@ -17,7 +17,7 @@ import (
 
 	"heisendump/internal/interp"
 	"heisendump/internal/ir"
-	"heisendump/internal/lang"
+	"heisendump/internal/progcache"
 )
 
 // Workload is one subject program plus its failure-inducing input.
@@ -40,13 +40,12 @@ type Workload struct {
 }
 
 // Compile compiles the workload, with or without the while-loop
-// counter instrumentation. Errors from either phase name the workload.
+// counter instrumentation, through the process-wide shared program
+// cache: repeated compilations of the same workload (experiment
+// tables, concurrent reproduction jobs) share one immutable
+// ir.Program. Errors from either phase name the workload.
 func (w *Workload) Compile(instrument bool) (*ir.Program, error) {
-	prog, err := lang.Parse(w.Source)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
-	}
-	cp, err := ir.Compile(prog, ir.Options{InstrumentLoops: instrument})
+	cp, err := progcache.Shared().Get(w.Source, instrument)
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
 	}

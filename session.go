@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"heisendump/internal/core"
+	"heisendump/internal/interp"
 )
 
 // Session is a configured reproduction run with the lifecycle controls
@@ -15,9 +16,11 @@ import (
 // stage-structured analysis whose completed artifacts survive a
 // cancelled run and are reused by the next call).
 //
-// Build one with New and functional options:
+// Build one with New (which compiles through the shared program
+// cache) or NewCompiled (over an already-compiled shared program),
+// plus functional options:
 //
-//	s := heisendump.New(prog, input,
+//	s := heisendump.NewCompiled(prog, input,
 //	    heisendump.WithWorkers(4),
 //	    heisendump.WithPrune(true),
 //	    heisendump.WithTrialBudget(2000),
@@ -93,11 +96,35 @@ func WithStressBudget(n int) Option { return func(c *Config) { c.MaxStressAttemp
 // are bit-identical across engines; only wall time differs.
 func WithEngine(e Engine) Option { return func(c *Config) { c.Engine = e } }
 
-// New builds a Session for a compiled program and its failure-inducing
-// input, running the static analyses once. Options default to the
-// zero Config (temporal heuristic, execution-index alignment, bound 2,
-// GOMAXPROCS search workers, pruning off, no trial budget).
-func New(prog *Program, input *Input, opts ...Option) *Session {
+// New compiles a subject program through the process-wide shared
+// program cache and builds a Session over it: the same source
+// compiles once per process, and every Session built from it shares
+// the immutable compiled program (each run still gets its own machine
+// pool). A program Parse/Check rejects returns a typed *SourceError;
+// an input disagreeing with the program's declarations a typed
+// *InputError — both are the caller's fault, distinguishable with
+// errors.As from internal failures.
+//
+// Callers that already hold a compiled *Program (a Workload, a
+// Compile result shared across jobs) use NewCompiled.
+func New(source string, input *Input, opts ...Option) (*Session, error) {
+	prog, err := Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	if err := interp.ValidateInput(prog, input); err != nil {
+		return nil, err
+	}
+	return NewCompiled(prog, input, opts...), nil
+}
+
+// NewCompiled builds a Session for a compiled program and its
+// failure-inducing input, running the static analyses once. Options
+// default to the zero Config (temporal heuristic, execution-index
+// alignment, bound 2, GOMAXPROCS search workers, pruning off, no trial
+// budget). The compiled program is never mutated, so any number of
+// concurrent Sessions may share one *Program.
+func NewCompiled(prog *Program, input *Input, opts ...Option) *Session {
 	var cfg Config
 	for _, o := range opts {
 		o(&cfg)

@@ -41,7 +41,7 @@ func cancelAtTries(t *testing.T, name string, workers, budget int) (*heisendump.
 			}
 		},
 	}
-	s := heisendump.New(prog, w.Input,
+	s := heisendump.NewCompiled(prog, w.Input,
 		heisendump.WithWorkers(workers),
 		heisendump.WithObserver(obs),
 	)
@@ -107,7 +107,7 @@ func inc() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := heisendump.New(prog, nil, heisendump.WithStressBudget(50))
+	s := heisendump.NewCompiled(prog, nil, heisendump.WithStressBudget(50))
 	rep, err := s.Reproduce(context.Background())
 	if !errors.Is(err, heisendump.ErrNoFailure) {
 		t.Fatalf("want ErrNoFailure, got %v", err)
@@ -125,7 +125,7 @@ func inc() {
 // matching ErrScheduleNotFound.
 func TestSessionErrScheduleNotFound(t *testing.T) {
 	w, prog := compileWorkload(t, "apache-2")
-	s := heisendump.New(prog, w.Input,
+	s := heisendump.NewCompiled(prog, w.Input,
 		heisendump.WithPlainChess(true), // undirected CHESS does not find apache-2 within thousands of tries
 		heisendump.WithTrialBudget(40),
 		heisendump.WithWorkers(2),
@@ -158,7 +158,7 @@ func TestSessionErrCancelled(t *testing.T) {
 	t.Run("pre-cancelled", func(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		rep, err := heisendump.New(prog, w.Input).Reproduce(ctx)
+		rep, err := heisendump.NewCompiled(prog, w.Input).Reproduce(ctx)
 		if !errors.Is(err, heisendump.ErrCancelled) || !errors.Is(err, context.Canceled) {
 			t.Fatalf("want ErrCancelled wrapping context.Canceled, got %v", err)
 		}
@@ -173,7 +173,7 @@ func TestSessionErrCancelled(t *testing.T) {
 	t.Run("deadline", func(t *testing.T) {
 		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 		defer cancel()
-		_, err := heisendump.New(prog, w.Input).Reproduce(ctx)
+		_, err := heisendump.NewCompiled(prog, w.Input).Reproduce(ctx)
 		if !errors.Is(err, heisendump.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
 			t.Fatalf("want ErrCancelled wrapping DeadlineExceeded, got %v", err)
 		}
@@ -189,7 +189,7 @@ func TestSessionErrCancelled(t *testing.T) {
 				}
 			},
 		}
-		rep, err := heisendump.New(prog, w.Input, heisendump.WithObserver(obs)).Reproduce(ctx)
+		rep, err := heisendump.NewCompiled(prog, w.Input, heisendump.WithObserver(obs)).Reproduce(ctx)
 		if !errors.Is(err, heisendump.ErrCancelled) {
 			t.Fatalf("want ErrCancelled, got %v", err)
 		}
@@ -218,7 +218,7 @@ func TestSessionObserverOrdering(t *testing.T) {
 		StageFunc:  func(s heisendump.Stage) { stages = append(stages, s) },
 		SearchFunc: func(p heisendump.SearchProgress) { beats = append(beats, p) },
 	}
-	s := heisendump.New(prog, w.Input,
+	s := heisendump.NewCompiled(prog, w.Input,
 		heisendump.WithWorkers(2),
 		heisendump.WithObserver(obs),
 	)
@@ -284,7 +284,7 @@ func TestSessionMatchesDeprecatedRun(t *testing.T) {
 		}
 		for _, workers := range []int{1, 4} {
 			for _, prune := range []bool{false, true} {
-				s := heisendump.New(prog, w.Input,
+				s := heisendump.NewCompiled(prog, w.Input,
 					heisendump.WithTrialBudget(4000),
 					heisendump.WithWorkers(workers),
 					heisendump.WithPrune(prune),

@@ -1,0 +1,192 @@
+package heisendump_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"heisendump"
+)
+
+// TestCompileSharesOneProgram pins the public cache contract: Compile
+// returns the same immutable *Program for the same source, and the
+// instrument-controlled variant keys separately.
+func TestCompileSharesOneProgram(t *testing.T) {
+	w := heisendump.WorkloadByName("fig1")
+	p1, err := heisendump.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := heisendump.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("Compile returned distinct programs for one source")
+	}
+	plain, err := heisendump.CompileSource(w.Source, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == p1 {
+		t.Fatal("instrumented and plain compilations share a cache entry")
+	}
+	if st := heisendump.CompileCacheStats(); st.Entries == 0 {
+		t.Fatalf("shared cache reports no entries: %+v", st)
+	}
+}
+
+// TestCompileRejectsBadSourceTyped: the cached compile path surfaces
+// parser/checker rejections as typed *SourceError values — the
+// contract service layers build their 400s on.
+func TestCompileRejectsBadSourceTyped(t *testing.T) {
+	_, err := heisendump.Compile("program nope; func main( {}")
+	var srcErr *heisendump.SourceError
+	if err == nil || !errors.As(err, &srcErr) {
+		t.Fatalf("want *SourceError, got %v", err)
+	}
+	if srcErr.Phase != "parse" {
+		t.Fatalf("phase %q, want parse", srcErr.Phase)
+	}
+
+	_, err = heisendump.Compile("program nope;\nfunc main() {\n    ghost = 1;\n}\n")
+	if err == nil || !errors.As(err, &srcErr) {
+		t.Fatalf("want *SourceError, got %v", err)
+	}
+	if srcErr.Phase != "check" {
+		t.Fatalf("phase %q, want check", srcErr.Phase)
+	}
+}
+
+// TestConcurrentSessionsShareImmutableProgram is the tentpole's
+// safety pin, meant for `go test -race`: 64 Sessions run concurrently
+// over ONE cached compiled program, and the program is bit-identical
+// afterwards to an independent fresh compilation of the same source —
+// ir.Program is never mutated post-Compile, so sharing it across any
+// number of Sessions is sound.
+func TestConcurrentSessionsShareImmutableProgram(t *testing.T) {
+	w := heisendump.WorkloadByName("fig1")
+	shared, err := heisendump.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An uncached reference compilation of the same source.
+	// Compilation is deterministic, so it starts deep-equal to the
+	// shared program; after the concurrent runs it must still be.
+	ast, err := heisendump.Parse(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := heisendump.CompileAST(ast, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shared, reference) {
+		t.Fatal("fresh compilation differs from cached program before any run")
+	}
+
+	const sessions = 64
+	var wg sync.WaitGroup
+	reports := make([]*heisendump.Report, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := heisendump.NewCompiled(shared, w.Input,
+				heisendump.WithWorkers(2),
+				heisendump.WithTrialBudget(500),
+			)
+			reports[i], errs[i] = s.Reproduce(context.Background())
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if !reports[i].Search.Found ||
+			reports[i].Search.Tries != reports[0].Search.Tries ||
+			gensched(reports[i]) != gensched(reports[0]) {
+			t.Fatalf("session %d diverged: found=%v tries=%d",
+				i, reports[i].Search.Found, reports[i].Search.Tries)
+		}
+	}
+
+	if !reflect.DeepEqual(shared, reference) {
+		t.Fatal("shared ir.Program was mutated by concurrent Sessions")
+	}
+}
+
+func gensched(r *heisendump.Report) string { return r.Search.ScheduleString() }
+
+// TestObserverOrderingUnderConcurrentLoad re-checks the Observer
+// contract while many Sessions run at once: each stream independently
+// delivers the five stages in order, monotone heartbeats, and exactly
+// one Done snapshot — no cross-session interleaving corrupts a
+// stream.
+func TestObserverOrderingUnderConcurrentLoad(t *testing.T) {
+	w := heisendump.WorkloadByName("fig1")
+	prog, err := heisendump.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 8
+	type stream struct {
+		stages []heisendump.Stage
+		beats  []heisendump.SearchProgress
+	}
+	streams := make([]stream, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &streams[i]
+			s := heisendump.NewCompiled(prog, w.Input,
+				heisendump.WithWorkers(2),
+				heisendump.WithObserver(heisendump.ObserverFuncs{
+					StageFunc:  func(sg heisendump.Stage) { st.stages = append(st.stages, sg) },
+					SearchFunc: func(p heisendump.SearchProgress) { st.beats = append(st.beats, p) },
+				}),
+			)
+			_, errs[i] = s.Reproduce(context.Background())
+		}(i)
+	}
+	wg.Wait()
+
+	wantStages := []heisendump.Stage{
+		heisendump.StageAlign, heisendump.StageAlignedDump, heisendump.StageDiff,
+		heisendump.StagePrioritize, heisendump.StageCandidates,
+	}
+	for i := range streams {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		st := &streams[i]
+		if !reflect.DeepEqual(st.stages, wantStages) {
+			t.Fatalf("session %d stages %v", i, st.stages)
+		}
+		if len(st.beats) == 0 {
+			t.Fatalf("session %d: no heartbeats", i)
+		}
+		for k, p := range st.beats {
+			if last := k == len(st.beats)-1; p.Done != last {
+				t.Fatalf("session %d heartbeat %d/%d: Done=%v", i, k, len(st.beats), p.Done)
+			}
+			if k == 0 {
+				continue
+			}
+			prev := st.beats[k-1]
+			if p.Committed < prev.Committed || p.Tries < prev.Tries ||
+				p.Executed < prev.Executed || p.Steps < prev.Steps {
+				t.Fatalf("session %d heartbeat %d not monotone: %+v after %+v", i, k, p, prev)
+			}
+		}
+	}
+}
