@@ -22,6 +22,15 @@
 //	                          # and search wall time for the bytecode
 //	                          # and tree engines (gated as budgets by
 //	                          # cmd/benchgate)
+//	benchtab -static          # add the static-guidance comparison
+//	                          # section: race/deadlock candidate counts
+//	                          # and search tries with vs without the
+//	                          # lockset analyzer's focus set (gated by
+//	                          # cmd/benchgate)
+//	benchtab -table -1 -static # a negative -table selects no numbered
+//	                          # table, emitting only the opted-in
+//	                          # sections (-interp / -static) — what the
+//	                          # CI static-guidance gate runs
 //	benchtab -timeout 2m      # give up after a wall-clock deadline
 //	benchtab -progress        # stream search heartbeats to stderr
 //	benchtab -interp -cpuprofile cpu.pprof
@@ -64,6 +73,7 @@ func main() {
 	generated := flag.Bool("generated", false, "add the curated generator-derived workloads (internal/gen) as extra rows in tables 2-6")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows, one object per table/figure")
 	interpCost := flag.Bool("interp", false, "also measure per-engine interpreter cost: allocs/step, ns/step, steps/s and search wall time (the \"interp\" section cmd/benchgate gates)")
+	static := flag.Bool("static", false, "also compare the schedule search with and without static race-analysis guidance (the \"static\" section cmd/benchgate gates)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none)")
 	progress := flag.Bool("progress", false, "stream per-workload schedule-search heartbeats to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected sections to this file")
@@ -187,6 +197,13 @@ func main() {
 			fail(err)
 		}
 		emit("interp", rows, func() { experiments.PrintInterp(out, rows) })
+	}
+	if all || *static {
+		rows, err := experiments.StaticTable(ctx, 0)
+		if err != nil {
+			fail(err)
+		}
+		emit("static", rows, func() { experiments.PrintStaticTable(out, rows) })
 	}
 }
 

@@ -7,13 +7,23 @@
 //	dumptool -info fail.core                     # header, threads, frames
 //	dumptool -paths fail.core                    # reference-path traversal
 //	dumptool -diff fail.core pass.core           # value differences / CSVs
+//	dumptool -analyze -w apache-1                # static race/deadlock report
+//	dumptool -analyze prog.src -json             # analyze a source file as JSON
 //
 // -capture honors Ctrl-C and -timeout: the stress phase stops
 // cooperatively and dumptool exits without writing a file.
+//
+// -analyze runs the static lockset analyzer (see docs/ANALYSIS.md)
+// over a workload (-w) or a source file given as the argument, with no
+// execution at all, and prints the race/deadlock candidate report
+// (-json for the machine-readable form the server's /v1/analyze
+// returns). It exits 1 when the report contains any candidate, so
+// scripts can gate on a clean program.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,9 +47,47 @@ func main() {
 	info := flag.String("info", "", "print a dump's header and stacks")
 	paths := flag.String("paths", "", "print a dump's reference-path traversal")
 	diff := flag.Bool("diff", false, "compare two dumps given as arguments")
+	analyze := flag.Bool("analyze", false, "static race/deadlock analysis of -w or a source-file argument")
+	asJSON := flag.Bool("json", false, "emit the -analyze report as JSON")
 	flag.Parse()
 
 	switch {
+	case *analyze:
+		var prog *heisendump.Program
+		var err error
+		switch {
+		case *wname != "":
+			w := heisendump.WorkloadByName(*wname)
+			if w == nil {
+				log.Fatalf("unknown workload %q", *wname)
+			}
+			prog, err = w.Compile(false)
+		case flag.NArg() == 1:
+			src, rerr := os.ReadFile(flag.Arg(0))
+			if rerr != nil {
+				log.Fatal(rerr)
+			}
+			prog, err = heisendump.Compile(string(src))
+		default:
+			log.Fatal("-analyze needs -w or exactly one source-file argument")
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := heisendump.Analyze(prog)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Print(rep.String())
+		}
+		if len(rep.Races) > 0 || len(rep.Deadlocks) > 0 {
+			os.Exit(1)
+		}
+
 	case *capture:
 		w := heisendump.WorkloadByName(*wname)
 		if w == nil {

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Rule    string
+	Message string
+	Pos     token.Position
+}
+
+// bannedRandFuncs are the math/rand package-level functions that draw
+// from the process-global source. Constructors of explicitly seeded
+// generators (New, NewSource, NewZipf) are deliberately absent — they
+// are the sanctioned idiom.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+}
+
+// wallclockFuncs are the time-package reads of the wall clock.
+// Constructors of explicit values (time.Duration arithmetic,
+// time.Unix, tickers under a caller-supplied clock) pass.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// outputFuncs name the call targets that render text: flagged when
+// they appear inside a range over a map (maporder rule).
+var outputFuncs = map[string]bool{
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"WriteString": true, "WriteByte": true, "WriteRune": true, "Write": true,
+}
+
+// CheckDir parses and checks every non-test .go file of one package
+// directory.
+func CheckDir(dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files")
+	}
+	return Check(fset, dir, files), nil
+}
+
+// Check runs every rule over one parsed package. Type information is
+// best-effort: the package is checked with a stub importer that
+// resolves every import to an empty package, so selector resolution
+// inside imported types fails silently, but package identities
+// (which ident is the "time" package?) and locally-declared types
+// (is this range expression a map?) — all the rules need — survive.
+func Check(fset *token.FileSet, path string, files []*ast.File) []Finding {
+	info := &types.Info{
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{
+		Importer: stubImporter{cache: map[string]*types.Package{}},
+		Error:    func(error) {}, // stub imports guarantee errors; rules tolerate holes
+	}
+	_, _ = conf.Check(path, fset, files, info)
+
+	var out []Finding
+	for _, f := range files {
+		allow := allowLines(fset, f)
+		report := func(pos token.Pos, rule, msg string) {
+			p := fset.Position(pos)
+			if just, ok := allow.covering(p.Line, rule); ok && just {
+				return
+			} else if ok && !just {
+				out = append(out, Finding{Rule: rule, Pos: p,
+					Message: "suppression without a justification — say why the invariant does not apply"})
+				return
+			}
+			out = append(out, Finding{Rule: rule, Message: msg, Pos: p})
+		}
+		var mapRangeDepth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if pkg, ok := pkgOf(info, n.X); ok {
+					switch {
+					case pkg == "time" && wallclockFuncs[n.Sel.Name]:
+						report(n.Pos(), "wallclock",
+							fmt.Sprintf("time.%s in a deterministic package — results must not depend on the wall clock", n.Sel.Name))
+					case pkg == "math/rand" && bannedRandFuncs[n.Sel.Name]:
+						report(n.Pos(), "globalrand",
+							fmt.Sprintf("rand.%s draws from the process-global source — use rand.New(rand.NewSource(seed))", n.Sel.Name))
+					}
+				}
+			case *ast.CallExpr:
+				if mapRangeDepth > 0 {
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok && outputFuncs[sel.Sel.Name] {
+						report(n.Pos(), "maporder",
+							fmt.Sprintf("%s inside a range over a map — iteration order is random; collect keys, sort, then render", sel.Sel.Name))
+					}
+				}
+			case *ast.RangeStmt:
+				if isMap(info, n.X) {
+					ast.Inspect(n.X, walk) // the range expression itself is outside the loop body
+					mapRangeDepth++
+					ast.Inspect(n.Body, walk)
+					mapRangeDepth--
+					return false
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return out
+}
+
+func pkgOf(info *types.Info, x ast.Expr) (string, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path(), true
+	}
+	return "", false
+}
+
+func isMap(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isM := tv.Type.Underlying().(*types.Map)
+	return isM
+}
+
+// allowSet maps source lines to their lintgate:allow directives.
+type allowSet map[int][]allowDirective
+
+type allowDirective struct {
+	rule      string
+	justified bool
+}
+
+// covering reports whether line (or the standalone comment line above
+// it) carries an allow directive for rule, and whether that directive
+// has a justification.
+func (a allowSet) covering(line int, rule string) (justified, ok bool) {
+	for _, l := range []int{line, line - 1} {
+		for _, d := range a[l] {
+			if d.rule == rule {
+				return d.justified, true
+			}
+		}
+	}
+	return false, false
+}
+
+// allowLines extracts //lintgate:allow directives: the rule name, and
+// whether a justification (any further text) follows it.
+func allowLines(fset *token.FileSet, f *ast.File) allowSet {
+	out := allowSet{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			idx := strings.Index(text, "lintgate:allow")
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(text[idx+len("lintgate:allow"):])
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			// The justification is whatever follows the rule name, minus
+			// separator punctuation; a handful of real words, not a dash.
+			just := strings.TrimLeft(strings.TrimPrefix(rest, fields[0]), " \t-—–:,")
+			d := allowDirective{rule: fields[0], justified: len(just) >= 8}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], d)
+		}
+	}
+	return out
+}
+
+// stubImporter resolves every import to an empty, complete package
+// whose name is the path's last element — enough for go/types to bind
+// package identifiers (the rules' only cross-package need) without a
+// build system.
+type stubImporter struct {
+	cache map[string]*types.Package
+}
+
+func (s stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.cache[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	s.cache[path] = p
+	return p, nil
+}

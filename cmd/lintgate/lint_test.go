@@ -1,0 +1,178 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "subject.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Check(fset, "subject", []*ast.File{f})
+}
+
+func rules(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Rule
+	}
+	return out
+}
+
+func TestWallclock(t *testing.T) {
+	fs := check(t, `package p
+import "time"
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`)
+	if got := rules(fs); len(got) != 2 || got[0] != "wallclock" || got[1] != "wallclock" {
+		t.Fatalf("findings %v, want two wallclock", fs)
+	}
+	// Explicit durations and arithmetic are not wall-clock reads.
+	if fs := check(t, `package p
+import "time"
+var d = 5 * time.Second
+`); len(fs) != 0 {
+		t.Fatalf("duration arithmetic flagged: %v", fs)
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	fs := check(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(10) }
+func g() { rand.Seed(42); rand.Shuffle(3, func(i, j int) {}) }
+`)
+	if got := rules(fs); len(got) != 3 {
+		t.Fatalf("findings %v, want three globalrand", fs)
+	}
+	// The sanctioned idiom: an explicitly seeded local generator.
+	if fs := check(t, `package p
+import "math/rand"
+func f(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+`); len(fs) != 0 {
+		t.Fatalf("seeded generator flagged: %v", fs)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	fs := check(t, `package p
+import "fmt"
+func f(m map[string]int) string {
+	s := ""
+	for k, v := range m {
+		s += fmt.Sprintf("%s=%d\n", k, v)
+	}
+	return s
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "maporder" {
+		t.Fatalf("findings %v, want one maporder", fs)
+	}
+	// The fix idiom — collect, sort, render — does not trip the rule,
+	// and neither does non-output work inside a map range.
+	if fs := check(t, `package p
+import (
+	"fmt"
+	"sort"
+)
+func f(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%d\n", k, m[k])
+	}
+	return s
+}
+`); len(fs) != 0 {
+		t.Fatalf("sorted-render idiom flagged: %v", fs)
+	}
+}
+
+func TestSliceRangeOutputAllowed(t *testing.T) {
+	if fs := check(t, `package p
+import "fmt"
+func f(xs []int) string {
+	s := ""
+	for _, x := range xs {
+		s += fmt.Sprint(x)
+	}
+	return s
+}
+`); len(fs) != 0 {
+		t.Fatalf("slice-range output flagged: %v", fs)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	// A justified allow on the same line suppresses the finding.
+	if fs := check(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //lintgate:allow wallclock — diagnostic only, outside the contract
+}
+`); len(fs) != 0 {
+		t.Fatalf("justified same-line suppression failed: %v", fs)
+	}
+	// ... as does a standalone comment on the line above.
+	if fs := check(t, `package p
+import "time"
+func f() time.Time {
+	//lintgate:allow wallclock — diagnostic only, outside the contract
+	return time.Now()
+}
+`); len(fs) != 0 {
+		t.Fatalf("justified line-above suppression failed: %v", fs)
+	}
+	// A bare allow without a justification still fails.
+	fs := check(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //lintgate:allow wallclock
+}
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "justification") {
+		t.Fatalf("unjustified suppression not rejected: %v", fs)
+	}
+	// An allow for a different rule does not suppress.
+	fs = check(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //lintgate:allow maporder — wrong rule entirely
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "wallclock" {
+		t.Fatalf("wrong-rule suppression leaked: %v", fs)
+	}
+}
+
+// TestDeterministicPackagesClean pins the actual repo invariant: the
+// checked packages, as committed, produce zero findings — every
+// suppression in them is justified.
+func TestDeterministicPackagesClean(t *testing.T) {
+	for _, dir := range deterministicPkgs {
+		fs, err := CheckDir("../../" + dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %s:%d: [%s] %s", dir, f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+		}
+	}
+}

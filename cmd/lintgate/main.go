@@ -1,0 +1,87 @@
+// Command lintgate enforces the repo's determinism invariants that the
+// stock toolchain (go vet, gofmt) does not cover. It is a stdlib-only
+// multichecker — go/parser + go/types, no external analysis framework —
+// over the packages whose outputs are pinned bit-for-bit by the
+// determinism contract (ARCHITECTURE.md): internal/chess,
+// internal/interp, internal/gen and internal/pool.
+//
+// Rules:
+//
+//   - wallclock: no time.Now / time.Since / time.Until. A wall-clock
+//     read inside the search, the interpreter, the generator or the
+//     worker pool is how "bit-identical across workers" quietly rots
+//     into "usually identical".
+//   - globalrand: no math/rand package-level functions (rand.Intn,
+//     rand.Shuffle, rand.Seed, ...), which draw from the process-global
+//     source. Explicitly seeded generators — rand.New(rand.NewSource(
+//     seed)) — are the sanctioned idiom and pass.
+//   - maporder: no text/output emission (fmt.Fprintf, fmt.Sprintf,
+//     strings.Builder writes, io writes) inside a `for range` over a
+//     map. Go map iteration order is deliberately random; folding it
+//     into rendered output is nondeterminism wearing a costume.
+//     Collect keys, sort, then render.
+//
+// A finding is suppressed only by an inline justification on the same
+// line (or the line above):
+//
+//	start := time.Now() //lintgate:allow wallclock — diagnostic Elapsed only
+//
+// The justification text is mandatory: a bare "lintgate:allow
+// wallclock" still fails, so every suppression records *why* the
+// invariant does not apply.
+//
+// Usage: lintgate [dir ...] — with no arguments, the baked-in
+// deterministic package list (what CI runs). Exit 0 clean, 1 findings,
+// 2 operational error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// deterministicPkgs are the packages whose results the determinism
+// contract pins; they must be reproducible bit-for-bit across
+// machines, worker counts and runs.
+var deterministicPkgs = []string{
+	"internal/chess",
+	"internal/interp",
+	"internal/gen",
+	"internal/pool",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = deterministicPkgs
+	}
+	var all []Finding
+	for _, dir := range dirs {
+		fs, err := CheckDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintgate: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		return all[i].Pos.Line < all[j].Pos.Line
+	})
+	for _, f := range all {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(".", rel); err == nil {
+			rel = r
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Rule, f.Message)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "lintgate: %d finding(s) — fix, or suppress with //lintgate:allow <rule> plus a justification\n", len(all))
+		os.Exit(1)
+	}
+	fmt.Printf("lintgate: OK — %d package(s) clean\n", len(dirs))
+}

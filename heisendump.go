@@ -75,6 +75,7 @@ import (
 	"heisendump/internal/lang"
 	"heisendump/internal/progcache"
 	"heisendump/internal/slicing"
+	"heisendump/internal/statics"
 	"heisendump/internal/workloads"
 )
 
@@ -264,6 +265,23 @@ type CacheStats = progcache.Stats
 // how many compilations were deduplicated into cache hits, and the
 // resident entry count. The batch server exposes this on /v1/stats.
 func CompileCacheStats() CacheStats { return progcache.Shared().Stats() }
+
+// StaticReport is the static concurrency analyzer's typed result:
+// race candidates (shared accesses on concurrent threads with
+// disjoint must-held locksets, at least one write) and deadlock
+// candidates (static lock-order cycles), each with source-line,
+// variable and lockset witnesses.
+type StaticReport = statics.Report
+
+// Analyze runs the static concurrency analyzer over a compiled
+// program: a whole-program must-held lockset dataflow plus a static
+// thread-structure pass, reporting race and deadlock candidates
+// before any trial executes. Results are memoized per *Program
+// (programs are immutable and shared through the compile cache), so
+// the batch server and the search guidance (WithStaticFocus) consult
+// one analysis at zero marginal cost; treat the report as read-only.
+// See docs/ANALYSIS.md for the algorithm and its soundness caveats.
+func Analyze(prog *Program) *StaticReport { return statics.Analyze(prog) }
 
 // WorkloadByName returns a registered workload ("fig1", "apache-1",
 // "mysql-3", "splash-fft", ...) or nil.

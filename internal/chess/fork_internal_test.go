@@ -10,7 +10,7 @@ import "testing"
 // strand the snapshot caches on cold paths; this test fails on either.
 func TestWorklistPrefixAdjacency(t *testing.T) {
 	cands := make([]Candidate, 6)
-	wl := generateWorklist(cands, 3, false)
+	wl := generateWorklist(cands, 3, false, nil)
 
 	want := binomial(6, 1) + binomial(6, 2) + binomial(6, 3)
 	if len(wl) != want {

@@ -37,6 +37,16 @@ type Options struct {
 	// (Algorithm 2's preempt()); unguided selection tries every other
 	// runnable thread.
 	Guided bool
+	// Static, when non-nil, is the static-analysis focus set: the base
+	// names (global, array or field names) of variables the lockset
+	// analyzer flagged in race candidates (statics.Report.FocusSet).
+	// Combinations whose candidate blocks access flagged variables are
+	// explored first, composing with — and ranking above — the Weighted
+	// CSV ordering. The reordering changes Tries (that is its point);
+	// for any fixed Static value, Found/Schedule/Tries remain
+	// bit-identical across Workers, Prune and Fork. nil leaves the
+	// exploration order exactly as without static guidance.
+	Static map[string]bool
 	// MaxTries cuts the search off after this many test runs (the
 	// analogue of the paper's 18-hour cutoff). Zero means unlimited.
 	// The cutoff is applied to the deterministic sequential order, so
@@ -264,8 +274,8 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 		ctx = context.Background()
 	}
 	res := &Result{}
-	start := time.Now()
-	defer func() { res.Elapsed = time.Since(start) }()
+	start := time.Now()                                //lintgate:allow wallclock — Elapsed is diagnostic wall time, excluded from the determinism contract
+	defer func() { res.Elapsed = time.Since(start) }() //lintgate:allow wallclock — Elapsed is diagnostic wall time, excluded from the determinism contract
 
 	bound := s.Opts.Bound
 	if bound <= 0 {
@@ -276,7 +286,7 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 		maxRun = s.Opts.PassingSteps*4 + 10000
 	}
 
-	wl := generateWorklist(s.Candidates, bound, s.Opts.Weighted)
+	wl := generateWorklist(s.Candidates, bound, s.Opts.Weighted, s.Opts.Static)
 	res.CombinationsGenerated = len(wl)
 
 	workers := s.Opts.Workers

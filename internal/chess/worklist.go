@@ -10,6 +10,10 @@ import "sort"
 // the worklist regardless of how trials are scheduled across workers.
 type rankedCombo struct {
 	weight int
+	// static is the combination's static-guidance score: total flagged-
+	// variable accesses across member blocks. Zero whenever guidance is
+	// off.
+	static int
 	rank   int
 	combo  []int
 }
@@ -31,7 +35,28 @@ type rankedCombo struct {
 // long schedule prefixes. The order itself is pinned by the
 // determinism contract (Found/Schedule/Tries are a pure function of
 // it); forking exploits the adjacency, it must never reorder the list.
-func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo {
+//
+// A non-nil static set (Options.Static: base names of statically
+// flagged race variables) adds a primary sort key in front of the
+// weight: combinations whose candidates' blocks touch more flagged
+// variables explore first. A nil set leaves the order — and therefore
+// the determinism contract — exactly as before.
+func generateWorklist(cands []Candidate, bound int, weighted bool, static map[string]bool) []rankedCombo {
+	// staticHits[ci]: how many of candidate ci's block accesses name a
+	// statically flagged variable. Counting accesses (not distinct
+	// variables) ranks a block that hammers a racy variable above one
+	// that brushes it once.
+	var staticHits []int
+	if static != nil {
+		staticHits = make([]int, len(cands))
+		for ci := range cands {
+			for _, a := range cands[ci].Accesses {
+				if static[a.Var.Name] {
+					staticHits[ci]++
+				}
+			}
+		}
+	}
 	n := len(cands)
 	total := 0
 	for size := 1; size <= bound; size++ {
@@ -49,11 +74,14 @@ func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo
 			if len(cur) == size {
 				arena = append(arena, cur...)
 				combo := arena[len(arena)-size : len(arena) : len(arena)]
-				w := 0
+				w, st := 0, 0
 				for _, ci := range combo {
 					w += cands[ci].MinPriority()
+					if staticHits != nil {
+						st += staticHits[ci]
+					}
 				}
-				wl = append(wl, rankedCombo{weight: w, rank: len(wl), combo: combo})
+				wl = append(wl, rankedCombo{weight: w, static: st, rank: len(wl), combo: combo})
 				return
 			}
 			for i := startIdx; i < n; i++ {
@@ -64,7 +92,22 @@ func generateWorklist(cands []Candidate, bound int, weighted bool) []rankedCombo
 		}
 		gsize(0)
 	}
-	if weighted {
+	switch {
+	case static != nil:
+		// Static score first (more flagged accesses explore earlier),
+		// then the CSV weight when the enhanced ordering is on, then
+		// generation order. Stable, so ties keep the fork-friendly
+		// lexicographic adjacency.
+		sort.SliceStable(wl, func(i, j int) bool {
+			if wl[i].static != wl[j].static {
+				return wl[i].static > wl[j].static
+			}
+			if weighted && wl[i].weight != wl[j].weight {
+				return wl[i].weight < wl[j].weight
+			}
+			return wl[i].rank < wl[j].rank
+		})
+	case weighted:
 		sort.SliceStable(wl, func(i, j int) bool {
 			if wl[i].weight != wl[j].weight {
 				return wl[i].weight < wl[j].weight

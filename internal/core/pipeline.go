@@ -27,6 +27,7 @@ import (
 	"heisendump/internal/ir"
 	"heisendump/internal/sched"
 	"heisendump/internal/slicing"
+	"heisendump/internal/statics"
 )
 
 // AlignmentMethod selects how the aligned point is located.
@@ -96,6 +97,14 @@ type Config struct {
 	// time) drop, with the replayed prefix lengths accounted in
 	// chess.Result.StepsSaved.
 	Fork bool
+	// StaticFocus runs the static lockset analyzer (internal/statics)
+	// over the program once and feeds its race-candidate focus set to
+	// the schedule search (chess.Options.Static): preemption
+	// combinations touching statically flagged variables explore first.
+	// The reordering changes Tries by design; for a fixed program it
+	// remains bit-identical across Workers/Prune/Fork. Off, the search
+	// order is exactly the unguided one.
+	StaticFocus bool
 	// Observer, when non-nil, receives stage transitions and
 	// schedule-search heartbeats from every context-aware run of this
 	// pipeline; see Observer for the delivery contract.
@@ -293,6 +302,9 @@ func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Sear
 			Prune:        p.Cfg.Prune,
 			Fork:         p.Cfg.Fork,
 		},
+	}
+	if p.Cfg.StaticFocus {
+		s.Opts.Static = statics.Analyze(p.Prog).FocusSet()
 	}
 	if obs := p.Cfg.Observer; obs != nil {
 		s.Opts.Progress = obs.Search

@@ -175,6 +175,33 @@ type Program struct {
 	SiteFunc string
 }
 
+// RacyVars returns the injected bug pattern's ground-truth racy
+// variables: the base names (global, array or pointer-global) whose
+// unsynchronized access pair IS the seeded bug. The static analyzer's
+// recall gate (Oracle.Check) requires every one of them to appear in
+// the race report; fillers contribute no names here — anything extra
+// the analyzer flags is measured as the false-positive rate instead.
+func (p *Program) RacyVars() []string {
+	switch p.Kind {
+	case Atomicity:
+		// The cursor bump and the slot write both run unlocked in two
+		// racer instances.
+		return []string{"gpos", "gbuf"}
+	case OrderViolation:
+		// The ready flag and the config pointer are published and
+		// consumed without the lock.
+		return []string{"gready", "gcfg"}
+	case LostUpdate:
+		// The slot read-modify-write is split around the lock.
+		return []string{"gslot"}
+	case DoubleCheck:
+		// The flag write is locked but the fast-path read is not; the
+		// object pointer likewise.
+		return []string{"ginit", "gobj"}
+	}
+	return nil
+}
+
 // Description summarizes the program for workload registration.
 func (p *Program) Description() string {
 	var what string

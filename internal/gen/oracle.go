@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"heisendump/internal/chess"
 	"heisendump/internal/core"
@@ -11,6 +12,7 @@ import (
 	"heisendump/internal/ir"
 	"heisendump/internal/sched"
 	"heisendump/internal/slicing"
+	"heisendump/internal/statics"
 )
 
 // Oracle is the differential harness for generated programs. For each
@@ -22,16 +24,23 @@ import (
 //     Heisenbug, absent from the canonical schedule;
 //  3. a witness interleaving crashes at the seeded failure site and
 //     replays deterministically (the bug is real, twice over);
-//  4. the full reproduction pipeline runs under every configuration in
+//  4. the static lockset analyzer flags every ground-truth racy
+//     variable of the injected pattern (the recall gate: a seeded bug
+//     the analyzer misses is an analyzer soundness bug);
+//  5. the full reproduction pipeline runs under every configuration in
 //     the determinism matrix — workers {1,4} × prune {off,on} via the
 //     context-aware RunContext, plus the deprecated Run shim, plus a
 //     leg forced onto the tree-walking interpreter engine, plus a leg
 //     with prefix snapshot/forking forced on — and all of them agree
-//     bit-for-bit on Found, Schedule and Tries.
+//     bit-for-bit on Found, Schedule and Tries; a final pair of legs
+//     with static guidance on (workers 1 and 4) must agree with each
+//     other, and may differ from the unguided legs only in Tries and
+//     Schedule, never in Found.
 //
 // Steps 1–3 validate the generator's own invariants; step 4 is the
-// paper pipeline's determinism contract, exercised on a program nobody
-// hand-tuned. Any disagreement in step 4 is a Divergence — the
+// static analyzer's recall contract and step 5 the paper pipeline's
+// determinism contract, exercised on a program nobody hand-tuned. Any
+// disagreement in steps 4–5 is a Divergence — the
 // fuzzer's highest-severity finding. The engine leg makes every
 // fuzzed seed a differential test of the bytecode dispatch loop
 // against the tree walker, and the fork leg a differential test of
@@ -82,6 +91,12 @@ type Verdict struct {
 	Witness *Witness
 	// Outcomes holds one entry per checked configuration, matrix order.
 	Outcomes []ConfigOutcome
+	// StaticFlagged is the sorted list of variables the static lockset
+	// analyzer flagged as race candidates. The recall gate requires it
+	// to cover Program.RacyVars; anything beyond those is a benign
+	// false positive from the filler templates, which callers aggregate
+	// into the corpus-wide FP rate (see TestStaticRecallAndPrecision).
+	StaticFlagged []string
 	// Reproduced is true when the pipeline constructed a
 	// failure-inducing schedule (under every configuration — they
 	// agree whenever Divergences is empty).
@@ -168,6 +183,23 @@ func (o *Oracle) Check(ctx context.Context, p *Program) (*Verdict, error) {
 		return v, nil
 	}
 
+	// Static recall gate: the lockset analyzer must flag every
+	// ground-truth racy variable of the injected pattern. Every seeded
+	// bug is an unsynchronized conflicting pair by construction, so a
+	// miss here is an analyzer soundness bug (its under-approximation
+	// ran the wrong way), not noise.
+	focus := statics.Analyze(prog).FocusSet()
+	for name := range focus {
+		v.StaticFlagged = append(v.StaticFlagged, name)
+	}
+	sort.Strings(v.StaticFlagged)
+	for _, name := range p.RacyVars() {
+		if !focus[name] {
+			v.Divergences = append(v.Divergences,
+				fmt.Sprintf("static recall violation: injected racy variable %q not flagged (flagged: %v)", name, v.StaticFlagged))
+		}
+	}
+
 	// The determinism matrix: every configuration must agree. All
 	// configurations share the one compiled program — ir.Program is
 	// immutable and shared safely across machines everywhere else.
@@ -215,6 +247,31 @@ func (o *Oracle) Check(ctx context.Context, p *Program) (*Verdict, error) {
 				fmt.Sprintf("determinism violation: %s {%s} != %s {%s}", out.Label, out.key(), base.Label, base.key()))
 		}
 	}
+
+	// The static-guidance axis: the same search with the analyzer's
+	// focus set reordering the worklist. Guided Tries legitimately
+	// differ from the unguided legs above (that is the guidance's whole
+	// point), so these two legs form their own determinism pair —
+	// workers 1 and 4 under guidance must still agree bit-for-bit.
+	var staticOuts []ConfigOutcome
+	for _, workers := range []int{1, 4} {
+		out, err := o.runStaticPipeline(ctx, p, prog, workers)
+		if err != nil {
+			return nil, err
+		}
+		staticOuts = append(staticOuts, out)
+	}
+	v.Outcomes = append(v.Outcomes, staticOuts...)
+	if staticOuts[1].key() != staticOuts[0].key() {
+		v.Divergences = append(v.Divergences,
+			fmt.Sprintf("determinism violation: %s {%s} != %s {%s}",
+				staticOuts[1].Label, staticOuts[1].key(), staticOuts[0].Label, staticOuts[0].key()))
+	}
+	if staticOuts[0].Found != base.Found {
+		v.Divergences = append(v.Divergences,
+			fmt.Sprintf("static guidance changed the verdict: %s found=%v vs %s found=%v (guidance may only reorder, never hide)",
+				staticOuts[0].Label, staticOuts[0].Found, base.Label, base.Found))
+	}
 	v.Reproduced = base.Found
 	v.Missed = !base.Found
 	if err := ctx.Err(); err != nil {
@@ -249,6 +306,21 @@ func (o *Oracle) runPipeline(ctx context.Context, p *Program, prog *ir.Program, 
 		label += " fork"
 	}
 	pipe := core.NewPipeline(prog, p.Input, o.pipelineConfig(workers, prune, eng, fork))
+	rep, err := pipe.RunContext(ctx)
+	return fingerprint(label, rep, err)
+}
+
+// runStaticPipeline executes the pipeline with the static analyzer's
+// focus set guiding the schedule search (core.Config.StaticFocus).
+// Guided legs are compared only against each other: guidance reorders
+// the exploration order, so Tries differs from the unguided matrix by
+// design, but must still be a pure function of (program, input,
+// focus set) — identical across worker counts.
+func (o *Oracle) runStaticPipeline(ctx context.Context, p *Program, prog *ir.Program, workers int) (ConfigOutcome, error) {
+	label := fmt.Sprintf("workers=%d prune=false static", workers)
+	cfg := o.pipelineConfig(workers, false, interp.EngineAuto, false)
+	cfg.StaticFocus = true
+	pipe := core.NewPipeline(prog, p.Input, cfg)
 	rep, err := pipe.RunContext(ctx)
 	return fingerprint(label, rep, err)
 }

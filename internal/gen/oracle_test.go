@@ -12,10 +12,11 @@ import (
 const oracleSeeds = 40
 
 // TestOracleAcrossSeeds: every generated bug in the range is real
-// (witnessed), reproduced by the pipeline, and bit-identical across
-// the determinism matrix — workers {1,4} × prune {off,on} plus the
-// deprecated Run shim plus the forced tree-engine and forced-fork
-// legs.
+// (witnessed), statically flagged (the recall gate), reproduced by
+// the pipeline, and bit-identical across the determinism matrix —
+// workers {1,4} × prune {off,on} plus the deprecated Run shim plus
+// the forced tree-engine and forced-fork legs plus the static-guided
+// pair.
 func TestOracleAcrossSeeds(t *testing.T) {
 	o := &Oracle{}
 	ctx := context.Background()
@@ -33,9 +34,12 @@ func TestOracleAcrossSeeds(t *testing.T) {
 				seed, p.Name, v.Outcomes[0].Failure, v.Outcomes[0].Tries)
 		}
 		// workers × prune, the tree-engine and fork legs, the
-		// deprecated shim.
-		if want := len(o.workers())*2 + 3; len(v.Outcomes) != want {
+		// deprecated shim, the static-guidance pair.
+		if want := len(o.workers())*2 + 5; len(v.Outcomes) != want {
 			t.Fatalf("seed %d: %d outcomes checked, want %d", seed, len(v.Outcomes), want)
+		}
+		if len(v.StaticFlagged) == 0 {
+			t.Errorf("seed %d (%s): static analyzer flagged nothing", seed, p.Name)
 		}
 	}
 }

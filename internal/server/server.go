@@ -112,6 +112,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 
@@ -434,6 +435,52 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// AnalyzeRequest is the POST /v1/analyze payload: a bare program
+// source. Analysis needs no input, options or queue slot — it never
+// executes the program.
+type AnalyzeRequest struct {
+	Source string `json:"source"`
+}
+
+// AnalyzeResponse is the endpoint's result: the static analyzer's
+// typed report plus whether the program came out of the shared compile
+// cache (an analyze of a source a tenant already submitted as a job —
+// or analyzed before — compiles and analyzes zero times).
+type AnalyzeResponse struct {
+	Report   *heisendump.StaticReport `json:"report"`
+	CacheHit bool                     `json:"cache_hit"`
+}
+
+// handleAnalyze is POST /v1/analyze: compile through the shared cache
+// and run the static lockset analyzer (see docs/ANALYSIS.md),
+// synchronously — the analysis is milliseconds even on the largest
+// corpus programs, so it bypasses the job queue entirely. Bad programs
+// get the same typed 400s submission does; the report itself is
+// memoized per compiled program, so repeat analyzes of a hot source
+// are two cache lookups.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &ErrorPayload{Code: CodeBadRequest, Message: "bad JSON: " + err.Error()})
+		return
+	}
+	if req.Source == "" {
+		writeError(w, &ErrorPayload{Code: CodeBadRequest, Message: "source is required"})
+		return
+	}
+	before := heisendump.CompileCacheStats()
+	prog, err := heisendump.Compile(req.Source)
+	if err != nil {
+		writeError(w, classifySubmitError(err))
+		return
+	}
+	after := heisendump.CompileCacheStats()
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Report:   heisendump.Analyze(prog),
+		CacheHit: after.Hits > before.Hits,
+	})
 }
 
 // Stats is the GET /v1/stats payload.

@@ -1,0 +1,236 @@
+package statics
+
+import "heisendump/internal/ir"
+
+// This file solves the must-held lockset dataflow: for every reachable
+// instruction, the set of locks held on *every* path from its thread's
+// entry. The domain is a uint64 bitset over lock ids (programs with
+// more than maxLocks locks have the excess treated as never held —
+// an under-approximation, so recall is preserved and only precision
+// suffers). Meet is intersection; transfer is gen/kill (Acquire sets a
+// bit, Release clears it) plus call summaries.
+//
+// Calls are handled with exact distributive summaries: because every
+// transfer in the domain has the form f(S) = (S ∩ keep) ∪ gen and the
+// meet is intersection, the composition of any path's transfers — and
+// the meet over all paths — again has that form. Two dataflow runs per
+// function therefore characterize it completely:
+//
+//	gen(f)  = exit lockset when entry = ∅     (locks f always acquires)
+//	keep(f) = exit lockset when entry = ALL   (locks f never releases)
+//
+// and a call site applies exit = (entry ∩ keep) ∪ gen. Summaries are
+// computed callee-first over the call graph's SCC condensation;
+// recursive SCCs get the conservative summary keep = gen = ∅ ("the
+// call may release everything, acquires nothing"), which again only
+// under-approximates held sets.
+//
+// Function entry locksets are a decreasing fixpoint: main and every
+// spawned root start with ∅ (a fresh thread holds nothing); every
+// other function starts at ALL and is intersected with the lockset
+// observed at each call site until nothing shrinks.
+
+// maxLocks is the dataflow bitset capacity.
+const maxLocks = 64
+
+type summary struct {
+	gen, keep uint64
+}
+
+func (a *analysis) lockBit(id int32) uint64 {
+	if id >= 0 && id < maxLocks {
+		return 1 << uint(id)
+	}
+	return 0
+}
+
+// solveLocksets computes per-instruction must-held locksets for every
+// reachable function, in a.in / a.visited.
+func (a *analysis) solveLocksets() {
+	p := a.prog
+	n := len(p.Funcs)
+	mask := uint64(0)
+	for i := 0; i < len(p.Locks) && i < maxLocks; i++ {
+		mask |= 1 << uint(i)
+	}
+	a.lockMask = mask
+
+	// Summaries, callee-first (reverse topological over the call
+	// graph's SCC condensation). cyclic marks members of recursive
+	// SCCs, which keep the conservative zero summary.
+	sums := make([]summary, n)
+	order, cyclic := a.callSCCOrder()
+	for _, fi := range order {
+		if cyclic[fi] {
+			continue // summary stays {0, 0}
+		}
+		_, _, exit0 := a.flowFunc(fi, 0, sums)
+		_, _, exitAll := a.flowFunc(fi, mask, sums)
+		sums[fi] = summary{gen: exit0, keep: exitAll}
+	}
+
+	// Entry locksets: decreasing fixpoint from ALL; thread roots are
+	// pinned at ∅.
+	entry := make([]uint64, n)
+	isRoot := make([]bool, n)
+	for fi := range entry {
+		entry[fi] = mask
+	}
+	for _, fi := range a.rootList {
+		entry[fi] = 0
+		isRoot[fi] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := 0; fi < n; fi++ {
+			if !a.reachable[fi] {
+				continue
+			}
+			in, seen, _ := a.flowFunc(fi, entry[fi], sums)
+			f := p.Funcs[fi]
+			for ii := range f.Instrs {
+				if f.Instrs[ii].Op != ir.OpCall || !seen[ii] {
+					continue
+				}
+				callee := int(f.Instrs[ii].Callee)
+				if isRoot[callee] {
+					continue // pinned at ∅ already
+				}
+				if next := entry[callee] & in[ii]; next != entry[callee] {
+					entry[callee] = next
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Final pass: record converged per-instruction states.
+	a.in = make([][]uint64, n)
+	a.visited = make([][]bool, n)
+	for fi := 0; fi < n; fi++ {
+		if !a.reachable[fi] {
+			continue
+		}
+		in, seen, _ := a.flowFunc(fi, entry[fi], sums)
+		a.in[fi] = in
+		a.visited[fi] = seen
+	}
+}
+
+// flowFunc runs the forward must-held dataflow over function fi with
+// the given entry lockset, returning per-node in-states (index
+// len(Instrs) is the virtual exit), the visited set, and the exit
+// state (0 when the function cannot return).
+func (a *analysis) flowFunc(fi int, entry uint64, sums []summary) (in []uint64, seen []bool, exit uint64) {
+	f := a.prog.Funcs[fi]
+	g := a.graphs[fi]
+	n := len(f.Instrs)
+	in = make([]uint64, n+1)
+	seen = make([]bool, n+1)
+	in[0] = entry
+	seen[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		if u >= n {
+			continue
+		}
+		s := in[u]
+		instr := &f.Instrs[u]
+		switch instr.Op {
+		case ir.OpAcquire:
+			s |= a.lockBit(instr.Lock)
+		case ir.OpRelease:
+			s &^= a.lockBit(instr.Lock)
+		case ir.OpCall:
+			sum := sums[instr.Callee]
+			s = (s & sum.keep) | sum.gen
+		}
+		for _, v := range g.Succs[u] {
+			switch {
+			case !seen[v]:
+				seen[v] = true
+				in[v] = s
+				work = append(work, v)
+			case in[v]&s != in[v]:
+				in[v] &= s
+				work = append(work, v)
+			}
+		}
+	}
+	if seen[g.Exit] {
+		exit = in[g.Exit]
+	}
+	return in, seen, exit
+}
+
+// callSCCOrder returns the function indices in callee-first order
+// (reverse topological over the call graph's SCC condensation) and a
+// flag per function marking membership in a recursive SCC (size ≥ 2,
+// or a direct self-call).
+func (a *analysis) callSCCOrder() (order []int, cyclic []bool) {
+	n := len(a.prog.Funcs)
+	cyclic = make([]bool, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range a.calls[v] {
+			if index[w] < 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) >= 2 {
+				for _, w := range comp {
+					cyclic[w] = true
+				}
+			} else {
+				w := comp[0]
+				for _, c := range a.calls[w] {
+					if c == w {
+						cyclic[w] = true
+					}
+				}
+			}
+			// Tarjan pops SCCs in reverse topological order of the
+			// condensation: every SCC is emitted only after all SCCs it
+			// reaches — i.e. callees come out first, which is exactly the
+			// summary computation order.
+			order = append(order, comp...)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strong(v)
+		}
+	}
+	return order, cyclic
+}

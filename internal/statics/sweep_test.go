@@ -1,0 +1,102 @@
+package statics_test
+
+import (
+	"testing"
+
+	"heisendump/internal/gen"
+	"heisendump/internal/statics"
+	"heisendump/internal/workloads"
+)
+
+// checkSane asserts structural invariants every report must satisfy,
+// whatever the subject program.
+func checkSane(t *testing.T, name string, rep *statics.Report) {
+	t.Helper()
+	if rep == nil {
+		t.Fatalf("%s: nil report", name)
+	}
+	if rep.Stats.Reachable > rep.Stats.Funcs {
+		t.Errorf("%s: reachable %d > funcs %d", name, rep.Stats.Reachable, rep.Stats.Funcs)
+	}
+	if rep.Stats.Roots < 1 {
+		t.Errorf("%s: no thread roots", name)
+	}
+	for _, r := range rep.Races {
+		if r.Var == "" {
+			t.Errorf("%s: race without variable: %+v", name, r)
+		}
+		for _, s := range []statics.Site{r.A, r.B} {
+			if s.Func == "" || s.Line <= 0 {
+				t.Errorf("%s: race site missing witness: %+v", name, s)
+			}
+			if len(s.Roots) == 0 {
+				t.Errorf("%s: race site without roots: %+v", name, s)
+			}
+		}
+		if !r.A.Write && !r.B.Write {
+			t.Errorf("%s: read/read pair reported: %+v", name, r)
+		}
+		// Disjoint-lockset invariant: no common lock name.
+		held := map[string]bool{}
+		for _, l := range r.A.Lockset {
+			held[l] = true
+		}
+		for _, l := range r.B.Lockset {
+			if held[l] {
+				t.Errorf("%s: race pair shares lock %s: %+v", name, l, r)
+			}
+		}
+	}
+	for _, d := range rep.Deadlocks {
+		if len(d.Locks) == 0 || len(d.Edges) == 0 {
+			t.Errorf("%s: empty deadlock candidate: %+v", name, d)
+		}
+	}
+}
+
+// TestSweepCuratedWorkloads runs the analyzer over every registered
+// workload: zero crashes, sane reports, and for the Table-2 bug
+// workloads (all data-race or atomicity bugs) a non-empty race list.
+func TestSweepCuratedWorkloads(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w := workloads.ByName(name)
+		prog, err := w.Compile(false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep := statics.Analyze(prog)
+		checkSane(t, name, rep)
+	}
+	// Every race-kind Table-2 workload must be flagged. The atom-kind
+	// ones (check-then-act across critical sections with every access
+	// locked) are the textbook lockset blind spot and may legitimately
+	// come back clean — see docs/ANALYSIS.md.
+	for _, w := range workloads.Bugs() {
+		if w.Kind != "race" {
+			continue
+		}
+		rep := statics.Analyze(w.MustCompile(false))
+		if len(rep.Races) == 0 {
+			t.Errorf("%s: race-kind Table-2 workload with empty race list", w.Name)
+		}
+	}
+}
+
+// TestSweepGenerated runs the analyzer across generated programs:
+// zero crashes and sane reports, instrumented and not.
+func TestSweepGenerated(t *testing.T) {
+	n := int64(100)
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		gp := gen.Generate(seed)
+		for _, instrument := range []bool{false, true} {
+			prog, err := gp.Compile(instrument)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			checkSane(t, gp.Name, statics.Analyze(prog))
+		}
+	}
+}

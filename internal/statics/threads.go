@@ -1,0 +1,366 @@
+package statics
+
+import (
+	"math/bits"
+	"sort"
+
+	"heisendump/internal/cfg"
+	"heisendump/internal/ir"
+)
+
+// This file derives the static thread structure: which functions run
+// on which threads, and which pairs of occurrences can overlap in
+// time. The mini-language has no joins (a spawned thread runs to
+// completion or forever; see docs/LANG.md), so the structure is
+// simple: a *root* is main or any OpSpawn callee, every function
+// executes on the roots whose call closure reaches it, and two
+// occurrences are concurrent when they can belong to two different
+// thread instances.
+
+// analysis carries the per-program state threaded through the passes.
+type analysis struct {
+	prog   *ir.Program
+	graphs []*cfg.Graph // per function, built once, reused by every pass
+
+	// Thread structure (buildThreads).
+	calls     [][]int  // per function: deduplicated OpCall targets
+	rootList  []int    // function indices of the static thread roots, main first
+	rootName  []string // rootList rendered as names, same order
+	multiRoot []uint64 // bitset over rootList positions: roots with >1 static instance
+	rootsOf   []uint64 // per function: bitset over rootList positions whose closure reaches it
+	reachable []bool   // per function: reachable from any root
+	spawnless []bool   // per main-function instruction: true before any spawn can have happened
+	maySpawn  []bool   // per function: calling it may (transitively) execute an OpSpawn
+
+	// Locksets (solveLocksets, lockset.go).
+	lockMask uint64     // bit i set when lock id i is tracked (< 64)
+	in       [][]uint64 // per function, per instruction: must-held lockset on entry to the instruction
+	visited  [][]bool   // per function, per instruction: instruction reachable under the converged entry lockset
+
+	// Accesses (collectAccesses, access.go).
+	accesses []access
+	edges    []lockEdge
+
+	stats Stats
+}
+
+// multiBit returns a.multiRoot as a single bitset word (bit p set when
+// root position p is multi-instance).
+func (a *analysis) multiBits() uint64 {
+	var m uint64
+	for _, b := range a.multiRoot {
+		m |= b
+	}
+	return m
+}
+
+func newAnalysis(prog *ir.Program) *analysis {
+	a := &analysis{
+		prog:   prog,
+		graphs: make([]*cfg.Graph, len(prog.Funcs)),
+	}
+	for i, f := range prog.Funcs {
+		a.graphs[i] = cfg.Build(f)
+	}
+	a.stats.Funcs = len(prog.Funcs)
+	a.stats.LocksTotal = len(prog.Locks)
+	a.stats.LocksTracked = len(prog.Locks)
+	if a.stats.LocksTracked > maxLocks {
+		a.stats.LocksTracked = maxLocks
+	}
+	return a
+}
+
+// buildThreads computes rootList/multiRoot/rootsOf/reachable/spawnless.
+func (a *analysis) buildThreads() {
+	p := a.prog
+	n := len(p.Funcs)
+
+	// Call and spawn edges, deduplicated, in instruction order.
+	a.calls = make([][]int, n)
+	calls := a.calls            // OpCall targets
+	spawns := make([][]int, n)  // OpSpawn targets
+	spawnSites := map[int]int{} // callee -> static spawn-site count
+	spawnOnCycle := map[int]bool{}
+	for fi, f := range p.Funcs {
+		onCycle := a.cycleNodes(fi)
+		seenC := map[int]bool{}
+		seenS := map[int]bool{}
+		for ii := range f.Instrs {
+			in := &f.Instrs[ii]
+			switch in.Op {
+			case ir.OpCall:
+				if !seenC[int(in.Callee)] {
+					seenC[int(in.Callee)] = true
+					calls[fi] = append(calls[fi], int(in.Callee))
+				}
+			case ir.OpSpawn:
+				spawnSites[int(in.Callee)]++
+				if onCycle[ii] {
+					spawnOnCycle[int(in.Callee)] = true
+				}
+				if !seenS[int(in.Callee)] {
+					seenS[int(in.Callee)] = true
+					spawns[fi] = append(spawns[fi], int(in.Callee))
+				}
+			}
+		}
+	}
+
+	// Roots: main first, then spawned callees in function-index order.
+	mainIdx := p.FuncIndex("main")
+	rootSet := map[int]bool{}
+	if mainIdx >= 0 {
+		a.rootList = append(a.rootList, mainIdx)
+		rootSet[mainIdx] = true
+	}
+	for fi := 0; fi < n; fi++ {
+		if spawnSites[fi] > 0 && !rootSet[fi] {
+			a.rootList = append(a.rootList, fi)
+			rootSet[fi] = true
+		}
+	}
+	a.multiRoot = make([]uint64, len(a.rootList))
+	a.rootName = make([]string, len(a.rootList))
+	for pos, fi := range a.rootList {
+		a.rootName[pos] = p.Funcs[fi].Name
+		// A root has more than one static instance when it is spawned
+		// from two or more sites, from a site inside a loop, or from a
+		// function that is not main (which may itself run multiply).
+		multi := spawnSites[fi] >= 2 || spawnOnCycle[fi]
+		for sf, targets := range spawns {
+			for _, t := range targets {
+				if t == fi && sf != mainIdx {
+					multi = true
+				}
+			}
+		}
+		if multi {
+			a.multiRoot[pos] = 1 << uint(pos)
+		}
+	}
+
+	// rootsOf: propagate each root's bit through the call closure
+	// (calls only — a spawn starts a new root, it does not put the
+	// spawner's root inside the callee).
+	a.rootsOf = make([]uint64, n)
+	for pos, fi := range a.rootList {
+		bit := uint64(1) << uint(pos)
+		stack := []int{fi}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if a.rootsOf[u]&bit != 0 {
+				continue
+			}
+			a.rootsOf[u] |= bit
+			stack = append(stack, calls[u]...)
+		}
+	}
+	a.reachable = make([]bool, n)
+	count := 0
+	for fi := range a.reachable {
+		// Spawned-but-also-spawning chains: a root's closure must also
+		// include functions it spawns *transitively for reachability*
+		// (they execute), though on their own root bit. Reachability is
+		// the union over call+spawn edges from all roots.
+		a.reachable[fi] = a.rootsOf[fi] != 0
+	}
+	// Spawn targets of reachable functions are reachable (they carry
+	// their own root bit already if spawned; a spawn inside an
+	// unreachable function contributes nothing).
+	changed := true
+	for changed {
+		changed = false
+		for fi := 0; fi < n; fi++ {
+			if !a.reachable[fi] {
+				continue
+			}
+			for _, t := range append(append([]int{}, calls[fi]...), spawns[fi]...) {
+				if !a.reachable[t] {
+					a.reachable[t] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for fi := range a.reachable {
+		if a.reachable[fi] {
+			count++
+		}
+	}
+	a.stats.Reachable = count
+	a.stats.Roots = len(a.rootList)
+	for _, b := range a.multiRoot {
+		if b != 0 {
+			a.stats.MultiRoots++
+		}
+	}
+
+	// maySpawn: transitive "calling this function may execute a spawn".
+	a.maySpawn = make([]bool, n)
+	for fi, f := range p.Funcs {
+		for ii := range f.Instrs {
+			if f.Instrs[ii].Op == ir.OpSpawn {
+				a.maySpawn[fi] = true
+			}
+		}
+	}
+	changed = true
+	for changed {
+		changed = false
+		for fi := 0; fi < n; fi++ {
+			if a.maySpawn[fi] {
+				continue
+			}
+			for _, t := range calls[fi] {
+				if a.maySpawn[t] {
+					a.maySpawn[fi] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// spawnless: per main instruction, true while no spawn can have
+	// executed on any path reaching it — those accesses happen-before
+	// every other thread and cannot race. Forward may-analysis
+	// (meet = OR) over main's CFG.
+	if mainIdx >= 0 {
+		a.spawnless = a.spawnlessPrefix(mainIdx)
+	}
+}
+
+// spawnlessPrefix computes, for each instruction of function fi, true
+// when no OpSpawn (direct or via a call) may have executed before it.
+func (a *analysis) spawnlessPrefix(fi int) []bool {
+	f := a.prog.Funcs[fi]
+	g := a.graphs[fi]
+	n := len(f.Instrs)
+	// spawned[i]: a spawn MAY have happened before instruction i.
+	spawned := make([]bool, n+1)
+	seen := make([]bool, n+1)
+	work := []int{0}
+	seen[0] = true
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := spawned[u]
+		if u < n {
+			in := &f.Instrs[u]
+			if in.Op == ir.OpSpawn || (in.Op == ir.OpCall && a.maySpawn[int(in.Callee)]) {
+				out = true
+			}
+		}
+		if u >= n {
+			continue
+		}
+		for _, v := range g.Succs[u] {
+			if !seen[v] || (out && !spawned[v]) {
+				seen[v] = true
+				spawned[v] = spawned[v] || out
+				work = append(work, v)
+			}
+		}
+	}
+	pre := make([]bool, n)
+	for i := 0; i < n; i++ {
+		pre[i] = !spawned[i]
+	}
+	return pre
+}
+
+// cycleNodes returns the set of instructions of function fi that lie
+// on an intra-procedural CFG cycle (reachable from themselves).
+func (a *analysis) cycleNodes(fi int) map[int]bool {
+	g := a.graphs[fi]
+	n := g.NumNodes()
+	// Tarjan SCC; a node is on a cycle when its SCC has size ≥ 2 or it
+	// has a self-edge.
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	out := map[int]bool{}
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Succs[v] {
+			if index[w] < 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) >= 2 {
+				for _, w := range comp {
+					out[w] = true
+				}
+			} else {
+				w := comp[0]
+				for _, s := range g.Succs[w] {
+					if s == w {
+						out[w] = true
+					}
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strong(v)
+		}
+	}
+	return out
+}
+
+// concurrent reports whether two occurrences with (adjusted) root
+// bitsets ra and rb can overlap in time. Threads never join in the
+// mini-language, so any two distinct roots are concurrent; a shared
+// root needs multiple static instances. Accesses in main's spawn-free
+// prefix carry ra with the main bit cleared (they happen-before every
+// spawned thread), which makes ra == 0 mean "never concurrent with
+// anything".
+func (a *analysis) concurrent(ra, rb uint64) bool {
+	if ra == 0 || rb == 0 {
+		return false
+	}
+	// Two distinct roots exist across the sides exactly when the union
+	// is not one singleton; otherwise a shared multi-instance root is
+	// required.
+	return bits.OnesCount64(ra|rb) >= 2 || ra&rb&a.multiBits() != 0
+}
+
+// rootNames renders the root bitset of function fi as sorted names.
+func (a *analysis) rootNames(fi int) []string {
+	var out []string
+	for pos := range a.rootList {
+		if a.rootsOf[fi]&(1<<uint(pos)) != 0 {
+			out = append(out, a.rootName[pos])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

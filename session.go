@@ -96,6 +96,15 @@ func WithStressBudget(n int) Option { return func(c *Config) { c.MaxStressAttemp
 // are bit-identical across engines; only wall time differs.
 func WithEngine(e Engine) Option { return func(c *Config) { c.Engine = e } }
 
+// WithStaticFocus feeds the static lockset analyzer's race-candidate
+// focus set (see Analyze) to the schedule search: preemption
+// combinations whose blocks touch statically flagged variables are
+// explored first. This changes Tries by design — that is the payoff —
+// while remaining bit-identical across Workers/Prune/Fork for a fixed
+// program. Off (the default), the exploration order is exactly the
+// unguided one.
+func WithStaticFocus(on bool) Option { return func(c *Config) { c.StaticFocus = on } }
+
 // New compiles a subject program through the process-wide shared
 // program cache and builds a Session over it: the same source
 // compiles once per process, and every Session built from it shares
