@@ -13,13 +13,18 @@
 //     deterministic, so this pins the prefix-fork layer's win: a
 //     fork-on run must never execute more interpreter steps than the
 //     baseline it was snapshotted against.
-//   - NsPerStep and SearchNs (including the fork-on SearchNsFork leg)
-//     gate as headroom ceilings: a fresh value above baseline ×
-//     timeHeadroom fails. The generous factor absorbs machine-speed
-//     differences between the baseline runner and CI while still
-//     catching a gross dispatch-loop regression (an accidental
-//     per-step allocation, a lost superinstruction, a de-inlined hot
-//     call — each worth far more than the headroom).
+//   - NsPerStep and SearchNs (including the fork-on SearchNsFork and
+//     telemetry-on SearchNsTelemetry legs) gate as headroom ceilings:
+//     a fresh value above baseline × timeHeadroom fails. The generous
+//     factor absorbs machine-speed differences between the baseline
+//     runner and CI while still catching a gross dispatch-loop
+//     regression (an accidental per-step allocation, a lost
+//     superinstruction, a de-inlined hot call — each worth far more
+//     than the headroom).
+//   - TelemetryOverhead gates as an absolute ratio ceiling (1.05):
+//     both legs of the ratio run on the same machine, so it needs no
+//     machine headroom — it pins the telemetry stack's passivity as a
+//     cost budget, complementing the determinism tests.
 //
 // Other cost fields (table times, executed/pruned trial counts, steps,
 // StepsSaved) are informational only and never gate.
@@ -143,7 +148,8 @@ func gated(key string) bool {
 		key == "Reproduced" ||
 		key == "Races" || key == "Deadlocks" ||
 		ceilingGated(key) ||
-		budgetGated(key)
+		budgetGated(key) ||
+		ratioGated(key)
 }
 
 // ceilingGated marks fields gated as a numeric ceiling rather than by
@@ -191,6 +197,27 @@ func budgetOK(got, want any) bool {
 	g, errG := toFloat(got)
 	w, errW := toFloat(want)
 	return errG == nil && errW == nil && g <= w*timeHeadroom
+}
+
+// ratioGated marks fields gated as absolute ratio ceilings,
+// independent of the baseline's value: the interp section's
+// TelemetryOverhead (telemetry-on / telemetry-off search wall time)
+// must stay at or below the documented 1.05 ceiling on every run.
+// Both legs run in the same process minutes apart, so machine speed
+// cancels out of the ratio — no headroom factor is needed.
+func ratioGated(key string) bool {
+	return strings.Contains(key, "TelemetryOverhead")
+}
+
+// telemetryOverheadCeiling is the documented passivity budget:
+// attaching the full telemetry stack may cost at most 5% search wall
+// time.
+const telemetryOverheadCeiling = 1.05
+
+// ratioOK compares a ratio-gated field against its absolute ceiling.
+func ratioOK(got any) bool {
+	g, err := toFloat(got)
+	return err == nil && g <= telemetryOverheadCeiling
 }
 
 func toFloat(v any) (float64, error) {
@@ -252,6 +279,10 @@ func compare(fresh, baseline map[string][]map[string]any) (diffs []string, check
 				case ceilingGated(k):
 					if !ceilingOK(got, want) {
 						diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v exceeds baseline budget %v", name, i, rowID(row), k, got, want))
+					}
+				case ratioGated(k):
+					if !ratioOK(got) {
+						diffs = append(diffs, fmt.Sprintf("%s row %d (%v): %s = %v exceeds the absolute ceiling %.2f", name, i, rowID(row), k, got, telemetryOverheadCeiling))
 					}
 				case budgetGated(k):
 					if !budgetOK(got, want) {

@@ -33,6 +33,10 @@
 //	                          # CI static-guidance gate runs
 //	benchtab -timeout 2m      # give up after a wall-clock deadline
 //	benchtab -progress        # stream search heartbeats to stderr
+//	benchtab -trace run.json  # write pipeline stage spans and sampled
+//	                          # trial events as Chrome trace-event JSON
+//	                          # (open in chrome://tracing or Perfetto;
+//	                          # -trace-sample thins the trial events)
 //	benchtab -interp -cpuprofile cpu.pprof
 //	                          # write a CPU profile of the run; with
 //	                          # -interp alone this profiles the trial
@@ -60,6 +64,7 @@ import (
 	"heisendump/internal/chess"
 	"heisendump/internal/core"
 	"heisendump/internal/experiments"
+	"heisendump/internal/telemetry"
 )
 
 func main() {
@@ -77,6 +82,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none)")
 	progress := flag.Bool("progress", false, "stream per-workload schedule-search heartbeats to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected sections to this file")
+	traceOut := flag.String("trace", "", "write pipeline stage spans and sampled trial events as Chrome trace-event JSON to this file")
+	traceSample := flag.Int("trace-sample", 10, "with -trace, keep every n-th trial event (stage spans are always kept)")
 	flag.Parse()
 
 	experiments.Workers = *workers
@@ -85,6 +92,25 @@ func main() {
 	experiments.IncludeGenerated = *generated
 	if *progress {
 		experiments.Progress = progressPrinter()
+	}
+	if *traceOut != "" {
+		experiments.Trace = telemetry.NewTracer(time.Now, *traceSample)
+		// Flushed via defer like the CPU profile: fail() exits directly
+		// and abandons a partial trace, the right trade for a gate
+		// failure.
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				return
+			}
+			defer f.Close()
+			if err := experiments.Trace.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: writing trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: %d trace event(s) written to %s\n", experiments.Trace.Len(), *traceOut)
+		}()
 	}
 
 	if *cpuProfile != "" {

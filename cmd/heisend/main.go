@@ -11,7 +11,11 @@
 // Usage:
 //
 //	heisend [-addr :8347] [-workers 4] [-queue-depth 64]
-//	        [-result-ttl 15m] [-tenant-weight name=w]...
+//	        [-result-ttl 15m] [-tenant-weight name=w]... [-pprof]
+//
+// GET /metrics serves the process-wide telemetry registry as
+// Prometheus text (see docs/OBSERVABILITY.md for the catalog); -pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 //
 // Quick start:
 //
@@ -76,6 +80,7 @@ func main() {
 	trialBudget := flag.Int("trial-budget", 3000, "default schedule-search budget for jobs that leave it unset")
 	stressBudget := flag.Int("stress-budget", 6000, "default failure-provocation budget for jobs that leave it unset")
 	flag.Var(weights, "tenant-weight", "tenant DRR weight as name=w (repeatable; default 1)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes stacks and heap contents; opt-in)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -86,6 +91,7 @@ func main() {
 		EventBuffer:         *eventBuffer,
 		DefaultTrialBudget:  *trialBudget,
 		DefaultStressBudget: *stressBudget,
+		EnablePprof:         *enablePprof,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -5,8 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 
 	"heisendump"
@@ -143,4 +146,108 @@ func TestSmokeDifferential(t *testing.T) {
 			}
 		}
 	}
+
+	// Telemetry cross-check: with every job terminal the process is
+	// quiescent, so the Prometheus scrape and /v1/stats' telemetry
+	// snapshot read the same registry at rest and must agree exactly on
+	// the core counters — all of which the batches above advanced.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Telemetry map[string]int64 `json:"telemetry"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	metrics := scrapeMetrics(t, ts.URL)
+	for _, series := range []string{
+		"heisen_server_jobs_submitted_total",
+		`heisen_server_jobs_completed_total{outcome="reproduced"}`,
+		"heisen_chess_searches_total",
+		"heisen_chess_trials_executed_total",
+		"heisen_chess_steps_executed_total",
+		`heisen_interp_steps_total{engine="bytecode"}`,
+		"heisen_progcache_hits_total",
+		"heisen_progcache_misses_total",
+	} {
+		if metrics[series] <= 0 {
+			t.Errorf("/metrics: core counter %s is %d, want > 0", series, metrics[series])
+		}
+		if metrics[series] != stats.Telemetry[series] {
+			t.Errorf("/metrics and /v1/stats disagree on %s: %d vs %d",
+				series, metrics[series], stats.Telemetry[series])
+		}
+	}
+	// Every admitted job reached a terminal outcome.
+	completed := metrics[`heisen_server_jobs_completed_total{outcome="reproduced"}`] +
+		metrics[`heisen_server_jobs_completed_total{outcome="not_reproduced"}`] +
+		metrics[`heisen_server_jobs_completed_total{outcome="error"}`]
+	if submitted := metrics["heisen_server_jobs_submitted_total"]; completed != submitted {
+		t.Errorf("jobs accounting: %d completed, %d submitted", completed, submitted)
+	}
+	// The per-instance gauge families (scraped from the server object,
+	// not the registry) are present too.
+	for _, series := range []string{"heisen_server_queued", "heisen_server_store_jobs"} {
+		if _, ok := metrics[series]; !ok {
+			t.Errorf("/metrics: per-instance gauge %s missing", series)
+		}
+	}
+}
+
+// scrapeMetrics GETs /metrics, validates the exposition-format
+// essentials (content type, line shape, HELP/TYPE headers preceding
+// samples), and returns every sample as series -> value.
+func scrapeMetrics(t *testing.T, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics: content type %q, want text exposition 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int64{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(string(body), "\n"), "\n") {
+		if f := strings.Fields(line); len(f) >= 3 && f[0] == "#" && f[1] == "TYPE" {
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("/metrics: malformed sample line %q", line)
+		}
+		name := f[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Errorf("/metrics: sample %q has no preceding # TYPE header", f[0])
+		}
+		v, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			t.Fatalf("/metrics: non-integer sample %q: %v", line, err)
+		}
+		out[f[0]] = v
+	}
+	if len(out) == 0 {
+		t.Fatal("/metrics: empty scrape")
+	}
+	return out
 }

@@ -45,8 +45,11 @@ var outputFuncs = map[string]bool{
 }
 
 // CheckDir parses and checks every non-test .go file of one package
-// directory.
-func CheckDir(dir string) ([]Finding, error) {
+// directory. clockRule names the rule the wall-clock check reports
+// under — "wallclock" for the deterministic packages, "telemetryclock"
+// for the observability tier — so each finding (and each
+// //lintgate:allow suppression) states which invariant is at stake.
+func CheckDir(dir, clockRule string) ([]Finding, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -67,7 +70,7 @@ func CheckDir(dir string) ([]Finding, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files")
 	}
-	return Check(fset, dir, files), nil
+	return Check(fset, dir, files, clockRule), nil
 }
 
 // Check runs every rule over one parsed package. Type information is
@@ -76,7 +79,7 @@ func CheckDir(dir string) ([]Finding, error) {
 // inside imported types fails silently, but package identities
 // (which ident is the "time" package?) and locally-declared types
 // (is this range expression a map?) — all the rules need — survive.
-func Check(fset *token.FileSet, path string, files []*ast.File) []Finding {
+func Check(fset *token.FileSet, path string, files []*ast.File, clockRule string) []Finding {
 	info := &types.Info{
 		Uses:  map[*ast.Ident]types.Object{},
 		Defs:  map[*ast.Ident]types.Object{},
@@ -110,8 +113,7 @@ func Check(fset *token.FileSet, path string, files []*ast.File) []Finding {
 				if pkg, ok := pkgOf(info, n.X); ok {
 					switch {
 					case pkg == "time" && wallclockFuncs[n.Sel.Name]:
-						report(n.Pos(), "wallclock",
-							fmt.Sprintf("time.%s in a deterministic package — results must not depend on the wall clock", n.Sel.Name))
+						report(n.Pos(), clockRule, clockMessage(clockRule, n.Sel.Name))
 					case pkg == "math/rand" && bannedRandFuncs[n.Sel.Name]:
 						report(n.Pos(), "globalrand",
 							fmt.Sprintf("rand.%s draws from the process-global source — use rand.New(rand.NewSource(seed))", n.Sel.Name))
@@ -138,6 +140,17 @@ func Check(fset *token.FileSet, path string, files []*ast.File) []Finding {
 		ast.Inspect(f, walk)
 	}
 	return out
+}
+
+// clockMessage phrases the wall-clock finding for the invariant the
+// package tier is held to: determinism (results must not depend on the
+// clock) or clock injection (telemetry and the server must be
+// steerable by test clocks).
+func clockMessage(rule, fn string) string {
+	if rule == "telemetryclock" {
+		return fmt.Sprintf("time.%s in an observability package — take the clock by injection (a clock field or parameter) so tests and replay can steer it", fn)
+	}
+	return fmt.Sprintf("time.%s in a deterministic package — results must not depend on the wall clock", fn)
 }
 
 func pkgOf(info *types.Info, x ast.Expr) (string, bool) {

@@ -10,12 +10,17 @@ import (
 
 func check(t *testing.T, src string) []Finding {
 	t.Helper()
+	return checkAs(t, src, "wallclock")
+}
+
+func checkAs(t *testing.T, src, clockRule string) []Finding {
+	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "subject.go", src, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Check(fset, "subject", []*ast.File{f})
+	return Check(fset, "subject", []*ast.File{f}, clockRule)
 }
 
 func rules(fs []Finding) []string {
@@ -43,6 +48,42 @@ import "time"
 var d = 5 * time.Second
 `); len(fs) != 0 {
 		t.Fatalf("duration arithmetic flagged: %v", fs)
+	}
+}
+
+// TestTelemetryClock pins the observability tier's variant of the
+// wall-clock rule: same detection, its own rule name — so suppressions
+// must name the invariant actually at stake.
+func TestTelemetryClock(t *testing.T) {
+	fs := checkAs(t, `package p
+import "time"
+func f() time.Time { return time.Now() }
+`, "telemetryclock")
+	if got := rules(fs); len(got) != 1 || got[0] != "telemetryclock" {
+		t.Fatalf("findings %v, want one telemetryclock", fs)
+	}
+	if !strings.Contains(fs[0].Message, "injection") {
+		t.Fatalf("telemetryclock message should demand clock injection, got %q", fs[0].Message)
+	}
+	// A justified allow under the telemetryclock name suppresses...
+	if fs := checkAs(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //lintgate:allow telemetryclock — installing the default for an injected clock
+}
+`, "telemetryclock"); len(fs) != 0 {
+		t.Fatalf("justified telemetryclock suppression failed: %v", fs)
+	}
+	// ... but an allow written against the wallclock rule does not:
+	// the suppression must name the invariant this tier is held to.
+	fs = checkAs(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //lintgate:allow wallclock — names the wrong tier's rule
+}
+`, "telemetryclock")
+	if len(fs) != 1 || fs[0].Rule != "telemetryclock" {
+		t.Fatalf("wrong-rule suppression leaked: %v", fs)
 	}
 }
 
@@ -164,15 +205,36 @@ func f() time.Time {
 
 // TestDeterministicPackagesClean pins the actual repo invariant: the
 // checked packages, as committed, produce zero findings — every
-// suppression in them is justified.
+// suppression in them is justified. Both tiers are covered, each under
+// its own clock rule (clockRuleFor resolves the ../../-prefixed paths
+// the same way it resolves CI's bare ones).
 func TestDeterministicPackagesClean(t *testing.T) {
-	for _, dir := range deterministicPkgs {
-		fs, err := CheckDir("../../" + dir)
+	for _, dir := range append(append([]string{}, deterministicPkgs...), telemetryPkgs...) {
+		fs, err := CheckDir("../../"+dir, clockRuleFor(dir))
 		if err != nil {
 			t.Fatalf("%s: %v", dir, err)
 		}
 		for _, f := range fs {
 			t.Errorf("%s: %s:%d: [%s] %s", dir, f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+		}
+	}
+}
+
+// TestClockRuleFor pins the tier lookup, including the suffix match
+// that makes explicit command-line paths agree with CI's bare ones.
+func TestClockRuleFor(t *testing.T) {
+	for dir, want := range map[string]string{
+		"internal/chess":        "wallclock",
+		"internal/telemetry":    "telemetryclock",
+		"internal/server":       "telemetryclock",
+		"../../internal/server": "telemetryclock",
+		"./internal/telemetry":  "telemetryclock",
+		"internal/observer":     "wallclock",
+		"internal/server_fake":  "wallclock",
+		"cmd/heisend":           "wallclock",
+	} {
+		if got := clockRuleFor(dir); got != want {
+			t.Errorf("clockRuleFor(%q) = %q, want %q", dir, got, want)
 		}
 	}
 }

@@ -3,7 +3,10 @@
 // multichecker — go/parser + go/types, no external analysis framework —
 // over the packages whose outputs are pinned bit-for-bit by the
 // determinism contract (ARCHITECTURE.md): internal/chess,
-// internal/interp, internal/gen and internal/pool.
+// internal/interp, internal/gen and internal/pool — plus the
+// observability tier (internal/telemetry, internal/server), whose
+// clock-injection contract is checked by the same machinery under a
+// rule name of its own.
 //
 // Rules:
 //
@@ -11,6 +14,13 @@
 //     read inside the search, the interpreter, the generator or the
 //     worker pool is how "bit-identical across workers" quietly rots
 //     into "usually identical".
+//   - telemetryclock: the same wall-clock check, reported under the
+//     invariant that applies to internal/telemetry and internal/server:
+//     clocks arrive by injection (a clock field or parameter), never by
+//     a direct read, so tests steer time and telemetry stays passive.
+//     The only sanctioned direct read is installing time.Now as the
+//     *default* for an injected clock, and that site carries an allow
+//     with its justification.
 //   - globalrand: no math/rand package-level functions (rand.Intn,
 //     rand.Shuffle, rand.Seed, ...), which draw from the process-global
 //     source. Explicitly seeded generators — rand.New(rand.NewSource(
@@ -30,9 +40,9 @@
 // wallclock" still fails, so every suppression records *why* the
 // invariant does not apply.
 //
-// Usage: lintgate [dir ...] — with no arguments, the baked-in
-// deterministic package list (what CI runs). Exit 0 clean, 1 findings,
-// 2 operational error.
+// Usage: lintgate [dir ...] — with no arguments, the baked-in package
+// list (deterministic + telemetry tiers, what CI runs). Exit 0 clean,
+// 1 findings, 2 operational error.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // deterministicPkgs are the packages whose results the determinism
@@ -52,14 +63,38 @@ var deterministicPkgs = []string{
 	"internal/pool",
 }
 
+// telemetryPkgs are the observability tier: their outputs need not be
+// bit-identical (timestamps are real), but the clock itself must
+// arrive by injection so tests and the determinism matrix can pin it.
+// Their wall-clock findings report as "telemetryclock".
+var telemetryPkgs = []string{
+	"internal/telemetry",
+	"internal/server",
+}
+
+// clockRuleFor picks the rule name the wall-clock check reports under
+// for one directory: the telemetry tier gets "telemetryclock",
+// everything else the determinism-contract "wallclock". Explicit
+// command-line directories go through the same lookup, so
+// `lintgate internal/server` agrees with the no-argument CI run.
+func clockRuleFor(dir string) string {
+	clean := filepath.ToSlash(filepath.Clean(dir))
+	for _, t := range telemetryPkgs {
+		if clean == t || strings.HasSuffix(clean, "/"+t) {
+			return "telemetryclock"
+		}
+	}
+	return "wallclock"
+}
+
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = deterministicPkgs
+		dirs = append(append([]string{}, deterministicPkgs...), telemetryPkgs...)
 	}
 	var all []Finding
 	for _, dir := range dirs {
-		fs, err := CheckDir(dir)
+		fs, err := CheckDir(dir, clockRuleFor(dir))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lintgate: %s: %v\n", dir, err)
 			os.Exit(2)

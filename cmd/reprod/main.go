@@ -9,6 +9,7 @@
 //	reprod -w mysql-3 -plain                 # undirected CHESS baseline
 //	reprod -w mysql-3 -align instcount       # Table 5 alignment baseline
 //	reprod -w apache-2 -timeout 30s          # deadline the whole run
+//	reprod -w mysql-3 -trace run.json        # Chrome trace-event JSON
 //	reprod -list                             # list workloads
 //
 // Ctrl-C (or the -timeout deadline) cancels the run cooperatively —
@@ -29,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"heisendump"
 )
@@ -50,6 +52,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock deadline (0 = none); the deadline cancels like Ctrl-C")
 	list := flag.Bool("list", false, "list built-in workloads")
 	verbose := flag.Bool("v", false, "print the failure index, CSVs, candidates and stage transitions")
+	flag.StringVar(&tracePath, "trace", "", "write the run as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+	traceSample := flag.Int("trace-sample", 1, "with -trace, keep every n-th trial event (stage spans are always kept)")
 	flag.Parse()
 
 	if *list {
@@ -115,6 +119,15 @@ func main() {
 			StageFunc: func(s heisendump.Stage) { fmt.Printf("stage: %v\n", s) },
 		}))
 	}
+	if tracePath != "" {
+		tracer = heisendump.NewTracer(time.Now, *traceSample)
+		opts = append(opts, heisendump.WithTrace(tracer))
+	}
+	// A flight recorder always rides along (it is observational and
+	// cheap); its tail prints as evidence when the run fails or is cut
+	// short.
+	flight = heisendump.NewFlightRecorder(16)
+	opts = append(opts, heisendump.WithFlightRecorder(flight))
 
 	s := heisendump.NewCompiled(prog, input, opts...)
 
@@ -164,6 +177,8 @@ func main() {
 	}
 	if !res.Found {
 		fmt.Printf("NOT reproduced within %d tries (%v)\n", res.Tries, res.Elapsed)
+		printFlight()
+		writeTrace()
 		os.Exit(2)
 	}
 	pruneNote := ""
@@ -177,6 +192,66 @@ func main() {
 	fmt.Printf("reproduced: %d tries (%d runs executed on %d workers%s), %v, %d interpreter steps%s\n",
 		res.Tries, res.TrialsExecuted, res.Workers, pruneNote, res.Elapsed, res.StepsExecuted, forkNote)
 	printSchedule(res)
+	writeTrace()
+}
+
+// tracePath/tracer/flight are shared with the exit paths: os.Exit
+// bypasses defers, so every terminal print path flushes them
+// explicitly.
+var (
+	tracePath string
+	tracer    *heisendump.Tracer
+	flight    *heisendump.FlightRecorder
+)
+
+// writeTrace flushes the Chrome trace-event JSON when -trace was
+// given.
+func writeTrace() {
+	if tracer == nil {
+		return
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	werr := tracer.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		log.Printf("writing trace: %v", errors.Join(werr, cerr))
+		return
+	}
+	fmt.Printf("trace: %d event(s) written to %s\n", tracer.Len(), tracePath)
+}
+
+// printFlight prints the flight recorder's tail — the last trials and
+// scheduler decisions — as evidence on failed or cancelled runs.
+func printFlight() {
+	fl := flight.Snapshot()
+	if fl == nil {
+		return
+	}
+	dropped := ""
+	if fl.TrialsDropped > 0 {
+		dropped = fmt.Sprintf(" (%d older dropped)", fl.TrialsDropped)
+	}
+	fmt.Printf("flight recorder: last %d trial(s)%s:\n", len(fl.Trials), dropped)
+	for _, t := range fl.Trials {
+		disposition := "executed"
+		switch {
+		case t.Pruned:
+			disposition = "pruned"
+		case t.Forked:
+			disposition = "forked"
+		}
+		fmt.Printf("  rank %d trial %d worker %d: %s steps=%d saved=%d found=%v\n",
+			t.Rank, t.Trial, t.Worker, disposition, t.Steps, t.StepsSaved, t.Found)
+	}
+	if n := len(fl.Decisions); n > 0 {
+		d := fl.Decisions[n-1]
+		fmt.Printf("  last fold decision: %s at %d committed / %d tries (found=%v)\n",
+			d.Kind, d.Committed, d.Tries, d.Found)
+	}
 }
 
 func printSchedule(res *heisendump.SearchResult) {
@@ -197,6 +272,8 @@ func exitOn(err error) {
 	if errors.Is(err, heisendump.ErrCancelled) {
 		fmt.Printf("cancelled: %v\n", err)
 		fmt.Println("(output above is the best-so-far partial result)")
+		printFlight()
+		writeTrace()
 		os.Exit(3)
 	}
 	log.Fatal(err)

@@ -64,6 +64,9 @@
 package heisendump
 
 import (
+	"io"
+	"time"
+
 	"heisendump/internal/chess"
 	"heisendump/internal/core"
 	"heisendump/internal/coredump"
@@ -76,6 +79,7 @@ import (
 	"heisendump/internal/progcache"
 	"heisendump/internal/slicing"
 	"heisendump/internal/statics"
+	"heisendump/internal/telemetry"
 	"heisendump/internal/workloads"
 )
 
@@ -107,6 +111,46 @@ type ObserverFuncs = core.ObserverFuncs
 
 // SearchProgress is one schedule-search heartbeat snapshot.
 type SearchProgress = core.SearchProgress
+
+// Tracer records pipeline stage spans and sampled per-trial events,
+// exportable as Chrome trace-event JSON. Attach one with WithTrace.
+type Tracer = telemetry.Tracer
+
+// TrialTraceEvent is one per-trial tracing/flight event payload.
+type TrialTraceEvent = telemetry.TrialEvent
+
+// NewTracer builds a Tracer. clock supplies event timestamps (nil
+// uses a synthetic monotone tick, which keeps traces deterministic);
+// sampleEvery keeps every n-th trial event (<= 1 keeps all; stage
+// spans are never sampled out).
+func NewTracer(clock func() time.Time, sampleEvery int) *Tracer {
+	return telemetry.NewTracer(clock, sampleEvery)
+}
+
+// FlightRecorder keeps bounded rings of recent trial summaries and
+// scheduler fold decisions. Attach one with WithFlightRecorder and
+// snapshot it after a failed or cancelled run.
+type FlightRecorder = telemetry.FlightRecorder
+
+// FlightLog is a FlightRecorder snapshot: the retained trials and
+// decisions (oldest first) plus drop counts.
+type FlightLog = telemetry.FlightLog
+
+// NewFlightRecorder builds a FlightRecorder retaining the last n
+// trials and n decisions (n <= 0 uses a default of 64).
+func NewFlightRecorder(n int) *FlightRecorder {
+	return telemetry.NewFlightRecorder(n)
+}
+
+// MetricsSnapshot returns the process-wide telemetry registry as a
+// flat series-name -> value map (histograms contribute _sum/_count).
+// The batch server folds this into /v1/stats and serves the same
+// registry as Prometheus text on GET /metrics.
+func MetricsSnapshot() map[string]int64 { return telemetry.Default().Snapshot() }
+
+// WriteMetrics writes the process-wide telemetry registry in
+// Prometheus text exposition format (version 0.0.4).
+func WriteMetrics(w io.Writer) error { return telemetry.Default().WritePrometheus(w) }
 
 // Sentinel errors, usable with errors.Is against any error the Session
 // (or the deprecated Pipeline shims) returns.

@@ -6,6 +6,7 @@ import (
 
 	"heisendump/internal/interp"
 	"heisendump/internal/ir"
+	"heisendump/internal/telemetry"
 	"heisendump/internal/trace"
 )
 
@@ -175,17 +176,21 @@ type forkCache struct {
 	tails    map[string]tailOutcome
 	keyBuf   []byte
 	tailRecs []tailRec
+
+	// shard is the owning worker's telemetry cell index (see
+	// telemetry.Counter.Cell); purely observational.
+	shard int
 }
 
 // newForkCache builds an empty cache over the candidates' dynamic
 // point index (see indexPoints); callers pass nil points to disable
 // forking (ambiguous points would break the path-purity argument the
-// tree relies on).
-func newForkCache(points map[pointKey]int) *forkCache {
+// tree relies on). shard is the owning worker's telemetry cell.
+func newForkCache(points map[pointKey]int, shard int) *forkCache {
 	if points == nil {
 		return nil
 	}
-	return &forkCache{points: points}
+	return &forkCache{points: points, shard: shard}
 }
 
 // candidateAt resolves the candidate whose dynamic point the run is
@@ -305,6 +310,7 @@ func (fk *forkCache) capture(ev *frontierEvent, m *interp.Machine, probe *pruneP
 	fk.touch(snap)
 	ev.snap = snap
 	fk.snaps = append(fk.snaps, snap)
+	telemetry.ChessForkCaptures.Cell(fk.shard).Inc()
 }
 
 // evict detaches the least-recently-used snapshot from its event and
@@ -322,6 +328,7 @@ func (fk *forkCache) evict() *forkSnapshot {
 	fk.snaps = fk.snaps[:last]
 	snap.owner.snap = nil
 	snap.owner = nil
+	telemetry.ChessForkEvictions.Cell(fk.shard).Inc()
 	return snap
 }
 
@@ -361,6 +368,7 @@ func (s *Searcher) runTrialFork(m *interp.Machine, combo []int, vec []int, maxRu
 			out.fireable = probe.fireable
 			out.fp = done.fp
 		}
+		telemetry.ChessForkPathReplays.Cell(fk.shard).Inc()
 		return out
 	}
 	pendingRelease := -1
@@ -375,6 +383,7 @@ func (s *Searcher) runTrialFork(m *interp.Machine, combo []int, vec []int, maxRu
 			probe.fpr.Restore(anchor.fpr)
 		}
 		fk.touch(anchor)
+		telemetry.ChessForkAnchorResumes.Cell(fk.shard).Inc()
 		for _, f := range preFires {
 			fired[f.pos] = true
 			out.choiceCounts[f.pos] = f.nChoices
@@ -580,6 +589,7 @@ func (s *Searcher) runTrialFork(m *interp.Machine, combo []int, vec []int, maxRu
 					out.steps = m.TotalSteps + rec.steps
 					out.stepsSaved += rec.steps
 					out.found = rec.found
+					telemetry.ChessForkTailHits.Cell(fk.shard).Inc()
 					return out
 				}
 				fk.tailRecs = append(fk.tailRecs, tailRec{key: key, at: m.TotalSteps})
@@ -632,6 +642,7 @@ func (s *Searcher) runTrialFork(m *interp.Machine, combo []int, vec []int, maxRu
 
 	out.steps = m.TotalSteps
 	out.found = m.Crashed() && s.Target.Matches(m.Crash)
+	out.ranMachine = true
 	if probe != nil {
 		out.fireable = probe.fireable
 		out.fp = probe.fpr.Fingerprint()

@@ -54,7 +54,7 @@ func TestForkDisabledOnAmbiguousPoints(t *testing.T) {
 	if pts := indexPoints(dup); pts != nil {
 		t.Fatal("indexPoints accepted duplicate dynamic points")
 	}
-	if fk := newForkCache(indexPoints(dup)); fk != nil {
+	if fk := newForkCache(indexPoints(dup), 0); fk != nil {
 		t.Fatal("newForkCache built a cache over ambiguous points")
 	}
 	if p := newPruner(dup); p != nil {
@@ -64,7 +64,7 @@ func TestForkDisabledOnAmbiguousPoints(t *testing.T) {
 		{ID: 0, Thread: 1, Kind: BeforeAcquire, Seq: 0},
 		{ID: 1, Thread: 1, Kind: AfterRelease, Seq: 1},
 	}
-	if fk := newForkCache(indexPoints(uniq)); fk == nil {
+	if fk := newForkCache(indexPoints(uniq), 0); fk == nil {
 		t.Fatal("newForkCache rejected a unique point set")
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"heisendump/internal/interp"
 	"heisendump/internal/ir"
+	"heisendump/internal/telemetry"
 )
 
 // FailureSignature identifies the failure being reproduced: a test run
@@ -94,6 +95,16 @@ type Options struct {
 	// intended way to implement deterministic cutoffs (stop once the
 	// folded Tries reach a budget).
 	Progress func(Progress)
+	// Trial, when non-nil, receives one TrialEvent per trial the
+	// search disposes of — executed, pruned, or fork-replayed —
+	// including the pruning layer's seeding run and speculative trials
+	// of ranks the fold later discards. Events arrive concurrently
+	// from worker goroutines in completion order (not rank order); the
+	// callback must be cheap, safe for concurrent use, and must not
+	// call back into the searcher. It is strictly observational: the
+	// determinism contract is pinned with the hook attached and
+	// detached.
+	Trial func(TrialEvent)
 }
 
 // Progress is one heartbeat snapshot of a running search, delivered to
@@ -274,6 +285,7 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 		ctx = context.Background()
 	}
 	res := &Result{}
+	telemetry.ChessSearches.Inc()
 	start := time.Now()                                //lintgate:allow wallclock — Elapsed is diagnostic wall time, excluded from the determinism contract
 	defer func() { res.Elapsed = time.Since(start) }() //lintgate:allow wallclock — Elapsed is diagnostic wall time, excluded from the determinism contract
 
@@ -326,19 +338,21 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 		// but not Tries — it is pruning overhead, not part of the
 		// sequential search.
 		probe := st.pruner.newProbe()
-		tr := s.runTrial(s.NewMachine(), nil, nil, maxRun, probe)
+		m := s.NewMachine()
+		tr := s.runTrial(m, nil, nil, maxRun, probe)
 		st.tries.Add(1)
 		st.steps.Add(tr.steps)
 		st.pruner.record(nil, nil, &tr)
+		st.observeTrial(-1, 0, -1, &tr, false, m)
 	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			st.worker()
-		}()
+			st.worker(w)
+		}(i)
 	}
 	wg.Wait()
 	st.finish()
@@ -362,6 +376,9 @@ func (s *Searcher) SearchContext(ctx context.Context) *Result {
 	res.StepsSaved = st.stepsSaved.Load()
 	if st.pruner != nil {
 		res.DistinctRuns = st.pruner.distinct()
+	}
+	if res.Found {
+		telemetry.ChessSearchesFound.Inc()
 	}
 	s.emitDone(res, committed)
 	return res
@@ -403,14 +420,16 @@ func (st *searchState) cancelled() bool {
 // raw count can include trials of higher ranks; finish() repairs any
 // such gap after the pool joins, so the guard never affects the
 // result.
-func (st *searchState) worker() {
+func (st *searchState) worker(w int) {
 	// Each worker owns one machine for its whole claim stream: runTrial
 	// rewinds it with Machine.Reset, so the millions of re-executions
 	// recycle frames, threads and heap objects instead of rebuilding
 	// them per trial. With forking on, each worker also owns one
 	// private forkCache — snapshots never cross workers, preserving
 	// the determinism contracts without locks. Built lazily so a
-	// worker that never claims a rank costs nothing.
+	// worker that never claims a rank costs nothing. w identifies the
+	// worker to the telemetry layer (its counter shard and event
+	// attribution); it never influences the search.
 	var m *interp.Machine
 	var fk *forkCache
 	for {
@@ -447,9 +466,9 @@ func (st *searchState) worker() {
 		}
 		if m == nil {
 			m = st.s.NewMachine()
-			fk = newForkCache(st.forkPoints)
+			fk = newForkCache(st.forkPoints, w)
 		}
-		out := st.exploreCombo(r, cap, m, fk)
+		out := st.exploreCombo(r, cap, m, fk, w)
 		if out.foundAt >= 0 {
 			for {
 				cur := st.bestRank.Load()
@@ -491,9 +510,9 @@ func (st *searchState) finish() {
 
 		if m == nil {
 			m = st.s.NewMachine()
-			fk = newForkCache(st.forkPoints)
+			fk = newForkCache(st.forkPoints, -1)
 		}
-		out := st.exploreCombo(r, rem, m, fk)
+		out := st.exploreCombo(r, rem, m, fk, -1)
 		if out.foundAt >= 0 {
 			st.bestRank.Store(int64(r))
 		}
@@ -590,7 +609,7 @@ func (st *searchState) progressLocked() {
 // consumes it — or when the context is cancelled, which also stops the
 // fold before it could reach this rank. Aborted outcomes are marked so
 // the fold can never mistake them for completed explorations.
-func (st *searchState) exploreCombo(r, cap int, m *interp.Machine, fk *forkCache) *comboOutcome {
+func (st *searchState) exploreCombo(r, cap int, m *interp.Machine, fk *forkCache, w int) *comboOutcome {
 	combo := st.wl[r].combo
 	out := &comboOutcome{rank: r, foundAt: -1}
 	k := len(combo)
@@ -612,8 +631,10 @@ func (st *searchState) exploreCombo(r, cap int, m *interp.Machine, fk *forkCache
 		// trial's execution would have produced, including the choice
 		// counts the odometer advances on — without executing it.
 		var tr trialResult
+		pruned := false
 		if rec := st.pruner.lookup(combo, vec); rec != nil {
 			tr = rec.asResult()
+			pruned = true
 			st.pruned.Add(1)
 		} else {
 			if fk != nil {
@@ -626,6 +647,7 @@ func (st *searchState) exploreCombo(r, cap int, m *interp.Machine, fk *forkCache
 			st.stepsSaved.Add(tr.stepsSaved)
 			st.pruner.record(combo, vec, &tr)
 		}
+		st.observeTrial(r, out.trials, w, &tr, pruned, m)
 		out.trials++
 		out.steps += tr.steps
 		if tr.found {

@@ -1,0 +1,105 @@
+package chess
+
+import (
+	"heisendump/internal/interp"
+	"heisendump/internal/telemetry"
+)
+
+// Telemetry plumbing for the search. Everything here is strictly
+// passive — counters and the Options.Trial hook observe trials after
+// their outcome is fixed, at trial granularity (never per step), so
+// the determinism contract (Found/Schedule/Tries bit-identical with
+// telemetry on or off, for any worker count, prune and fork mode) and
+// the allocs/step=0 budget are untouched.
+
+// TrialEvent describes one disposed trial, delivered to
+// Options.Trial.
+type TrialEvent struct {
+	// Rank is the trial's worklist rank (-1 for the pruning layer's
+	// seeding base run); Trial is its 0-based index within the
+	// combination's exploration.
+	Rank  int
+	Trial int
+	// Worker is the worker goroutine that disposed of the trial; -1
+	// marks the post-join sequential repair path.
+	Worker int
+	// Steps counts the steps the trial actually executed; StepsSaved
+	// the steps it replayed from the fork layer's snapshots and memos
+	// (or, for Pruned trials, the whole memoized run).
+	Steps      int64
+	StepsSaved int64
+	// Pruned marks a trial replayed by the equivalence-pruning layer
+	// without execution; Forked one that resumed from a fork snapshot
+	// or memo; Found one that reproduced the target failure.
+	Pruned bool
+	Forked bool
+	Found  bool
+}
+
+// observeTrial publishes one disposed trial to the telemetry layer:
+// the sharded chess counters, per-engine step attribution, the crash
+// classifier, and the Options.Trial hook. worker indexes the counter
+// shard; negative ids (the seeding run and the post-join repair path)
+// wrap to a valid cell like any other out-of-range id.
+func (st *searchState) observeTrial(rank, trial, worker int, tr *trialResult, pruned bool, m *interp.Machine) {
+	if pruned {
+		telemetry.ChessTrialsPruned.Cell(worker).Inc()
+	} else {
+		executed := tr.steps - tr.stepsSaved
+		telemetry.ChessTrialsExecuted.Cell(worker).Inc()
+		telemetry.ChessStepsExecuted.Cell(worker).Add(executed)
+		telemetry.ChessStepsSaved.Cell(worker).Add(tr.stepsSaved)
+		telemetry.ChessTrialSteps.Cell(worker).Observe(executed)
+		telemetry.ChessWorkerSteps(max(worker, 0)).Cell(worker).Add(executed)
+		stepsByEngine(m).Cell(worker).Add(executed)
+		// Crash kinds are counted only for trials that left the machine
+		// at their end state: whole-path and tail-memo replays adopt a
+		// memoized outcome without running the machine there.
+		if tr.ranMachine && m.Crashed() {
+			crashCounter(interp.CrashKind(m.Crash.Reason)).Cell(worker).Inc()
+		}
+	}
+	if st.s.Opts.Trial != nil {
+		ev := TrialEvent{
+			Rank: rank, Trial: trial, Worker: worker,
+			Found: tr.found,
+		}
+		if pruned {
+			ev.Pruned = true
+			ev.StepsSaved = tr.steps
+		} else {
+			ev.Steps = tr.steps - tr.stepsSaved
+			ev.StepsSaved = tr.stepsSaved
+			ev.Forked = tr.stepsSaved > 0
+		}
+		st.s.Opts.Trial(ev)
+	}
+}
+
+// stepsByEngine attributes a trial's executed steps to the engine
+// that ran them: EngineAuto executes bytecode whenever the program
+// carries an image (see interp.Engine).
+func stepsByEngine(m *interp.Machine) *telemetry.Counter {
+	if m.Engine != interp.EngineTree && m.Prog.BC != nil {
+		return telemetry.InterpStepsBytecode
+	}
+	return telemetry.InterpStepsTree
+}
+
+// crashCounter maps a CrashKind class to its labeled counter.
+func crashCounter(kind string) *telemetry.Counter {
+	switch kind {
+	case "lock":
+		return telemetry.InterpCrashLock
+	case "assert":
+		return telemetry.InterpCrashAssert
+	case "pointer":
+		return telemetry.InterpCrashPointer
+	case "bounds":
+		return telemetry.InterpCrashBounds
+	case "arith":
+		return telemetry.InterpCrashArith
+	default:
+		return telemetry.InterpCrashOther
+	}
+}

@@ -23,6 +23,12 @@ type trialResult struct {
 	// prune.go); zero when the trial ran without a probe.
 	fireable []uint64
 	fp       uint64
+	// ranMachine is true when the trial left the machine at its end
+	// state — false for the fork layer's whole-path and tail-memo
+	// replays (and for pruned replays, whose results never ran a
+	// machine at all). Telemetry's crash classifier reads the machine
+	// only when this is set.
+	ranMachine bool
 }
 
 // comboOutcome summarizes the exploration of one combination: the
@@ -248,6 +254,7 @@ func (s *Searcher) runTrial(m *interp.Machine, combo []int, vec []int, maxRun in
 
 	out.steps = m.TotalSteps
 	out.found = m.Crashed() && s.Target.Matches(m.Crash)
+	out.ranMachine = true
 	if probe != nil {
 		out.fireable = probe.fireable
 		out.fp = probe.fpr.Fingerprint()

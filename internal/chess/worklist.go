@@ -1,6 +1,10 @@
 package chess
 
-import "sort"
+import (
+	"sort"
+
+	"heisendump/internal/telemetry"
+)
 
 // rankedCombo is one entry of Algorithm 2's worklist: a preemption
 // combination (candidate indices) plus its CSV-access weight and its
@@ -98,6 +102,7 @@ func generateWorklist(cands []Candidate, bound int, weighted bool, static map[st
 		// then the CSV weight when the enhanced ordering is on, then
 		// generation order. Stable, so ties keep the fork-friendly
 		// lexicographic adjacency.
+		telemetry.ChessGuidanceReorders.Inc()
 		sort.SliceStable(wl, func(i, j int) bool {
 			if wl[i].static != wl[j].static {
 				return wl[i].static > wl[j].static

@@ -114,7 +114,10 @@ func (a *Analysis) ThroughContext(ctx context.Context, last Stage) error {
 		if obs := a.Pipe.Cfg.Observer; obs != nil {
 			obs.Stage(a.next)
 		}
-		if err := a.runStage(ctx, a.next); err != nil {
+		endSpan := a.Pipe.Cfg.Trace.StageBegin(a.next.String())
+		err := a.runStage(ctx, a.next)
+		endSpan()
+		if err != nil {
 			return err
 		}
 		a.next++

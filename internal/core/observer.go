@@ -12,8 +12,19 @@ type SearchProgress = chess.Progress
 //
 // A single run delivers, in order: one Stage event per analysis stage
 // as it begins (StageAlign through StageCandidates, strictly
-// ascending), then a stream of Search heartbeats whose counters are
-// monotone, ending with exactly one snapshot whose Done field is set.
+// ascending), then a stream of Search heartbeats, ending with exactly
+// one snapshot whose Done field is set. Within the heartbeat stream
+// every counter is monotone non-decreasing, but the fields split into
+// two contracts: Committed/Tries/Found advance with the deterministic
+// rank-order fold (identical stream for any worker count), while
+// Executed, Pruned, Steps and StepsSaved are raw cost counters whose
+// intermediate values depend on worker scheduling. Under prefix
+// forking (WithFork) Steps counts only the interpreter steps trials
+// actually executed — prefix positions replayed from cached snapshots
+// are excluded from Steps and accumulate in StepsSaved instead — so
+// both stay monotone, Steps+StepsSaved is the monotone total of
+// schedule positions trials advanced through, and StepsSaved is
+// always zero with forking off.
 // Stage events arrive on the goroutine driving the run; Search events
 // arrive from search goroutines with internal locks held, so
 // implementations must be fast, safe for concurrent use with the

@@ -28,6 +28,7 @@ import (
 	"heisendump/internal/sched"
 	"heisendump/internal/slicing"
 	"heisendump/internal/statics"
+	"heisendump/internal/telemetry"
 )
 
 // AlignmentMethod selects how the aligned point is located.
@@ -109,6 +110,16 @@ type Config struct {
 	// schedule-search heartbeats from every context-aware run of this
 	// pipeline; see Observer for the delivery contract.
 	Observer Observer
+	// Trace, when non-nil, records pipeline stage spans and sampled
+	// per-trial events for Chrome trace-event export
+	// (telemetry.Tracer.WriteJSON). Strictly observational: results
+	// are bit-identical with tracing on or off.
+	Trace *telemetry.Tracer
+	// Flight, when non-nil, retains a bounded ring of recent trial
+	// summaries and search fold decisions; callers snapshot it
+	// (telemetry.FlightRecorder.Snapshot) to attach evidence to
+	// failed or cancelled runs. Observational, like Trace.
+	Flight *telemetry.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +208,8 @@ func (p *Pipeline) ProvokeFailureContext(ctx context.Context) (*FailureReport, e
 	if p.inputErr != nil {
 		return nil, p.inputErr
 	}
+	endSpan := p.Cfg.Trace.StageBegin("provoke")
+	defer endSpan()
 	m, st := sched.StressContext(ctx, p.NewMachine, p.Cfg.MaxStressAttempts)
 	if m == nil {
 		if err := ctx.Err(); err != nil {
@@ -309,7 +322,49 @@ func (p *Pipeline) Searcher(fail *FailureReport, an *AnalysisReport) *chess.Sear
 	if obs := p.Cfg.Observer; obs != nil {
 		s.Opts.Progress = obs.Search
 	}
+	// Telemetry taps ride on the searcher's observational hooks: the
+	// tracer and flight recorder share one Trial hook, and decision
+	// recording wraps (never replaces) the Observer's Progress sink.
+	// Both are nil-safe no-ops, so one closure serves either.
+	if tr, fl := p.Cfg.Trace, p.Cfg.Flight; tr != nil || fl != nil {
+		s.Opts.Trial = func(ev chess.TrialEvent) {
+			tr.Trial(telemetry.TrialEvent{
+				Rank: ev.Rank, Trial: ev.Trial, Worker: ev.Worker,
+				Steps: ev.Steps, StepsSaved: ev.StepsSaved,
+				Pruned: ev.Pruned, Forked: ev.Forked, Found: ev.Found,
+			})
+			fl.RecordTrial(telemetry.TrialRecord{
+				Rank: ev.Rank, Trial: ev.Trial, Worker: ev.Worker,
+				Steps: ev.Steps, StepsSaved: ev.StepsSaved,
+				Pruned: ev.Pruned, Forked: ev.Forked, Found: ev.Found,
+			})
+		}
+	}
+	if fl := p.Cfg.Flight; fl != nil {
+		inner := s.Opts.Progress
+		s.Opts.Progress = func(pr chess.Progress) {
+			fl.RecordDecision(decisionOf(pr))
+			if inner != nil {
+				inner(pr)
+			}
+		}
+	}
 	return s
+}
+
+// decisionOf classifies one Progress heartbeat for the flight
+// recorder's decision ring.
+func decisionOf(p chess.Progress) telemetry.Decision {
+	kind := "commit"
+	switch {
+	case !p.Done && p.Found:
+		kind = "winner"
+	case p.Done && !p.Found && p.Committed < p.Combos:
+		kind = "cutoff"
+	case p.Done:
+		kind = "done"
+	}
+	return telemetry.Decision{Kind: kind, Committed: p.Committed, Tries: p.Tries, Found: p.Found}
 }
 
 // Reproduce runs the schedule search guided by the analysis. It is
@@ -330,7 +385,9 @@ func (p *Pipeline) ReproduceContext(ctx context.Context, fail *FailureReport, an
 	if p.inputErr != nil {
 		return nil, p.inputErr
 	}
+	endSpan := p.Cfg.Trace.StageBegin("search")
 	res := p.Searcher(fail, an).SearchContext(ctx)
+	endSpan()
 	if res.Cancelled {
 		return res, Cancelled(ctx.Err())
 	}

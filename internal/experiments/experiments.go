@@ -24,6 +24,7 @@ import (
 	"heisendump/internal/ir"
 	"heisendump/internal/pool"
 	"heisendump/internal/slicing"
+	"heisendump/internal/telemetry"
 	"heisendump/internal/workloads"
 )
 
@@ -59,6 +60,14 @@ var Fork = false
 // invoked from concurrently-running subjects' search goroutines — it
 // must be safe for concurrent use and fast. Set it once at startup.
 var Progress func(subject string, p chess.Progress)
+
+// Trace, when non-nil, receives pipeline stage spans and sampled
+// per-trial events from every subject the searching tables run
+// (cmd/benchtab's -trace flag wires it to a Chrome trace-event JSON
+// file). The Tracer is safe for the concurrent subjects; tracing is
+// observational — all counted columns are bit-identical with it on.
+// Set it once at startup.
+var Trace *telemetry.Tracer
 
 // IncludeGenerated appends the curated generator-derived workloads
 // (workloads.Generated()) to the subjects of Tables 2–6, so the
@@ -266,6 +275,9 @@ func analyzeBug(ctx context.Context, w *workloads.Workload, cfg core.Config) (*c
 	if cfg.Observer == nil {
 		cfg.Observer = observerFor(w.Name)
 	}
+	if cfg.Trace == nil {
+		cfg.Trace = Trace
+	}
 	p := core.NewPipeline(prog, w.Input, cfg)
 	fail, err := p.ProvokeFailureContext(ctx)
 	if err != nil {
@@ -350,7 +362,7 @@ func Table4(ctx context.Context, plainCap int) ([]Table4Row, error) {
 		// Workers=1: the subject-level pool already saturates the cores;
 		// a nested full-width search pool per bug would oversubscribe
 		// them roughly quadratically and perturb the time columns.
-		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Prune: Prune, Fork: Fork, Observer: observerFor(w.Name)})
+		p := core.NewPipeline(prog, w.Input, core.Config{Workers: 1, Prune: Prune, Fork: Fork, Observer: observerFor(w.Name), Trace: Trace})
 		fail, err := p.ProvokeFailureContext(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)

@@ -1,0 +1,28 @@
+package interp
+
+import "strings"
+
+// CrashKind classifies a CrashInfo reason into the small fault
+// taxonomy telemetry counts crashes under: "lock" (discipline
+// violations), "assert", "pointer" (null or dangling dereference),
+// "bounds", "arith", or "other". The classifier is consulted by the
+// search layer at trial completion — never inside the dispatch loop —
+// so it costs nothing on the step hot path.
+func CrashKind(reason string) string {
+	switch {
+	case strings.HasPrefix(reason, "recursive acquire of lock"),
+		strings.HasPrefix(reason, "release of lock"):
+		return "lock"
+	case strings.HasPrefix(reason, "assertion failed"):
+		return "assert"
+	case reason == "null pointer dereference",
+		strings.HasPrefix(reason, "dangling pointer"):
+		return "pointer"
+	case strings.HasPrefix(reason, "index ") && strings.Contains(reason, "out of bounds"):
+		return "bounds"
+	case reason == "division by zero":
+		return "arith"
+	default:
+		return "other"
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"heisendump/internal/ir"
 	"heisendump/internal/lang"
+	"heisendump/internal/telemetry"
 )
 
 // Key identifies one compilation: source hash + compile options.
@@ -55,6 +56,12 @@ type Cache struct {
 	lru     *list.List // front = most recently used; values are *entry
 
 	hits, misses, evictions uint64
+
+	// mirror, set on the Shared instance only, echoes the counters
+	// into the process-wide telemetry registry. Private caches (tests,
+	// embedders) stay out of it so the scraped heisen_progcache_*
+	// series equal Shared().Stats() exactly.
+	mirror bool
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -85,7 +92,11 @@ func New(capacity int) *Cache {
 	}
 }
 
-var shared = New(256)
+var shared = func() *Cache {
+	c := New(256)
+	c.mirror = true
+	return c
+}()
 
 // Shared is the process-wide cache behind heisendump.Compile,
 // Workload.Compile and the batch server.
@@ -111,10 +122,16 @@ func (c *Cache) lookup(key Key) *entry {
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if c.mirror {
+			telemetry.ProgcacheHits.Inc()
+		}
 		c.lru.MoveToFront(e.elem)
 		return e
 	}
 	c.misses++
+	if c.mirror {
+		telemetry.ProgcacheMisses.Inc()
+	}
 	e := &entry{key: key}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
@@ -124,6 +141,9 @@ func (c *Cache) lookup(key Key) *entry {
 		c.lru.Remove(back)
 		delete(c.entries, old.key)
 		c.evictions++
+		if c.mirror {
+			telemetry.ProgcacheEvictions.Inc()
+		}
 	}
 	return e
 }

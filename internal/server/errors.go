@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"heisendump"
+	"heisendump/internal/telemetry"
 )
 
 // Error codes of the typed JSON error payloads every non-2xx response
@@ -65,6 +66,13 @@ type ErrorPayload struct {
 	Depth        int    `json:"depth,omitempty"`
 	Limit        int    `json:"limit,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+
+	// Flight is the job's flight-recorder snapshot — the last trial
+	// summaries and scheduler fold decisions before the run stopped.
+	// Attached to deadline_exceeded and shutting_down terminal job
+	// statuses (when the job ran at all) so a 504 comes with evidence
+	// of what the search was doing; nil on admission-time refusals.
+	Flight *telemetry.FlightLog `json:"flight,omitempty"`
 }
 
 // Error implements error so payloads can travel through error returns

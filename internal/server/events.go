@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"heisendump"
+	"heisendump/internal/telemetry"
 )
 
 // Event is one entry of a job's progress stream, surfaced over SSE.
@@ -67,6 +68,7 @@ func (h *hub) append(e Event) {
 		drop := len(h.events) - h.cap
 		h.events = h.events[drop:]
 		h.base += uint64(drop)
+		telemetry.ServerSSEDropped.Add(int64(drop))
 	}
 	ch := h.notify
 	h.notify = make(chan struct{})

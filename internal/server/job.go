@@ -8,6 +8,7 @@ import (
 
 	"heisendump"
 	"heisendump/internal/gen"
+	"heisendump/internal/telemetry"
 )
 
 // JobRequest is the POST /v1/jobs submission payload: one reproduction
@@ -249,6 +250,10 @@ type job struct {
 	opts     []heisendump.Option
 	deadline time.Time // zero = none
 	hub      *hub
+	// flight records the run's recent trials and fold decisions; its
+	// snapshot is attached to the error payload of failed/cancelled
+	// jobs as evidence of what the search was doing when it stopped.
+	flight *telemetry.FlightRecorder
 
 	mu        sync.Mutex
 	state     string

@@ -2,6 +2,8 @@ package server
 
 import (
 	"sync"
+
+	"heisendump/internal/telemetry"
 )
 
 // scheduler is the multi-tenant admission and dispatch layer: one
@@ -71,6 +73,7 @@ func (s *scheduler) enqueue(j *job) *ErrorPayload {
 	}
 	if len(q.jobs) >= s.depth {
 		s.shed++
+		telemetry.ServerJobsShed.Inc()
 		return &ErrorPayload{
 			Code:    CodeQueueFull,
 			Message: "tenant queue is full; retry after the backlog drains",
@@ -85,6 +88,7 @@ func (s *scheduler) enqueue(j *job) *ErrorPayload {
 	if len(q.jobs) == 0 {
 		// Joining the ring recharges the round's credit.
 		q.credit = q.weight
+		telemetry.ServerDRRRecharges.Inc()
 		s.ring = append(s.ring, q)
 	}
 	q.jobs = append(q.jobs, j)
@@ -142,6 +146,7 @@ func (s *scheduler) advanceLocked() {
 	s.idx = (s.idx + 1) % len(s.ring)
 	if s.ring[s.idx].credit == 0 {
 		s.ring[s.idx].credit = s.ring[s.idx].weight
+		telemetry.ServerDRRRecharges.Inc()
 	}
 }
 
@@ -158,6 +163,7 @@ func (s *scheduler) removeLocked(i int) {
 	}
 	if s.ring[s.idx].credit == 0 {
 		s.ring[s.idx].credit = s.ring[s.idx].weight
+		telemetry.ServerDRRRecharges.Inc()
 	}
 }
 

@@ -23,12 +23,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"heisendump"
 	"heisendump/internal/gen"
+	"heisendump/internal/telemetry"
 )
 
 // Config tunes a Server. Zero values take the documented defaults.
@@ -55,6 +58,11 @@ type Config struct {
 	DefaultStressBudget int
 	// Clock is the time source (default time.Now); tests inject one.
 	Clock func() time.Time
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the service mux. Off by default: the profiler
+	// exposes goroutine stacks and heap contents, so it is opt-in
+	// (cmd/heisend's -pprof flag).
+	EnablePprof bool
 }
 
 func (c *Config) fill() {
@@ -77,7 +85,7 @@ func (c *Config) fill() {
 		c.DefaultStressBudget = 6000
 	}
 	if c.Clock == nil {
-		c.Clock = time.Now
+		c.Clock = time.Now //lintgate:allow telemetryclock the default for the injected clock must be real wall time; tests inject their own
 	}
 }
 
@@ -115,6 +123,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -160,6 +176,8 @@ func (s *Server) runJob(j *job) {
 	// Deadline admission: a job that spent its whole deadline queued
 	// is refused without burning a worker slot on a doomed run.
 	if hadDeadline && !now.Before(j.deadline) {
+		telemetry.ServerJobsDeadline.Inc()
+		telemetry.ServerJobsError.Inc()
 		s.store.finish(j, nil, &ErrorPayload{
 			Code:    CodeDeadlineExceeded,
 			Message: "job deadline expired while queued; it was never started",
@@ -179,6 +197,22 @@ func (s *Server) runJob(j *job) {
 	sess := heisendump.NewCompiled(j.program, j.input, j.opts...)
 	rep, runErr := sess.Reproduce(ctx)
 	jr, errp := BuildReport(rep, runErr, hadDeadline)
+	if errp != nil {
+		// Failed and cancelled jobs carry flight-recorder evidence: the
+		// last trials and fold decisions before the run stopped. The
+		// log rides on the error payload only — JobReport stays a pure
+		// function of (source, input, options) for the differential
+		// smoke gate.
+		errp.Flight = j.flight.Snapshot()
+		telemetry.ServerJobsError.Inc()
+		if errp.Code == CodeDeadlineExceeded {
+			telemetry.ServerJobsDeadline.Inc()
+		}
+	} else if jr != nil && jr.Outcome == OutcomeFound {
+		telemetry.ServerJobsReproduced.Inc()
+	} else {
+		telemetry.ServerJobsNotReproduced.Inc()
+	}
 	s.store.finish(j, jr, errp)
 	s.publishDone(j)
 }
@@ -231,6 +265,12 @@ func (s *Server) admit(req JobRequest) (*job, bool, *ErrorPayload) {
 		return nil, false, optErr
 	}
 
+	// Every job gets a flight recorder; recording is observational
+	// (results stay bit-identical) and the snapshot is only surfaced on
+	// failed or cancelled jobs' error payloads.
+	fl := telemetry.NewFlightRecorder(64)
+	opts = append(opts, heisendump.WithFlightRecorder(fl))
+
 	j := &job{
 		key:      req.JobKey,
 		tenant:   tenant,
@@ -240,6 +280,7 @@ func (s *Server) admit(req JobRequest) (*job, bool, *ErrorPayload) {
 		input:    input,
 		opts:     opts,
 		hub:      h,
+		flight:   fl,
 	}
 	if o.DeadlineMS > 0 {
 		j.deadline = s.cfg.Clock().Add(time.Duration(o.DeadlineMS) * time.Millisecond)
@@ -256,6 +297,7 @@ func (s *Server) admit(req JobRequest) (*job, bool, *ErrorPayload) {
 		s.publishDone(j)
 		return nil, false, ep
 	}
+	telemetry.ServerJobsSubmitted.Inc()
 	return j, false, nil
 }
 
@@ -489,6 +531,10 @@ type Stats struct {
 	Scheduler SchedStats            `json:"scheduler"`
 	Store     StoreStats            `json:"store"`
 	Workers   int                   `json:"workers"`
+	// Telemetry is the process-wide metrics registry flattened to
+	// series-name -> value — the same counters GET /metrics exposes as
+	// Prometheus text (histograms contribute their _sum/_count).
+	Telemetry map[string]int64 `json:"telemetry"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -497,7 +543,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Scheduler: s.sched.stats(),
 		Store:     s.store.stats(),
 		Workers:   s.cfg.Workers,
+		Telemetry: telemetry.Default().Snapshot(),
 	})
+}
+
+// handleMetrics is GET /metrics: the process-wide telemetry registry
+// in Prometheus text exposition format (0.0.4), followed by this
+// server instance's point-in-time gauges (per-tenant queue depth,
+// store occupancy). Counters are process-wide — two Servers in one
+// process share them — while the instance gauges are this Server's.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.Default().WritePrometheus(w); err != nil {
+		return
+	}
+	ss := s.sched.stats()
+	tenants := make([]string, 0, len(ss.Tenants))
+	for name := range ss.Tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	depths := make([]telemetry.Sample, 0, len(tenants))
+	for _, name := range tenants {
+		depths = append(depths, telemetry.Sample{
+			Labels: []telemetry.Label{{Key: "tenant", Value: name}},
+			Value:  int64(ss.Tenants[name]),
+		})
+	}
+	_ = telemetry.GaugeFamily(w, "heisen_server_tenant_queue_depth",
+		"Pending jobs per tenant with a non-empty backlog.", depths...)
+	_ = telemetry.GaugeFamily(w, "heisen_server_queued",
+		"Pending jobs across all tenants.", telemetry.Sample{Value: int64(ss.Queued)})
+	st := s.store.stats()
+	_ = telemetry.GaugeFamily(w, "heisen_server_store_jobs",
+		"Jobs resident in the results store (queued, running and terminal).",
+		telemetry.Sample{Value: int64(st.Jobs)})
+	_ = telemetry.GaugeFamily(w, "heisen_server_store_terminal",
+		"Terminal jobs retained in the results store awaiting TTL eviction.",
+		telemetry.Sample{Value: int64(st.Terminal)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

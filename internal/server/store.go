@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"heisendump/internal/telemetry"
 )
 
 // store is the in-process results store: jobs by id, plus the
@@ -96,6 +98,7 @@ func (s *store) sweepLocked() {
 				delete(s.keys, keyIndex(j.tenant, j.key))
 			}
 			s.evicted++
+			telemetry.ServerStoreEvictions.Inc()
 		}
 	}
 }

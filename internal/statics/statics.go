@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"heisendump/internal/ir"
+	"heisendump/internal/telemetry"
 )
 
 // LocKind classifies a shared location.
@@ -214,6 +215,9 @@ func Analyze(prog *ir.Program) *Report {
 		return r.(*Report)
 	}
 	rep := analyze(prog)
+	telemetry.StaticsAnalyses.Inc()
+	telemetry.StaticsRaceCandidates.Add(int64(len(rep.Races)))
+	telemetry.StaticsDeadlockCandidates.Add(int64(len(rep.Deadlocks)))
 	if prev, loaded := cache.LoadOrStore(prog, rep); loaded {
 		return prev.(*Report)
 	}

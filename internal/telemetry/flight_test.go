@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFlightRecorderRing checks the bounded overwrite semantics:
+// capacity n retains the newest n records oldest-first and counts the
+// overwritten history.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.RecordTrial(TrialRecord{Rank: i})
+	}
+	f.RecordDecision(Decision{Kind: "commit", Committed: 1, Tries: 3})
+	f.RecordDecision(Decision{Kind: "winner", Committed: 2, Tries: 5, Found: true})
+
+	log := f.Snapshot()
+	if log == nil {
+		t.Fatal("snapshot nil")
+	}
+	if len(log.Trials) != 4 {
+		t.Fatalf("retained %d trials, want 4", len(log.Trials))
+	}
+	for i, tr := range log.Trials {
+		if tr.Rank != 6+i {
+			t.Errorf("trials[%d].Rank = %d, want %d (oldest-first tail)", i, tr.Rank, 6+i)
+		}
+	}
+	if log.TrialsDropped != 6 {
+		t.Errorf("TrialsDropped = %d, want 6", log.TrialsDropped)
+	}
+	if len(log.Decisions) != 2 || log.Decisions[1].Kind != "winner" || !log.Decisions[1].Found {
+		t.Errorf("decisions malformed: %+v", log.Decisions)
+	}
+
+	if _, err := json.Marshal(log); err != nil {
+		t.Errorf("flight log not JSON-able: %v", err)
+	}
+}
+
+// TestFlightRecorderNilAndEmpty pins the attach-unconditionally
+// contract: nil recorder and empty recorder both snapshot to nil.
+func TestFlightRecorderNilAndEmpty(t *testing.T) {
+	var f *FlightRecorder
+	f.RecordTrial(TrialRecord{})
+	f.RecordDecision(Decision{})
+	if f.Snapshot() != nil {
+		t.Error("nil recorder snapshot not nil")
+	}
+	if NewFlightRecorder(8).Snapshot() != nil {
+		t.Error("empty recorder snapshot not nil")
+	}
+}

@@ -66,6 +66,22 @@ func WithAlignment(m AlignmentMethod) Option { return func(c *Config) { c.Alignm
 // supported way to implement deterministic cutoffs.
 func WithObserver(o Observer) Option { return func(c *Config) { c.Observer = o } }
 
+// WithTrace attaches a telemetry Tracer that records pipeline stage
+// spans and sampled per-trial instants, exportable afterwards as
+// Chrome trace-event JSON (Tracer.WriteJSON; load in
+// chrome://tracing or Perfetto). Tracing is observational: Found,
+// Schedule and Tries are bit-identical with or without it. A nil
+// tracer is a no-op.
+func WithTrace(t *Tracer) Option { return func(c *Config) { c.Trace = t } }
+
+// WithFlightRecorder attaches a telemetry FlightRecorder: a bounded
+// ring of recent trial summaries and scheduler fold decisions.
+// Snapshot it after a failed or cancelled run to get evidence of what
+// the search was doing — the batch server attaches it to error
+// payloads. Recording is observational (results are bit-identical)
+// and a nil recorder is a no-op.
+func WithFlightRecorder(f *FlightRecorder) Option { return func(c *Config) { c.Flight = f } }
+
 // WithTrialBudget cuts the schedule search off after n test runs (0 =
 // unlimited) — the analogue of the paper's 18-hour cutoff. The budget
 // is applied to the deterministic sequential order, so the cut-off

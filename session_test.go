@@ -209,58 +209,79 @@ func TestSessionErrCancelled(t *testing.T) {
 
 // TestSessionObserverOrdering: one full run delivers the five analysis
 // stages in StageAlign..StageCandidates order, then search heartbeats
-// with monotone counters, ending in exactly one Done snapshot.
+// with monotone counters, ending in exactly one Done snapshot. The
+// fork leg pins the Observer contract's fine print (see
+// internal/core/observer.go): under prefix forking Steps counts only
+// the steps trials actually executed, snapshot-replayed prefix
+// positions accumulate separately in StepsSaved, and both stay
+// monotone; with forking off StepsSaved is identically zero.
 func TestSessionObserverOrdering(t *testing.T) {
-	w, prog := compileWorkload(t, "mysql-3")
-	var stages []heisendump.Stage
-	var beats []heisendump.SearchProgress
-	obs := heisendump.ObserverFuncs{
-		StageFunc:  func(s heisendump.Stage) { stages = append(stages, s) },
-		SearchFunc: func(p heisendump.SearchProgress) { beats = append(beats, p) },
-	}
-	s := heisendump.NewCompiled(prog, w.Input,
-		heisendump.WithWorkers(2),
-		heisendump.WithObserver(obs),
-	)
-	rep, err := s.Reproduce(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !rep.Search.Found {
-		t.Fatal("mysql-3 not reproduced")
-	}
+	for _, fork := range []bool{false, true} {
+		name := "base"
+		if fork {
+			name = "fork"
+		}
+		t.Run(name, func(t *testing.T) {
+			w, prog := compileWorkload(t, "mysql-3")
+			var stages []heisendump.Stage
+			var beats []heisendump.SearchProgress
+			obs := heisendump.ObserverFuncs{
+				StageFunc:  func(s heisendump.Stage) { stages = append(stages, s) },
+				SearchFunc: func(p heisendump.SearchProgress) { beats = append(beats, p) },
+			}
+			s := heisendump.NewCompiled(prog, w.Input,
+				heisendump.WithWorkers(2),
+				heisendump.WithFork(fork),
+				heisendump.WithObserver(obs),
+			)
+			rep, err := s.Reproduce(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Search.Found {
+				t.Fatal("mysql-3 not reproduced")
+			}
 
-	want := []heisendump.Stage{
-		heisendump.StageAlign, heisendump.StageAlignedDump, heisendump.StageDiff,
-		heisendump.StagePrioritize, heisendump.StageCandidates,
-	}
-	if !reflect.DeepEqual(stages, want) {
-		t.Fatalf("stage events %v, want %v", stages, want)
-	}
+			want := []heisendump.Stage{
+				heisendump.StageAlign, heisendump.StageAlignedDump, heisendump.StageDiff,
+				heisendump.StagePrioritize, heisendump.StageCandidates,
+			}
+			if !reflect.DeepEqual(stages, want) {
+				t.Fatalf("stage events %v, want %v", stages, want)
+			}
 
-	if len(beats) == 0 {
-		t.Fatal("no search heartbeats")
-	}
-	for i, p := range beats {
-		last := i == len(beats)-1
-		if p.Done != last {
-			t.Fatalf("heartbeat %d/%d: Done=%v", i, len(beats), p.Done)
-		}
-		if p.Combos != beats[0].Combos {
-			t.Fatalf("heartbeat %d changed Combos: %d vs %d", i, p.Combos, beats[0].Combos)
-		}
-		if i == 0 {
-			continue
-		}
-		prev := beats[i-1]
-		if p.Committed < prev.Committed || p.Tries < prev.Tries ||
-			p.Executed < prev.Executed || p.Pruned < prev.Pruned || p.Steps < prev.Steps {
-			t.Fatalf("heartbeat %d not monotone: %+v after %+v", i, p, prev)
-		}
-	}
-	final := beats[len(beats)-1]
-	if !final.Found || final.Tries != rep.Search.Tries || final.Executed != rep.Search.TrialsExecuted {
-		t.Fatalf("final heartbeat %+v disagrees with the result %+v", final, rep.Search)
+			if len(beats) == 0 {
+				t.Fatal("no search heartbeats")
+			}
+			for i, p := range beats {
+				last := i == len(beats)-1
+				if p.Done != last {
+					t.Fatalf("heartbeat %d/%d: Done=%v", i, len(beats), p.Done)
+				}
+				if p.Combos != beats[0].Combos {
+					t.Fatalf("heartbeat %d changed Combos: %d vs %d", i, p.Combos, beats[0].Combos)
+				}
+				if !fork && p.StepsSaved != 0 {
+					t.Fatalf("heartbeat %d: StepsSaved %d with forking off", i, p.StepsSaved)
+				}
+				if i == 0 {
+					continue
+				}
+				prev := beats[i-1]
+				if p.Committed < prev.Committed || p.Tries < prev.Tries ||
+					p.Executed < prev.Executed || p.Pruned < prev.Pruned ||
+					p.Steps < prev.Steps || p.StepsSaved < prev.StepsSaved {
+					t.Fatalf("heartbeat %d not monotone: %+v after %+v", i, p, prev)
+				}
+			}
+			final := beats[len(beats)-1]
+			if !final.Found || final.Tries != rep.Search.Tries || final.Executed != rep.Search.TrialsExecuted {
+				t.Fatalf("final heartbeat %+v disagrees with the result %+v", final, rep.Search)
+			}
+			if fork && final.StepsSaved == 0 {
+				t.Log("fork leg saved no steps on this workload (allowed, but unexpected)")
+			}
+		})
 	}
 }
 

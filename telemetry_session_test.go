@@ -1,0 +1,137 @@
+package heisendump_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"heisendump"
+)
+
+// runWithTelemetry reproduces one workload with the full telemetry
+// stack optionally attached: an unsampled Tracer on a synthetic clock,
+// and a FlightRecorder — the same consumers cmd/reprod and the batch
+// server wire per run. It returns the report plus the consumers for
+// inspection (nil when tele is off).
+func runWithTelemetry(t *testing.T, prog *heisendump.Program, input *heisendump.Input,
+	workers int, prune, fork, tele bool) (*heisendump.Report, *heisendump.Tracer, *heisendump.FlightRecorder) {
+	t.Helper()
+	opts := []heisendump.Option{
+		heisendump.WithTrialBudget(4000),
+		heisendump.WithWorkers(workers),
+		heisendump.WithPrune(prune),
+		heisendump.WithFork(fork),
+	}
+	var tr *heisendump.Tracer
+	var fl *heisendump.FlightRecorder
+	if tele {
+		tr = heisendump.NewTracer(nil, 1) // nil clock: synthetic ticks, no wall-clock reads
+		fl = heisendump.NewFlightRecorder(64)
+		opts = append(opts, heisendump.WithTrace(tr), heisendump.WithFlightRecorder(fl))
+	}
+	rep, err := heisendump.NewCompiled(prog, input, opts...).Reproduce(context.Background())
+	if err != nil {
+		t.Fatalf("workers=%d prune=%v fork=%v tele=%v: %v", workers, prune, fork, tele, err)
+	}
+	return rep, tr, fl
+}
+
+// TestSessionTelemetryPassive is the telemetry passivity matrix: over
+// workers {1,4} × prune {off,on} × fork {off,on}, attaching the full
+// telemetry stack (tracer + flight recorder, with the global counters
+// firing throughout) leaves Found, Tries and the winning Schedule
+// bit-identical to the telemetry-off reference. This is the
+// determinism half of the "telemetry is passive" claim; the cost half
+// is benchgate's TelemetryOverhead ceiling.
+func TestSessionTelemetryPassive(t *testing.T) {
+	w, prog := compileWorkload(t, "mysql-3")
+	ref, _, _ := runWithTelemetry(t, prog, w.Input, 1, false, false, false)
+	if !ref.Search.Found {
+		t.Fatalf("reference run did not reproduce in %d tries", ref.Search.Tries)
+	}
+
+	before := heisendump.MetricsSnapshot()
+	for _, workers := range []int{1, 4} {
+		for _, prune := range []bool{false, true} {
+			for _, fork := range []bool{false, true} {
+				for _, tele := range []bool{false, true} {
+					name := fmt.Sprintf("w%d_prune=%v_fork=%v_tele=%v", workers, prune, fork, tele)
+					rep, tr, fl := runWithTelemetry(t, prog, w.Input, workers, prune, fork, tele)
+					if rep.Search.Found != ref.Search.Found ||
+						rep.Search.Tries != ref.Search.Tries ||
+						!reflect.DeepEqual(rep.Search.Schedule, ref.Search.Schedule) {
+						t.Fatalf("%s diverged from the telemetry-off reference:\n  got  found=%v tries=%d %+v\n  want found=%v tries=%d %+v",
+							name,
+							rep.Search.Found, rep.Search.Tries, rep.Search.Schedule,
+							ref.Search.Found, ref.Search.Tries, ref.Search.Schedule)
+					}
+					if !tele {
+						continue
+					}
+					// The consumers actually observed the run.
+					if tr.Len() == 0 {
+						t.Errorf("%s: tracer recorded no events", name)
+					}
+					log := fl.Snapshot()
+					if log == nil || len(log.Trials) == 0 {
+						t.Errorf("%s: flight recorder empty", name)
+					} else if d := log.Decisions; len(d) == 0 || !d[len(d)-1].Found {
+						t.Errorf("%s: flight recorder's last decision is not the find: %+v", name, d)
+					}
+				}
+			}
+		}
+	}
+
+	// The global counters fired while the matrix ran: searches, trial
+	// executions and interpreter steps all advanced.
+	after := heisendump.MetricsSnapshot()
+	for _, series := range []string{
+		"heisen_chess_searches_total",
+		"heisen_chess_searches_found_total",
+		"heisen_chess_trials_executed_total",
+		"heisen_chess_steps_executed_total",
+	} {
+		if after[series] <= before[series] {
+			t.Errorf("counter %s did not advance over the matrix: %d -> %d", series, before[series], after[series])
+		}
+	}
+}
+
+// TestWriteMetricsFamilies: the facade's Prometheus export is
+// well-formed text exposition covering the chess and interp families
+// (the server families are covered end-to-end by cmd/heisend's smoke
+// test, which scrapes a live /metrics).
+func TestWriteMetricsFamilies(t *testing.T) {
+	w, prog := compileWorkload(t, "fig1")
+	if _, err := heisendump.NewCompiled(prog, w.Input).Reproduce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := heisendump.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, family := range []string{
+		"# TYPE heisen_chess_searches_total counter",
+		"# TYPE heisen_chess_trial_steps histogram",
+		"# TYPE heisen_interp_steps_total counter",
+		"# TYPE heisen_progcache_hits_total counter",
+		`heisen_interp_steps_total{engine="bytecode"}`,
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("metrics text missing %q", family)
+		}
+	}
+	// Every sample line parses as "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 || !strings.HasPrefix(fields[0], "heisen_") {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
